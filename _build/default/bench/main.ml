@@ -1,0 +1,140 @@
+(* Benchmark + figure-regeneration harness.
+
+   `dune exec bench/main.exe` does two things:
+   1. regenerates every table and figure of the paper (the same series the
+      paper reports, printed as text) — the reproduction harness;
+   2. runs a Bechamel micro-benchmark per experiment kernel.
+
+   `dune exec bench/main.exe -- --fast` skips the Bechamel pass. *)
+
+let print_figures () =
+  print_endline "==============================================================";
+  print_endline " Solar Superstorms reproduction: regenerating tables & figures";
+  print_endline "==============================================================";
+  let ctx = Report.Figures.make_context () in
+  List.iter
+    (fun (id, text) ->
+      Printf.printf "\n----- %s -----\n%s\n" id text;
+      flush stdout)
+    (Report.Figures.all ctx);
+  ctx
+
+(* One Bechamel kernel per table/figure. *)
+let bechamel_tests ctx =
+  let open Bechamel in
+  let sub = ctx.Report.Figures.submarine in
+  let rng = Rng.create 99 in
+  let per_repeater = Stormsim.Failure_model.compile (Stormsim.Failure_model.uniform 0.01) ~network:sub in
+  let tiered = Stormsim.Failure_model.compile Stormsim.Failure_model.s1 ~network:sub in
+  let graph, _ = Infra.Network.to_graph sub in
+  let storm = Gic.Disturbance.storm_of_dst (-1200.0) in
+  let long_cable =
+    (* SEA-ME-WE 3: the longest cable of the dataset. *)
+    let best = ref (Infra.Network.cable sub 0) in
+    for i = 1 to Infra.Network.nb_cables sub - 1 do
+      let c = Infra.Network.cable sub i in
+      if c.Infra.Cable.length_km > !best.Infra.Cable.length_km then best := c
+    done;
+    !best
+  in
+  [
+    Test.make ~name:"fig3-latitude-pdf"
+      (Staged.stage (fun () ->
+           ignore (Stormsim.Distribution.fig3 ~submarine:sub)));
+    Test.make ~name:"fig4-threshold-curves"
+      (Staged.stage (fun () ->
+           ignore
+             (Stormsim.Distribution.fig4a ~submarine:sub
+                ~intertubes:ctx.Report.Figures.intertubes)));
+    Test.make ~name:"fig5-length-cdf"
+      (Staged.stage (fun () ->
+           ignore
+             (Stormsim.Distribution.fig5 ~submarine:sub
+                ~intertubes:ctx.Report.Figures.intertubes ~itu:ctx.Report.Figures.itu)));
+    Test.make ~name:"fig6-uniform-trial"
+      (Staged.stage (fun () ->
+           ignore (Stormsim.Montecarlo.trial rng ~network:sub ~spacing_km:150.0 ~per_repeater)));
+    Test.make ~name:"fig8-tiered-trial"
+      (Staged.stage (fun () ->
+           ignore
+             (Stormsim.Montecarlo.trial rng ~network:sub ~spacing_km:150.0
+                ~per_repeater:tiered)));
+    Test.make ~name:"fig9-as-analysis"
+      (Staged.stage (fun () ->
+           ignore (Stormsim.Systems.analyze_ases ctx.Report.Figures.ases)));
+    Test.make ~name:"country-case-study"
+      (Staged.stage (fun () ->
+           ignore
+             (Stormsim.Country.evaluate ~trials:5 sub
+                (List.hd Stormsim.Country.paper_case_studies))));
+    Test.make ~name:"gic-exposure-longest-cable"
+      (Staged.stage (fun () ->
+           ignore (Infra.Exposure.of_cable ~storm ~network:sub long_cable)));
+    Test.make ~name:"graph-connected-components"
+      (Staged.stage (fun () -> ignore (Netgraph.Traversal.connected_components graph)));
+    Test.make ~name:"mitigation-partitions"
+      (Staged.stage (fun () ->
+           ignore (Stormsim.Mitigation.predicted_partitions ~network:sub ())));
+    Test.make ~name:"leo-storm-assessment"
+      (Staged.stage (fun () ->
+           ignore
+             (Leo.Storm_impact.assess ~dst_nt:(-1200.0) Leo.Constellation.starlink_phase1)));
+    Test.make ~name:"grid-coupled-trial"
+      (Staged.stage (fun () ->
+           ignore
+             (Stormsim.Powergrid.simulate ~trials:1 ~network:sub
+                ~model:Stormsim.Failure_model.s1 ~dst_nt:(-1200.0) ())));
+    Test.make ~name:"traffic-routing"
+      (Staged.stage
+         (let demands = Stormsim.Traffic.gravity_demands () in
+          fun () -> ignore (Stormsim.Traffic.route ~network:sub ~demands ())));
+    Test.make ~name:"recovery-plan"
+      (Staged.stage
+         (let dead =
+            Array.init (Infra.Network.nb_cables sub) (fun i -> i mod 3 = 0)
+          in
+          fun () -> ignore (Stormsim.Recovery.plan ~network:sub ~dead ())));
+    Test.make ~name:"service-availability"
+      (Staged.stage (fun () ->
+           ignore
+             (Stormsim.Resilience_test.evaluate ~network:sub
+                (List.hd Stormsim.Resilience_test.sample_services))));
+    Test.make ~name:"event-sequence-30y"
+      (Staged.stage
+         (let seq_rng = Rng.create 5 in
+          fun () ->
+            ignore
+              (Spaceweather.Event_generator.generate ~rng:seq_rng ~start:2021.0
+                 ~stop:2051.0 ())));
+  ]
+
+let run_bechamel ctx =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  print_endline "\n==============================================================";
+  print_endline " Bechamel micro-benchmarks (one kernel per experiment)";
+  print_endline "==============================================================";
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let tests = bechamel_tests ctx in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          (Instance.monotonic_clock) results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "%-32s (no estimate)\n" name)
+        ols;
+      flush stdout)
+    tests
+
+let () =
+  let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
+  let ctx = print_figures () in
+  if not fast then run_bechamel ctx

@@ -1,0 +1,285 @@
+(* solarstorm — command-line front end for the solar-superstorm Internet
+   resilience simulator.
+
+     solarstorm figures            regenerate paper figures (all or --id)
+     solarstorm map                ASCII world map of a network
+     solarstorm simulate           Monte-Carlo failure sweep
+     solarstorm scenario           end-to-end CME scenario
+     solarstorm countries          country-scale case studies
+     solarstorm systems            AS / data-center / DNS analysis
+     solarstorm mitigate           shutdown + augmentation + partitions
+     solarstorm probability        occurrence-probability table *)
+
+open Cmdliner
+
+let ctx_of ~seed ~itu_scale ~caida_ases =
+  Report.Figures.make_context ~seed ~itu_scale ~caida_ases ()
+
+(* Shared options. *)
+let seed_t =
+  Arg.(value & opt int Datasets.default_seed & info [ "seed" ] ~doc:"Dataset seed.")
+
+let trials_t = Arg.(value & opt int 10 & info [ "trials" ] ~doc:"Monte-Carlo trials.")
+
+let itu_scale_t =
+  Arg.(value & opt float 0.3 & info [ "itu-scale" ] ~doc:"ITU network scale in (0, 1].")
+
+let caida_t =
+  Arg.(value & opt int 8000 & info [ "ases" ] ~doc:"Number of synthetic ASes.")
+
+let out_dir_t =
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+         ~doc:"Also write figure data as CSV files under $(docv).")
+
+let markdown_t =
+  Arg.(value & opt (some string) None & info [ "markdown" ] ~docv:"FILE"
+         ~doc:"Also write all rendered figures to $(docv) as markdown.")
+
+(* figures *)
+let figures_cmd =
+  let id_t =
+    Arg.(value & opt (some string) None & info [ "id" ] ~doc:"Only this figure id.")
+  in
+  let run seed trials itu_scale caida_ases id out_dir markdown =
+    let ctx = ctx_of ~seed ~itu_scale ~caida_ases in
+    let all = Report.Figures.all ~trials ctx in
+    (match markdown with
+    | Some path ->
+        Report.Markdown.write_results ~path all;
+        Printf.printf "markdown written to %s\n" path
+    | None -> ());
+    let selected =
+      match id with
+      | None -> all
+      | Some id -> List.filter (fun (fid, _) -> fid = id) all
+    in
+    if selected = [] then (
+      Printf.eprintf "unknown figure id; known: %s\n"
+        (String.concat ", " (List.map fst all));
+      exit 1);
+    List.iter (fun (fid, text) -> Printf.printf "----- %s -----\n%s\n" fid text) selected;
+    (match out_dir with
+    | None -> ()
+    | Some dir ->
+        (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+        let series_csv () =
+          let fig3 = Stormsim.Distribution.fig3 ~submarine:ctx.Report.Figures.submarine in
+          List.iter
+            (fun (s : Stormsim.Distribution.pdf_series) ->
+              Report.Csv.write_file
+                ~path:(Filename.concat dir (Printf.sprintf "fig3-%s.csv" s.label))
+                (Report.Csv.of_series ~header:("latitude", "density_pct") s.points))
+            fig3;
+          let fig5 =
+            Stormsim.Distribution.fig5 ~submarine:ctx.Report.Figures.submarine
+              ~intertubes:ctx.Report.Figures.intertubes ~itu:ctx.Report.Figures.itu
+          in
+          List.iter
+            (fun (s : Stormsim.Distribution.cdf_series) ->
+              Report.Csv.write_file
+                ~path:(Filename.concat dir (Printf.sprintf "fig5-%s.csv" s.label))
+                (Report.Csv.of_series ~header:("length_km", "cdf") s.points))
+            fig5
+        in
+        series_csv ();
+        Printf.printf "CSV series written to %s\n" dir)
+  in
+  let term =
+    Term.(const run $ seed_t $ trials_t $ itu_scale_t $ caida_t $ id_t $ out_dir_t
+          $ markdown_t)
+  in
+  Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures") term
+
+(* map *)
+let network_conv =
+  Arg.enum [ ("submarine", `Submarine); ("intertubes", `Intertubes); ("itu", `Itu) ]
+
+let map_cmd =
+  let net_t =
+    Arg.(value & opt network_conv `Submarine & info [ "network" ] ~doc:"Network to draw.")
+  in
+  let run seed net =
+    let network =
+      match net with
+      | `Submarine -> Datasets.Submarine.build ~seed ()
+      | `Intertubes -> Datasets.Intertubes.build ~seed ()
+      | `Itu -> Datasets.Itu.build ~seed ~scale:0.1 ()
+    in
+    print_string (Report.Worldmap.render (Report.Worldmap.network_layers network))
+  in
+  Cmd.v (Cmd.info "map" ~doc:"ASCII world map of a network")
+    Term.(const run $ seed_t $ net_t)
+
+(* simulate *)
+let model_conv : Stormsim.Failure_model.t Arg.conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "s1" -> Ok Stormsim.Failure_model.s1
+    | "s2" -> Ok Stormsim.Failure_model.s2
+    | "physical" -> Ok Stormsim.Failure_model.carrington_physical
+    | s -> (
+        match float_of_string_opt s with
+        | Some p when p >= 0.0 && p <= 1.0 -> Ok (Stormsim.Failure_model.uniform p)
+        | _ -> Error (`Msg "expected s1 | s2 | physical | probability in [0,1]"))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Stormsim.Failure_model.to_string m))
+
+let simulate_cmd =
+  let model_t =
+    Arg.(value & opt model_conv (Stormsim.Failure_model.uniform 0.01)
+         & info [ "model" ] ~doc:"s1 | s2 | physical | uniform probability.")
+  in
+  let spacing_t =
+    Arg.(value & opt float 150.0 & info [ "spacing" ] ~doc:"Inter-repeater distance (km).")
+  in
+  let net_t =
+    Arg.(value & opt network_conv `Submarine & info [ "network" ] ~doc:"Network.")
+  in
+  let run seed trials itu_scale model spacing net =
+    let name, network =
+      match net with
+      | `Submarine -> ("submarine", Datasets.Submarine.build ~seed ())
+      | `Intertubes -> ("intertubes", Datasets.Intertubes.build ~seed ())
+      | `Itu -> ("itu", Datasets.Itu.build ~seed ~scale:itu_scale ())
+    in
+    let s =
+      Stormsim.Montecarlo.run ~trials ~seed ~network ~spacing_km:spacing ~model ()
+    in
+    Printf.printf "%s under %s at %.0f km spacing (%d trials):\n" name
+      (Stormsim.Failure_model.to_string model) spacing trials;
+    Printf.printf "  cables failed     %.1f%% +- %.1f\n" s.Stormsim.Montecarlo.cables_mean
+      s.Stormsim.Montecarlo.cables_std;
+    Printf.printf "  nodes unreachable %.1f%% +- %.1f\n" s.Stormsim.Montecarlo.nodes_mean
+      s.Stormsim.Montecarlo.nodes_std
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Monte-Carlo failure simulation")
+    Term.(const run $ seed_t $ trials_t $ itu_scale_t $ model_t $ spacing_t $ net_t)
+
+(* scenario *)
+let scenario_cmd =
+  let event_t =
+    Arg.(value & opt (some string) (Some "carrington")
+         & info [ "event" ] ~doc:"Historical event name (catalog lookup).")
+  in
+  let speed_t =
+    Arg.(value & opt (some float) None
+         & info [ "speed" ] ~doc:"Custom CME launch speed (km/s), overrides --event.")
+  in
+  let physical_t =
+    Arg.(value & flag & info [ "physical" ] ~doc:"Also run the GIC-physical model.")
+  in
+  let run seed trials event speed physical =
+    let networks =
+      [ ("submarine", Datasets.Submarine.build ~seed ());
+        ("intertubes", Datasets.Intertubes.build ~seed ()) ]
+    in
+    let cme =
+      match speed with
+      | Some v -> Spaceweather.Cme.make ~speed_km_s:v ()
+      | None -> (
+          let name = Option.value ~default:"carrington" event in
+          match Spaceweather.Storm_catalog.find name with
+          | Some e -> e.Spaceweather.Storm_catalog.cme
+          | None ->
+              Printf.eprintf "unknown event %s\n" name;
+              exit 1)
+    in
+    let s = Stormsim.Scenario.run ~trials ~use_physical:physical ~cme ~networks () in
+    Format.printf "%a@." Stormsim.Scenario.pp s
+  in
+  Cmd.v (Cmd.info "scenario" ~doc:"End-to-end CME impact scenario")
+    Term.(const run $ seed_t $ trials_t $ event_t $ speed_t $ physical_t)
+
+(* countries *)
+let countries_cmd =
+  let run seed trials =
+    let net = Datasets.Submarine.build ~seed () in
+    let findings = Stormsim.Country.run_all ~trials net in
+    List.iter
+      (fun (f : Stormsim.Country.finding) ->
+        Printf.printf "%-24s %-3s P(loss)=%.2f  (%d cables)  %s\n"
+          f.Stormsim.Country.spec.Stormsim.Country.id
+          f.Stormsim.Country.spec.Stormsim.Country.state_name
+          f.Stormsim.Country.loss_probability f.Stormsim.Country.direct_cables
+          f.Stormsim.Country.spec.Stormsim.Country.expectation)
+      findings
+  in
+  Cmd.v (Cmd.info "countries" ~doc:"Country-scale connectivity case studies")
+    Term.(const run $ seed_t $ trials_t)
+
+(* systems *)
+let systems_cmd =
+  let run seed caida_ases =
+    let ctx = ctx_of ~seed ~itu_scale:0.05 ~caida_ases in
+    print_string (Report.Figures.systems ctx)
+  in
+  Cmd.v (Cmd.info "systems" ~doc:"AS / data-center / DNS resilience")
+    Term.(const run $ seed_t $ caida_t)
+
+(* mitigate *)
+let mitigate_cmd =
+  let run seed =
+    let ctx = ctx_of ~seed ~itu_scale:0.05 ~caida_ases:1000 in
+    print_string (Report.Figures.mitigation ctx)
+  in
+  Cmd.v (Cmd.info "mitigate" ~doc:"Shutdown, augmentation and partition planning")
+    Term.(const run $ seed_t)
+
+(* leo *)
+let leo_cmd =
+  let dst_t =
+    Arg.(value & opt float (-1200.0) & info [ "dst" ] ~doc:"Storm Dst (nT, negative).")
+  in
+  let batch_t =
+    Arg.(value & opt (some float) None
+         & info [ "batch" ] ~docv:"ALT" ~doc:"Also assess an injection batch parked at ALT km.")
+  in
+  let run dst batch =
+    let r =
+      Leo.Storm_impact.assess ?injection_batch:batch ~dst_nt:dst
+        Leo.Constellation.starlink_phase1
+    in
+    Format.printf "%a@." Leo.Storm_impact.pp r
+  in
+  Cmd.v (Cmd.info "leo" ~doc:"Storm impact on a LEO mega-constellation")
+    Term.(const run $ dst_t $ batch_t)
+
+(* decision *)
+let decision_cmd =
+  let event_t =
+    Arg.(value & opt string "carrington" & info [ "event" ] ~doc:"Historical event name.")
+  in
+  let run seed event =
+    match Spaceweather.Storm_catalog.find event with
+    | None ->
+        Printf.eprintf "unknown event %s\n" event;
+        exit 1
+    | Some e ->
+        let net = Datasets.Submarine.build ~seed () in
+        let d =
+          Stormsim.Mitigation.shutdown_decision ~cme:e.Spaceweather.Storm_catalog.cme
+            ~network:net ()
+        in
+        Printf.printf
+          "severe window %.1f h; failure fraction %.2f powered vs %.2f off; expected downtime %.1f d powered vs %.1f d with shutdown -> %s\n"
+          d.Stormsim.Mitigation.storm_window_h d.Stormsim.Mitigation.failure_fraction_powered
+          d.Stormsim.Mitigation.failure_fraction_off d.Stormsim.Mitigation.downtime_powered_days
+          d.Stormsim.Mitigation.downtime_off_days
+          (if d.Stormsim.Mitigation.recommended then "DE-POWER" else "STAY POWERED")
+  in
+  Cmd.v (Cmd.info "decision" ~doc:"Shutdown decision for a storm (5.2)")
+    Term.(const run $ seed_t $ event_t)
+
+(* probability *)
+let probability_cmd =
+  let run () = print_string (Report.Figures.probability ()) in
+  Cmd.v (Cmd.info "probability" ~doc:"Occurrence-probability table")
+    Term.(const run $ const ())
+
+let main_cmd =
+  let doc = "solar-superstorm Internet resilience simulator (SIGCOMM '21 reproduction)" in
+  Cmd.group (Cmd.info "solarstorm" ~version:"1.0.0" ~doc)
+    [ figures_cmd; map_cmd; simulate_cmd; scenario_cmd; countries_cmd; systems_cmd;
+      mitigate_cmd; probability_cmd; leo_cmd; decision_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/aftermath.ml: Array Datasets Infra List Printf Stormsim String

@@ -1,0 +1,1 @@
+examples/carrington_scenario.ml: Datasets Format Geo Gic Infra List Printf Spaceweather Stormsim String

@@ -1,0 +1,1 @@
+examples/carrington_scenario.mli:

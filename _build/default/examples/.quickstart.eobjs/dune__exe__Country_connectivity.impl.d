@@ -1,0 +1,1 @@
+examples/country_connectivity.ml: Datasets Infra Int List Printf Stormsim

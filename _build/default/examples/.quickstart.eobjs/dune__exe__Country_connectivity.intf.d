@@ -1,0 +1,1 @@
+examples/country_connectivity.mli:

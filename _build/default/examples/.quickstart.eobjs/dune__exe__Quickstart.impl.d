@@ -1,0 +1,1 @@
+examples/quickstart.ml: Datasets Format Infra List Printf Spaceweather Stormsim

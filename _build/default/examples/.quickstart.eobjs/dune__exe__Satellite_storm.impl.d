@@ -1,0 +1,1 @@
+examples/satellite_storm.ml: Format Leo List Printf String

@@ -1,0 +1,1 @@
+examples/solar_cycle_outlook.ml: Float Format List Printf Report Spaceweather

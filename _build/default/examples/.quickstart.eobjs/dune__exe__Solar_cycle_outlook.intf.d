@@ -1,0 +1,1 @@
+examples/solar_cycle_outlook.mli:

@@ -1,0 +1,1 @@
+examples/topology_planning.ml: Datasets Float Geo Hashtbl Infra Int List Netgraph Printf Stormsim String

@@ -1,0 +1,73 @@
+(* A Carrington-2.0 scenario walked end to end: launch, early warning,
+   ground effects, infrastructure impact, and the value of the shutdown
+   lead time (sections 2, 3 and 5.2 of the paper).
+
+     dune exec examples/carrington_scenario.exe *)
+
+let hr () = print_endline (String.make 72 '-')
+
+let () =
+  let cme = Spaceweather.Cme.carrington_1859 in
+
+  (* 1. Launch and early warning. *)
+  hr ();
+  print_endline "T+0: coronagraphs detect a fast halo CME";
+  let tl = Spaceweather.Forecast.timeline cme in
+  Format.printf "  launch speed %.0f km/s; %a@." cme.Spaceweather.Cme.speed_km_s
+    Spaceweather.Forecast.pp_timeline tl;
+  let dst = Spaceweather.Cme.expected_dst cme in
+  Printf.printf "  expected storm: Dst %.0f nT (%s class)\n" dst
+    (Spaceweather.Dst.severity_to_string (Spaceweather.Dst.severity_of_dst dst));
+
+  (* 2. Ground effects at representative locations. *)
+  hr ();
+  print_endline "ground geoelectric fields at impact:";
+  let storm = Gic.Disturbance.storm_of_dst dst in
+  List.iter
+    (fun city ->
+      let c = Datasets.Cities.find city in
+      let pos = c.Datasets.Cities.pos in
+      Printf.printf
+        "  %-12s geomag lat %5.1f  dB %6.0f nT   E-field %5.2f V/km (%s ground)\n" city
+        (Geo.Geomagnetic.dipole_latitude pos)
+        (Gic.Disturbance.db_at storm pos)
+        (Gic.Efield.amplitude_v_per_km storm pos)
+        (Gic.Conductivity.profile_for pos).Gic.Conductivity.name)
+    [ "Oslo"; "London"; "New York"; "Tokyo"; "Singapore"; "Lagos" ];
+
+  (* 3. GIC on a transatlantic cable. *)
+  hr ();
+  print_endline "GIC in a New York - Bude power-feeding line:";
+  let path =
+    Geo.Geodesic.waypoints (Datasets.Cities.coord "New York") (Datasets.Cities.coord "Bude")
+      ~n:40
+  in
+  let total = Geo.Distance.path_length_km path in
+  let grounds = Infra.Grounding.chainages ~length_km:total () in
+  let r = Gic.Induced.compute ~storm ~path ~ground_chainages_km:grounds () in
+  Printf.printf "  %.0f km route, %d grounded sections, peak GIC %.1f A (vs 1 A feed)\n"
+    total
+    (List.length r.Gic.Induced.sections)
+    r.Gic.Induced.peak_gic_a;
+
+  (* 4. Network impact under the paper's model and the physical model. *)
+  hr ();
+  print_endline "network impact:";
+  let networks =
+    [ ("submarine", Datasets.Submarine.build ());
+      ("US long-haul", Datasets.Intertubes.build ()) ]
+  in
+  let s = Stormsim.Scenario.run ~use_physical:true ~cme ~networks () in
+  Format.printf "%a" Stormsim.Scenario.pp s;
+
+  (* 5. What the 17-hour lead buys (5.2): de-powering reduces peak GIC
+     somewhat, but GIC flows through a powered-off cable too. *)
+  hr ();
+  let plan =
+    Stormsim.Mitigation.shutdown_plan ~cme ~network:(List.assoc "submarine" networks) ()
+  in
+  Printf.printf
+    "shutdown decision window %.1f h: expected cable losses %.1f%% powered vs %.1f%% \
+     de-powered (benefit %.1f points)\n"
+    plan.Stormsim.Mitigation.actionable_lead_h plan.Stormsim.Mitigation.cables_failed_on_pct
+    plan.Stormsim.Mitigation.cables_failed_off_pct plan.Stormsim.Mitigation.benefit_pct

@@ -1,0 +1,42 @@
+(* Quickstart: build the submarine cable dataset and measure what a
+   Carrington-class storm does to it under the paper's failure states.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Build the synthetic-but-calibrated submarine cable map:
+     470 cables, 1241 landing stations (see DESIGN.md). *)
+  let network = Datasets.Submarine.build () in
+  Format.printf "dataset: %a@." Infra.Network.pp_summary network;
+
+  (* 2. Pick a failure model.  S1 is the paper's high-failure state:
+     repeaters fail with probability 1 / 0.1 / 0.01 depending on the
+     cable's highest-latitude endpoint (>60, 40-60, <40 degrees). *)
+  let model = Stormsim.Failure_model.s1 in
+
+  (* 3. Run the Monte-Carlo experiment at the paper's three repeater
+     spacings. *)
+  List.iter
+    (fun spacing_km ->
+      let s =
+        Stormsim.Montecarlo.run ~trials:10 ~seed:42 ~network ~spacing_km ~model ()
+      in
+      Printf.printf
+        "S1, repeaters every %3.0f km: %4.1f%% (+-%.1f) cables dead, %4.1f%% (+-%.1f) \
+         landing stations cut off\n"
+        spacing_km s.Stormsim.Montecarlo.cables_mean s.Stormsim.Montecarlo.cables_std
+        s.Stormsim.Montecarlo.nodes_mean s.Stormsim.Montecarlo.nodes_std)
+    Infra.Repeater.paper_spacings_km;
+
+  (* 4. Contrast with the low-failure state S2. *)
+  let s2 =
+    Stormsim.Montecarlo.run ~trials:10 ~seed:42 ~network ~spacing_km:150.0
+      ~model:Stormsim.Failure_model.s2 ()
+  in
+  Printf.printf "S2, repeaters every 150 km: %4.1f%% cables dead\n"
+    s2.Stormsim.Montecarlo.cables_mean;
+
+  (* 5. How likely is such a storm?  The paper's bracket. *)
+  let lo, hi = Spaceweather.Probability.decadal_range in
+  Printf.printf "probability of a Carrington-scale event: %.1f%%-%.1f%% per decade\n"
+    (100.0 *. lo) (100.0 *. hi)

@@ -1,0 +1,56 @@
+(* Solar-cycle outlook (section 2.3 of the paper): why the 2020s carry
+   elevated risk — the sun is leaving a Gleissberg minimum just as cycle 25
+   forecasts diverge between "weak" and "one of the strongest on record".
+
+     dune exec examples/solar_cycle_outlook.exe *)
+
+let () =
+  (* Sunspot history and the two cycle-25 forecasts. *)
+  let series forecast =
+    Spaceweather.Sunspot.series ~cycle25:forecast ~start:1985.0 ~stop:2032.0 ~step:0.5 ()
+  in
+  let weak = series Spaceweather.Sunspot.cycle_25_weak in
+  let strong = series Spaceweather.Sunspot.cycle_25_strong in
+  print_string
+    (Report.Ascii_plot.plot ~width:72 ~height:18 ~x_label:"year" ~y_label:"sunspot number"
+       ~title:"solar cycles 22-25 (two cycle-25 forecasts)"
+       [ { Report.Ascii_plot.label = "consensus (peak ~115)"; points = weak };
+         { Report.Ascii_plot.label = "McIntosh 2020 (peak ~233)"; points = strong } ]);
+
+  (* Gleissberg modulation of extreme-event frequency. *)
+  print_newline ();
+  print_endline "Gleissberg modulation of extreme-event rates:";
+  List.iter
+    (fun year ->
+      Printf.printf "  %4.0f  x%.2f%s\n" year
+        (Spaceweather.Gleissberg.modulation year)
+        (if Float.abs (year -. 1910.0) < 1.0 then "  <- 20th-century minimum (1921 storm a decade later)"
+         else if year = 2021.0 then "  <- today: rising"
+         else ""))
+    [ 1880.0; 1910.0; 1921.0; 1958.0; 1998.0; 2021.0; 2042.0 ];
+
+  (* Expected Carrington-class events over coming decades under the
+     modulated Poisson model. *)
+  print_newline ();
+  print_endline "expected Carrington-class events (modulated Poisson, base 1/31.5 yr):";
+  List.iter
+    (fun (a, b) ->
+      Printf.printf "  %4.0f-%4.0f: %.2f expected, P(at least one) ~ %.0f%%\n" a b
+        (Spaceweather.Probability.expected_events ~base_rate_per_year:(1.0 /. 31.5) ~start:a
+           ~stop:b)
+        (100.0
+        *. (1.0
+           -. exp
+                (-.Spaceweather.Probability.expected_events
+                     ~base_rate_per_year:(1.0 /. 31.5) ~start:a ~stop:b))))
+    [ (2021.0, 2031.0); (2031.0, 2041.0); (2041.0, 2051.0) ];
+
+  (* The warning budget for each historical event. *)
+  print_newline ();
+  print_endline "historical events replayed through the forecast model:";
+  List.iter
+    (fun e ->
+      let tl = Spaceweather.Forecast.timeline e.Spaceweather.Storm_catalog.cme in
+      Format.printf "  %-28s %a@." e.Spaceweather.Storm_catalog.name
+        Spaceweather.Forecast.pp_timeline tl)
+    Spaceweather.Storm_catalog.all

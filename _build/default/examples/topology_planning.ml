@@ -1,0 +1,65 @@
+(* Topology planning for resilience (section 5.1 of the paper): find the
+   structural weak points of today's submarine map, then evaluate
+   low-latitude augmentation cables.
+
+     dune exec examples/topology_planning.exe *)
+
+let () =
+  let net = Datasets.Submarine.build () in
+  let g, edge_cable = Infra.Network.to_graph net in
+
+  (* 1. Structural weak points of the healthy network. *)
+  let bridges = Netgraph.Structure.bridges g in
+  let cuts = Netgraph.Structure.articulation_points g in
+  Printf.printf "healthy topology: %d nodes, %d edges, %d bridge edges, %d cut nodes\n"
+    (Netgraph.Graph.nb_nodes g) (Netgraph.Graph.nb_edges g) (List.length bridges)
+    (List.length cuts);
+
+  (* The most critical single cables: bridges belonging to long systems. *)
+  let bridge_cables =
+    List.map edge_cable bridges
+    |> List.sort_uniq Int.compare
+    |> List.map (Infra.Network.cable net)
+    |> List.filter (fun (c : Infra.Cable.t) -> c.Infra.Cable.length_km > 2000.0)
+    |> List.sort
+         (fun (a : Infra.Cable.t) b ->
+           Float.compare b.Infra.Cable.length_km a.Infra.Cable.length_km)
+  in
+  print_endline "longest single-point-of-failure cables:";
+  List.iteri
+    (fun i (c : Infra.Cable.t) ->
+      if i < 8 then
+        Printf.printf "  %-28s %7.0f km (%s tier)\n" c.Infra.Cable.name
+          c.Infra.Cable.length_km
+          (Geo.Latband.tier_to_string (Infra.Cable.risk_tier c)))
+    bridge_cables;
+
+  (* 2. Hub criticality: betweenness of the landing graph. *)
+  let cb = Netgraph.Centrality.betweenness g in
+  let scored =
+    Hashtbl.fold
+      (fun n v acc -> ((Infra.Network.node net n).Infra.Network.name, v) :: acc)
+      cb []
+  in
+  print_endline "most central landing stations (betweenness):";
+  List.iter
+    (fun (name, v) -> Printf.printf "  %-20s %.0f\n" name v)
+    (Netgraph.Centrality.top_k scored ~k:8);
+
+  (* 3. Expected post-storm partitions under S1. *)
+  let parts = Stormsim.Mitigation.predicted_partitions ~network:net () in
+  Printf.printf "expected S1 partitions: %d fragments; largest %s\n" (List.length parts)
+    (String.concat ", "
+       (List.filteri (fun i _ -> i < 6) (List.map (fun c -> string_of_int (List.length c)) parts)));
+
+  (* 4. Where would new low-latitude cables help most? *)
+  let base = Stormsim.Mitigation.expected_surviving_pairs ~network:net () in
+  Printf.printf "S1 objective before augmentation: %.2f continent pairs with a surviving cable\n"
+    base;
+  let augs = Stormsim.Mitigation.plan_augmentation ~budget:4 ~network:net () in
+  print_endline "greedy augmentation plan:";
+  List.iter
+    (fun (a : Stormsim.Mitigation.augmentation) ->
+      Printf.printf "  + %-16s -> %-16s %6.0f km   gain %.3f\n" a.Stormsim.Mitigation.from_city
+        a.Stormsim.Mitigation.to_city a.Stormsim.Mitigation.length_km a.Stormsim.Mitigation.gain)
+    augs

@@ -1,0 +1,1 @@
+lib/core/stormsim.ml: Capacity Country Distribution Failure_model Hybrid Mitigation Montecarlo Powergrid Recovery Resilience Resilience_test Scenario Segment_model Sensitivity Stats Systems Traffic

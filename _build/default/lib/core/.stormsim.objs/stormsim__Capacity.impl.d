@@ -1,0 +1,1 @@
+lib/core/capacity.ml: Array Datasets Failure_model Hashtbl Infra List Montecarlo Netgraph Rng String

@@ -1,0 +1,1 @@
+lib/core/country.ml: Array Datasets Failure_model Hashtbl Infra Int List Montecarlo Netgraph Rng String

@@ -1,0 +1,1 @@
+lib/core/country.mli: Failure_model Infra

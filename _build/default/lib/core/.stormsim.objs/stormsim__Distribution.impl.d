@@ -1,0 +1,1 @@
+lib/core/distribution.ml: Array Datasets Float Geo Infra List Stats

@@ -1,0 +1,1 @@
+lib/core/failure_model.ml: Array Float Geo Gic Hashtbl Infra List Printf

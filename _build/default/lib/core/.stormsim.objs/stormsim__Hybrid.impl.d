@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Float Leo Traffic

@@ -1,0 +1,1 @@
+lib/core/hybrid.mli: Failure_model Infra Leo

@@ -1,0 +1,1 @@
+lib/core/mitigation.ml: Array Datasets Failure_model Float Geo Gic Hashtbl Infra Int List Montecarlo Netgraph Option Recovery Spaceweather String

@@ -1,0 +1,1 @@
+lib/core/mitigation.mli: Failure_model Infra Spaceweather

@@ -1,0 +1,1 @@
+lib/core/montecarlo.ml: Array Failure_model Infra List Rng Stats

@@ -1,0 +1,1 @@
+lib/core/montecarlo.mli: Failure_model Infra Rng

@@ -1,0 +1,1 @@
+lib/core/powergrid.ml: Array Failure_model Float Geo Gic Hashtbl Infra Int List Montecarlo Option Rng String

@@ -1,0 +1,1 @@
+lib/core/powergrid.mli: Failure_model Geo Infra Rng

@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Array Failure_model Float Infra Int List Montecarlo Rng Stats

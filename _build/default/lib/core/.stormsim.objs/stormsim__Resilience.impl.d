@@ -1,0 +1,1 @@
+lib/core/resilience.ml: Failure_model Float Hashtbl Infra List Montecarlo

@@ -1,0 +1,1 @@
+lib/core/resilience_test.ml: Datasets Failure_model Float Geo Hashtbl Infra List Mitigation Option

@@ -1,0 +1,1 @@
+lib/core/resilience_test.mli: Failure_model Infra

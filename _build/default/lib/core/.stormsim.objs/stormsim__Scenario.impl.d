@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Failure_model Format List Montecarlo Spaceweather

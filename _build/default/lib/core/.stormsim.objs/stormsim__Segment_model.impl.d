@@ -1,0 +1,1 @@
+lib/core/segment_model.ml: Array Failure_model Infra Int List Montecarlo Rng

@@ -1,0 +1,1 @@
+lib/core/segment_model.mli: Failure_model Infra Rng

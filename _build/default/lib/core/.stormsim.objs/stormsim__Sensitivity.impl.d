@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Datasets Failure_model List Montecarlo Stats

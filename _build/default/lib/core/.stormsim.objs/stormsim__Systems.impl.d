@@ -1,0 +1,1 @@
+lib/core/systems.ml: Array Char Datasets Failure_model Geo Hashtbl Infra Int List Mitigation Stats

@@ -1,0 +1,1 @@
+lib/core/systems.mli: Datasets Failure_model Infra

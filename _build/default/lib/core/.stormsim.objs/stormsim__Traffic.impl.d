@@ -1,0 +1,1 @@
+lib/core/traffic.ml: Array Failure_model Float Geo Hashtbl Infra Int List Montecarlo Netgraph Option Rng Stats

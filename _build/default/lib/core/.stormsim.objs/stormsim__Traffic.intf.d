@@ -1,0 +1,1 @@
+lib/core/traffic.mli: Failure_model Geo Infra

@@ -1,0 +1,76 @@
+type pdf_series = { label : string; points : (float * float) list }
+type threshold_series = { label : string; points : (float * float) list }
+type cdf_series = { label : string; points : (float * float) list }
+
+let pdf_of_items ~label items : pdf_series =
+  let h = Geo.Latband.histogram ~bin_deg:2.0 items in
+  { label; points = Geo.Latband.pdf h }
+
+let fig3 ~submarine =
+  [
+    pdf_of_items ~label:"Population" (Datasets.Population.latitude_weights ~bin_deg:2.0);
+    pdf_of_items ~label:"Submarine endpoints" (Infra.Network.endpoint_latitudes submarine);
+  ]
+
+let threshold_of_items ~label items =
+  ({ label; points = Geo.Latband.threshold_curve items } : threshold_series)
+
+let one_hop_series submarine =
+  (* For each threshold: endpoints above it, plus endpoints below it with a
+     direct cable to a node above it (Fig. 4a's "one-hop endpoints"). *)
+  let lats = Infra.Network.endpoint_latitudes submarine in
+  let total = float_of_int (List.length lats) in
+  let points =
+    List.map
+      (fun th ->
+        let above =
+          List.length (List.filter (fun (l, _) -> Float.abs l > th) lats)
+        in
+        let one_hop = List.length (Infra.Network.one_hop_endpoints submarine ~threshold:th) in
+        (th, 100.0 *. float_of_int (above + one_hop) /. total))
+      [ 0.; 10.; 20.; 30.; 40.; 50.; 60.; 70.; 80.; 90. ]
+  in
+  ({ label = "One-hop endpoints"; points } : threshold_series)
+
+let fig4a ~submarine ~intertubes =
+  [
+    threshold_of_items ~label:"Submarine endpoints"
+      (Infra.Network.endpoint_latitudes submarine);
+    one_hop_series submarine;
+    threshold_of_items ~label:"Intertubes endpoints"
+      (Infra.Network.endpoint_latitudes intertubes);
+    threshold_of_items ~label:"Population"
+      (Datasets.Population.latitude_weights ~bin_deg:2.0);
+  ]
+
+let fig4b ~routers ~ixps ~dns =
+  [
+    threshold_of_items ~label:"Internet routers"
+      (Array.to_list (Array.map (fun l -> (l, 1.0)) routers));
+    threshold_of_items ~label:"IXPs" (Datasets.Ixp.latitudes ixps);
+    threshold_of_items ~label:"DNS root servers" (Datasets.Dns_roots.latitudes dns);
+    threshold_of_items ~label:"Population"
+      (Datasets.Population.latitude_weights ~bin_deg:2.0);
+  ]
+
+let cdf_of_network ~label net =
+  ({ label; points = Stats.cdf_points (Infra.Network.cable_lengths net) } : cdf_series)
+
+let fig5 ~submarine ~intertubes ~itu =
+  [
+    cdf_of_network ~label:"ITU (global, land)" itu;
+    cdf_of_network ~label:"Intertubes (US, land)" intertubes;
+    cdf_of_network ~label:"Submarine (global)" submarine;
+  ]
+
+let fraction_above (s : threshold_series) th =
+  (* Piecewise-linear interpolation over the threshold curve. *)
+  let rec scan = function
+    | (t1, v1) :: ((t2, v2) :: _ as rest) ->
+        if th < t1 then v1
+        else if th <= t2 then v1 +. ((th -. t1) /. (t2 -. t1) *. (v2 -. v1))
+        else scan rest
+    | [ (_, v) ] -> v
+    | [] -> 0.0
+  in
+  scan s.points

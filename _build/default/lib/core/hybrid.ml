@@ -1,0 +1,32 @@
+type assessment = {
+  undeliverable_demand_pct : float;
+  fleet_surviving : int;
+  satellite_capacity_tbps : float;
+  displaced_demand_tbps : float;
+  absorbable_pct : float;
+}
+
+let per_satellite_gbps = 20.0
+
+let assess ?(trials = 5) ?(constellation = Leo.Constellation.starlink_phase1)
+    ?(total_demand_tbps = 1500.0) ~network ~model ~dst_nt () =
+  let _, after = Traffic.storm_shift ~trials ~network ~model () in
+  let undeliverable_pct = Float.max 0.0 (100.0 -. after.Traffic.delivered_pct) in
+  let impact = Leo.Storm_impact.assess ~dst_nt constellation in
+  let fleet = Leo.Constellation.size constellation in
+  let surviving =
+    int_of_float
+      (Float.round
+         (float_of_int fleet *. (1.0 -. impact.Leo.Storm_impact.fleet_lost_fraction)))
+  in
+  let capacity_tbps = float_of_int surviving *. per_satellite_gbps /. 1000.0 in
+  let displaced = total_demand_tbps *. undeliverable_pct /. 100.0 in
+  {
+    undeliverable_demand_pct = undeliverable_pct;
+    fleet_surviving = surviving;
+    satellite_capacity_tbps = capacity_tbps;
+    displaced_demand_tbps = displaced;
+    absorbable_pct =
+      (if displaced <= 0.0 then 100.0
+       else Float.min 100.0 (100.0 *. capacity_tbps /. displaced));
+  }

@@ -1,0 +1,39 @@
+(** Hybrid cable + satellite fallback (§5.3: "a seamless protocol that can
+    piece together all available modes of communication, including cables,
+    satellites, and wireless").
+
+    After a storm partitions the cable fabric, how much of the displaced
+    inter-continental demand could a LEO mega-constellation absorb?  The
+    constellation itself suffers the same storm ({!Leo.Storm_impact}), and
+    its usable inter-partition throughput is bounded by the per-satellite
+    backhaul capacity of the surviving fleet. *)
+
+type assessment = {
+  undeliverable_demand_pct : float;
+      (** demand share the damaged cable network cannot route *)
+  fleet_surviving : int;  (** satellites left after the storm *)
+  satellite_capacity_tbps : float;
+      (** aggregate usable throughput of the surviving fleet *)
+  displaced_demand_tbps : float;
+      (** undeliverable demand expressed in Tbps *)
+  absorbable_pct : float;
+      (** share of the displaced demand the fleet can carry (≤ 100) *)
+}
+
+val per_satellite_gbps : float
+(** Usable long-haul throughput per satellite (20 Gbps: a fraction of the
+    radio capacity is available for backhaul/transit rather than access). *)
+
+val assess :
+  ?trials:int ->
+  ?constellation:Leo.Constellation.t ->
+  ?total_demand_tbps:float ->
+  network:Infra.Network.t ->
+  model:Failure_model.t ->
+  dst_nt:float ->
+  unit ->
+  assessment
+(** Combine {!Traffic.storm_shift} (what the cables drop) with
+    {!Leo.Storm_impact.assess} (what the fleet keeps).  [total_demand_tbps]
+    scales the gravity demand to absolute terms (default 1,500 Tbps of
+    inter-continental traffic). *)

@@ -1,0 +1,88 @@
+type trial_result = {
+  dead : bool array;
+  cables_failed_pct : float;
+  nodes_unreachable_pct : float;
+}
+
+type series = {
+  cables_mean : float;
+  cables_std : float;
+  nodes_mean : float;
+  nodes_std : float;
+}
+
+let cables_failed_pct net dead =
+  let m = Infra.Network.nb_cables net in
+  if m = 0 then 0.0
+  else
+    let k = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 dead in
+    100.0 *. float_of_int k /. float_of_int m
+
+let nodes_unreachable_pct net dead =
+  let n = Infra.Network.nb_nodes net in
+  let has_cable = Array.make n false and has_live = Array.make n false in
+  for c = 0 to Infra.Network.nb_cables net - 1 do
+    let cable = Infra.Network.cable net c in
+    List.iter
+      (fun l ->
+        has_cable.(l) <- true;
+        if not dead.(c) then has_live.(l) <- true)
+      cable.Infra.Cable.landings
+  done;
+  let total = ref 0 and unreachable = ref 0 in
+  for i = 0 to n - 1 do
+    if has_cable.(i) then begin
+      incr total;
+      if not has_live.(i) then incr unreachable
+    end
+  done;
+  if !total = 0 then 0.0 else 100.0 *. float_of_int !unreachable /. float_of_int !total
+
+let trial rng ~network ~spacing_km ~per_repeater =
+  let m = Infra.Network.nb_cables network in
+  let dead = Array.make m false in
+  for c = 0 to m - 1 do
+    let cable = Infra.Network.cable network c in
+    let p =
+      Failure_model.cable_death_prob ~per_repeater:(per_repeater cable) ~spacing_km
+        cable
+    in
+    dead.(c) <- Rng.bernoulli rng ~p
+  done;
+  {
+    dead;
+    cables_failed_pct = cables_failed_pct network dead;
+    nodes_unreachable_pct = nodes_unreachable_pct network dead;
+  }
+
+let run ?(trials = 10) ~seed ~network ~spacing_km ~model () =
+  if trials <= 0 then invalid_arg "Montecarlo.run: trials <= 0";
+  if spacing_km <= 0.0 then invalid_arg "Montecarlo.run: spacing <= 0";
+  let per_repeater = Failure_model.compile model ~network in
+  let master = Rng.create seed in
+  let cables = ref [] and nodes = ref [] in
+  for _ = 1 to trials do
+    let rng = Rng.split master in
+    let r = trial rng ~network ~spacing_km ~per_repeater in
+    cables := r.cables_failed_pct :: !cables;
+    nodes := r.nodes_unreachable_pct :: !nodes
+  done;
+  let cables_mean, cables_std = Stats.mean_stddev !cables in
+  let nodes_mean, nodes_std = Stats.mean_stddev !nodes in
+  { cables_mean; cables_std; nodes_mean; nodes_std }
+
+let expected_cables_failed_pct ~network ~spacing_km ~model =
+  let per_repeater = Failure_model.compile model ~network in
+  let m = Infra.Network.nb_cables network in
+  if m = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for c = 0 to m - 1 do
+      let cable = Infra.Network.cable network c in
+      sum :=
+        !sum
+        +. Failure_model.cable_death_prob ~per_repeater:(per_repeater cable)
+             ~spacing_km cable
+    done;
+    100.0 *. !sum /. float_of_int m
+  end

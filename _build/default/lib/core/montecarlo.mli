@@ -1,0 +1,53 @@
+(** Monte-Carlo failure trials over a cable network.
+
+    The experiment unit of Figs 6–8: kill each cable independently with
+    its death probability (≥ 1 repeater failing), then measure the
+    fraction of cables failed and of nodes unreachable.  Following §4.3.1
+    of the paper, a node is unreachable when {e all} cables landing at it
+    have failed. *)
+
+type trial_result = {
+  dead : bool array;  (** per-cable death flags, indexed by cable id *)
+  cables_failed_pct : float;
+  nodes_unreachable_pct : float;
+}
+
+type series = {
+  cables_mean : float;
+  cables_std : float;
+  nodes_mean : float;
+  nodes_std : float;
+}
+(** Mean ± stddev over the trials, in percent. *)
+
+val trial :
+  Rng.t ->
+  network:Infra.Network.t ->
+  spacing_km:float ->
+  per_repeater:(Infra.Cable.t -> float) ->
+  trial_result
+(** One trial. *)
+
+val cables_failed_pct : Infra.Network.t -> bool array -> float
+
+val nodes_unreachable_pct : Infra.Network.t -> bool array -> float
+(** Percentage of {e cable-bearing} nodes whose every incident cable is
+    dead (nodes without any cable are excluded from the denominator). *)
+
+val run :
+  ?trials:int ->
+  seed:int ->
+  network:Infra.Network.t ->
+  spacing_km:float ->
+  model:Failure_model.t ->
+  unit ->
+  series
+(** [run] aggregates [trials] (default 10, as in the paper) independent
+    trials.  Deterministic in [seed].  @raise Invalid_argument if
+    [trials <= 0] or [spacing_km <= 0.]. *)
+
+val expected_cables_failed_pct :
+  network:Infra.Network.t -> spacing_km:float -> model:Failure_model.t -> float
+(** Closed-form expectation (no sampling): mean of the per-cable death
+    probabilities, in percent.  Used by tests to validate the Monte-Carlo
+    engine and by the mitigation planner. *)

@@ -1,0 +1,45 @@
+(** End-to-end storm scenarios: CME → forecast → GIC → failures.
+
+    Ties the whole pipeline together for the examples and the CLI: a CME
+    is launched, the warning timeline computed, the expected Dst mapped to
+    a disturbance, and the failure impact on one or more networks
+    evaluated with both the paper's probabilistic model (tier chosen by
+    storm class) and the physics-based GIC model. *)
+
+type impact = {
+  network : string;
+  model : Failure_model.t;
+  cables_failed_pct : float;
+  nodes_unreachable_pct : float;
+}
+
+type t = {
+  cme : Spaceweather.Cme.t;
+  dst_nt : float;
+  severity : Spaceweather.Dst.severity;
+  timeline : Spaceweather.Forecast.timeline;
+  impacts : impact list;
+}
+
+val model_for_severity : Spaceweather.Dst.severity -> Failure_model.t
+(** Paper-style tiered model matched to the storm class: S2 for
+    severe/extreme storms, S1 for Carrington-class, a mild tier below. *)
+
+val run :
+  ?trials:int ->
+  ?seed:int ->
+  ?spacing_km:float ->
+  ?use_physical:bool ->
+  cme:Spaceweather.Cme.t ->
+  networks:(string * Infra.Network.t) list ->
+  unit ->
+  t
+(** Evaluate a scenario.  With [use_physical] (default false) the
+    GIC-physical model is also run per network and appended to
+    [impacts]. *)
+
+val historical : name:string -> networks:(string * Infra.Network.t) list -> t option
+(** Scenario for a catalogued historical event ({!Spaceweather.Storm_catalog});
+    [None] when the name does not resolve. *)
+
+val pp : Format.formatter -> t -> unit

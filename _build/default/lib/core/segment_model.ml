@@ -1,0 +1,81 @@
+type comparison = {
+  cable_level_nodes_pct : float;
+  segment_level_nodes_pct : float;
+  cable_level_cables_pct : float;
+  segment_level_segments_pct : float;
+}
+
+(* Hop lengths of a cable, apportioning the stated length by great-circle
+   share. *)
+let hop_lengths network (cable : Infra.Cable.t) =
+  let landings =
+    List.map (fun l -> (l, Infra.Network.node_coord network l)) cable.Infra.Cable.landings
+  in
+  Infra.Cable.segment_lengths landings ~length_km:cable.Infra.Cable.length_km
+
+let trial_segments rng ~network ~spacing_km ~per_repeater =
+  let hops = ref [] in
+  for c = 0 to Infra.Network.nb_cables network - 1 do
+    let cable = Infra.Network.cable network c in
+    let p = per_repeater cable in
+    List.iter
+      (fun len ->
+        let n = Infra.Repeater.count_for_length ~spacing_km ~length_km:len in
+        let death = 1.0 -. ((1.0 -. p) ** float_of_int n) in
+        hops := Rng.bernoulli rng ~p:death :: !hops)
+      (hop_lengths network cable)
+  done;
+  Array.of_list (List.rev !hops)
+
+let nodes_unreachable_pct_segments network dead_hops =
+  let n = Infra.Network.nb_nodes network in
+  let has_hop = Array.make n false and has_live = Array.make n false in
+  let hop_idx = ref 0 in
+  for c = 0 to Infra.Network.nb_cables network - 1 do
+    let cable = Infra.Network.cable network c in
+    let rec walk = function
+      | a :: (b :: _ as rest) ->
+          let dead = dead_hops.(!hop_idx) in
+          incr hop_idx;
+          has_hop.(a) <- true;
+          has_hop.(b) <- true;
+          if not dead then begin
+            has_live.(a) <- true;
+            has_live.(b) <- true
+          end;
+          walk rest
+      | [ _ ] | [] -> ()
+    in
+    walk cable.Infra.Cable.landings
+  done;
+  let total = ref 0 and unreachable = ref 0 in
+  for i = 0 to n - 1 do
+    if has_hop.(i) then begin
+      incr total;
+      if not has_live.(i) then incr unreachable
+    end
+  done;
+  if !total = 0 then 0.0 else 100.0 *. float_of_int !unreachable /. float_of_int !total
+
+let compare_models ?(trials = 10) ?(seed = 83) ?(spacing_km = 150.0) ~network ~model () =
+  let per_repeater = Failure_model.compile model ~network in
+  let master = Rng.create seed in
+  let cn = ref 0.0 and sn = ref 0.0 and cc = ref 0.0 and ss = ref 0.0 in
+  for _ = 1 to trials do
+    let rng = Rng.split master in
+    let cable_trial = Montecarlo.trial rng ~network ~spacing_km ~per_repeater in
+    cn := !cn +. cable_trial.Montecarlo.nodes_unreachable_pct;
+    cc := !cc +. cable_trial.Montecarlo.cables_failed_pct;
+    let rng2 = Rng.split master in
+    let hops = trial_segments rng2 ~network ~spacing_km ~per_repeater in
+    sn := !sn +. nodes_unreachable_pct_segments network hops;
+    let failed = Array.fold_left (fun a d -> if d then a + 1 else a) 0 hops in
+    ss := !ss +. (100.0 *. float_of_int failed /. float_of_int (Int.max 1 (Array.length hops)))
+  done;
+  let t = float_of_int trials in
+  {
+    cable_level_nodes_pct = !cn /. t;
+    segment_level_nodes_pct = !sn /. t;
+    cable_level_cables_pct = !cc /. t;
+    segment_level_segments_pct = !ss /. t;
+  }

@@ -1,0 +1,40 @@
+(** Segment-level failure ablation.
+
+    The paper assumes a single repeater failure kills the {e entire}
+    multi-branch cable ("even a single repeater failure can leave all
+    parallel fibers in the cable unusable", §3.2.1).  That is pessimistic
+    for branched systems: in practice a branching unit can isolate a dead
+    segment while other branches keep working.  This ablation fails each
+    landing-to-landing hop independently (repeaters apportioned to hops by
+    great-circle share) and measures how much of the paper's headline
+    survives the assumption change. *)
+
+type comparison = {
+  cable_level_nodes_pct : float;  (** nodes unreachable, paper's model *)
+  segment_level_nodes_pct : float;  (** nodes unreachable, hop-level model *)
+  cable_level_cables_pct : float;
+  segment_level_segments_pct : float;  (** hops failed, hop-level model *)
+}
+
+val trial_segments :
+  Rng.t ->
+  network:Infra.Network.t ->
+  spacing_km:float ->
+  per_repeater:(Infra.Cable.t -> float) ->
+  bool array
+(** One hop-level trial: element [i] is the death flag of the [i]-th hop
+    in cable-major order (the edge order of
+    {!Infra.Network.to_graph}). *)
+
+val nodes_unreachable_pct_segments : Infra.Network.t -> bool array -> float
+(** A node is unreachable when every incident {e hop} is dead. *)
+
+val compare_models :
+  ?trials:int ->
+  ?seed:int ->
+  ?spacing_km:float ->
+  network:Infra.Network.t ->
+  model:Failure_model.t ->
+  unit ->
+  comparison
+(** Same failure state through both assumptions (default 10 trials). *)

@@ -1,0 +1,65 @@
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let stddev l =
+  match l with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean l in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 l
+        /. float_of_int (List.length l)
+      in
+      sqrt var
+
+let mean_stddev l = (mean l, stddev l)
+
+let percentile l ~p =
+  if l = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0, 100]";
+  let a = Array.of_list l in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+  a.(Int.max 0 (Int.min (n - 1) (rank - 1)))
+
+let median l = percentile l ~p:50.0
+
+let cdf_points l =
+  match l with
+  | [] -> []
+  | _ ->
+      let a = Array.of_list l in
+      Array.sort Float.compare a;
+      let n = Array.length a in
+      Array.to_list (Array.mapi (fun i v -> (v, float_of_int (i + 1) /. float_of_int n)) a)
+
+let cdf_at l x =
+  match l with
+  | [] -> 0.0
+  | _ ->
+      let below = List.length (List.filter (fun v -> v <= x) l) in
+      float_of_int below /. float_of_int (List.length l)
+
+let histogram l ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
+  if hi <= lo then invalid_arg "Stats.histogram: hi <= lo";
+  let counts = Array.make bins 0 in
+  List.iter
+    (fun x ->
+      let i = int_of_float ((x -. lo) /. (hi -. lo) *. float_of_int bins) in
+      let i = Int.max 0 (Int.min (bins - 1) i) in
+      counts.(i) <- counts.(i) + 1)
+    l;
+  counts
+
+let summary l =
+  match l with
+  | [] -> "n=0"
+  | _ ->
+      let m, s = mean_stddev l in
+      let sorted = List.sort Float.compare l in
+      let min_v = List.hd sorted and max_v = List.nth sorted (List.length sorted - 1) in
+      Printf.sprintf "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f max=%.3f"
+        (List.length l) m s min_v (median l) max_v

@@ -1,0 +1,30 @@
+(** Descriptive statistics for Monte-Carlo outputs and distribution
+    figures. *)
+
+val mean : float list -> float
+(** 0 for []. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for fewer than 2 samples. *)
+
+val mean_stddev : float list -> float * float
+
+val percentile : float list -> p:float -> float
+(** Nearest-rank percentile, [p] in [[0, 100]].  @raise Invalid_argument
+    on an empty list or out-of-range [p]. *)
+
+val median : float list -> float
+
+val cdf_points : float list -> (float * float) list
+(** Empirical CDF steps [(value, fraction ≤ value)], values ascending.
+    [] for []. *)
+
+val cdf_at : float list -> float -> float
+(** Fraction of samples ≤ the probe value. *)
+
+val histogram : float list -> lo:float -> hi:float -> bins:int -> int array
+(** Counts per equal-width bin; out-of-range samples clamp to the edge
+    bins.  @raise Invalid_argument if [bins <= 0] or [hi <= lo]. *)
+
+val summary : float list -> string
+(** Human-readable one-liner: mean/stddev/min/median/max. *)

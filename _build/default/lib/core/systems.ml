@@ -1,0 +1,156 @@
+type as_summary = {
+  total : int;
+  reach_above_40_pct : float;
+  median_spread_deg : float;
+  p90_spread_deg : float;
+  reach_curve : (float * float) list;
+  spread_cdf : (float * float) list;
+}
+
+let analyze_ases ases =
+  let thresholds = [ 0.; 10.; 20.; 30.; 40.; 50.; 60.; 70.; 80.; 90. ] in
+  let reach_curve =
+    List.map
+      (fun th -> (th, 100.0 *. Datasets.Caida.reach_above ases ~threshold:th))
+      thresholds
+  in
+  let spreads = Array.to_list (Array.map (fun a -> a.Datasets.Caida.spread_deg) ases) in
+  {
+    total = Array.length ases;
+    reach_above_40_pct = 100.0 *. Datasets.Caida.reach_above ases ~threshold:40.0;
+    median_spread_deg = Stats.median spreads;
+    p90_spread_deg = Stats.percentile spreads ~p:90.0;
+    reach_curve;
+    spread_cdf = Datasets.Caida.spread_cdf ases;
+  }
+
+let resilience_score weighted_lats =
+  match weighted_lats with
+  | [] -> 0.0
+  | _ ->
+      let total = List.fold_left (fun a (_, w) -> a +. w) 0.0 weighted_lats in
+      if total <= 0.0 then 0.0
+      else begin
+        let safe_share = 1.0 -. Geo.Latband.fraction_above weighted_lats ~threshold:40.0 in
+        (* Evenness: entropy of the weight over six 30-degree bands. *)
+        let bands = Array.make 6 0.0 in
+        List.iter
+          (fun (lat, w) ->
+            let i = Int.max 0 (Int.min 5 (int_of_float ((lat +. 90.0) /. 30.0))) in
+            bands.(i) <- bands.(i) +. w)
+          weighted_lats;
+        let entropy =
+          Array.fold_left
+            (fun acc b ->
+              if b <= 0.0 then acc
+              else
+                let p = b /. total in
+                acc -. (p *. log p))
+            0.0 bands
+        in
+        let evenness = entropy /. log 6.0 in
+        safe_share *. (0.5 +. (0.5 *. evenness))
+      end
+
+type dns_reachability = {
+  any_root_pct : float;
+  majority_letters_pct : float;
+  mean_letters : float;
+}
+
+let dns_reachability ?(state = Failure_model.s1) ~network instances =
+  let parts = Mitigation.predicted_partitions ~state ~network () in
+  let part_of = Hashtbl.create 1024 in
+  List.iteri (fun pid nodes -> List.iter (fun n -> Hashtbl.replace part_of n pid) nodes) parts;
+  (* Nearest landing node per instance, via the spatial index. *)
+  let index =
+    Geo.Grid_index.of_list
+      (List.init (Infra.Network.nb_nodes network) (fun i ->
+           (Infra.Network.node_coord network i, i)))
+  in
+  (* Letters present per partition. *)
+  let letters_in : (int, (char, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (inst : Datasets.Dns_roots.instance) ->
+      match Geo.Grid_index.nearest index inst.Datasets.Dns_roots.pos with
+      | None -> ()
+      | Some (_, node, _) -> (
+          match Hashtbl.find_opt part_of node with
+          | None -> ()
+          | Some pid ->
+              let tbl =
+                match Hashtbl.find_opt letters_in pid with
+                | Some t -> t
+                | None ->
+                    let t = Hashtbl.create 13 in
+                    Hashtbl.replace letters_in pid t;
+                    t
+              in
+              Hashtbl.replace tbl inst.Datasets.Dns_roots.letter ()))
+    instances;
+  let total = ref 0 and any = ref 0 and majority = ref 0 and letters = ref 0 in
+  Hashtbl.iter
+    (fun _node pid ->
+      incr total;
+      let n_letters =
+        match Hashtbl.find_opt letters_in pid with
+        | Some t -> Hashtbl.length t
+        | None -> 0
+      in
+      letters := !letters + n_letters;
+      if n_letters >= 1 then incr any;
+      if n_letters >= 7 then incr majority)
+    part_of;
+  let pct x = if !total = 0 then 0.0 else 100.0 *. float_of_int x /. float_of_int !total in
+  {
+    any_root_pct = pct !any;
+    majority_letters_pct = pct !majority;
+    mean_letters = (if !total = 0 then 0.0 else float_of_int !letters /. float_of_int !total);
+  }
+
+type dc_summary = {
+  operator : Datasets.Datacenters.operator;
+  sites : int;
+  continents : int;
+  latitude_spread_deg : float;
+  share_above_40_pct : float;
+  resilience_score : float;
+}
+
+let analyze_one_operator op =
+  let lats = Datasets.Datacenters.latitudes op in
+  {
+    operator = op;
+    sites = List.length lats;
+    continents = List.length (Datasets.Datacenters.continents_covered op);
+    latitude_spread_deg = Datasets.Datacenters.latitude_spread op;
+    share_above_40_pct = 100.0 *. Geo.Latband.fraction_above lats ~threshold:40.0;
+    resilience_score = resilience_score lats;
+  }
+
+let analyze_datacenters () =
+  [ analyze_one_operator Datasets.Datacenters.Google;
+    analyze_one_operator Datasets.Datacenters.Facebook ]
+
+type dns_summary = {
+  instances : int;
+  letters : int;
+  continents : int;
+  share_above_40_pct : float;
+  resilience_score : float;
+}
+
+let analyze_dns instances =
+  let lats = Datasets.Dns_roots.latitudes instances in
+  let letters =
+    Array.to_list instances
+    |> List.map (fun i -> i.Datasets.Dns_roots.letter)
+    |> List.sort_uniq Char.compare |> List.length
+  in
+  {
+    instances = Array.length instances;
+    letters;
+    continents = List.length (Datasets.Dns_roots.per_continent instances);
+    share_above_40_pct = 100.0 *. Geo.Latband.fraction_above lats ~threshold:40.0;
+    resilience_score = resilience_score lats;
+  }

@@ -1,0 +1,168 @@
+type demand = {
+  from_continent : Geo.Region.continent;
+  to_continent : Geo.Region.continent;
+  volume : float;
+}
+
+(* Rough continent shares of Internet demand (population-weighted with a
+   development factor). *)
+let continent_weight =
+  let open Geo.Region in
+  [ (Asia, 45.0); (Europe, 15.0); (Africa, 11.0); (North_america, 8.0);
+    (South_america, 6.0); (Oceania, 1.0) ]
+
+let gravity_demands () =
+  let pairs =
+    let rec go = function
+      | [] -> []
+      | (a, wa) :: rest ->
+          List.map (fun (b, wb) -> (a, b, wa *. wb)) rest @ go rest
+    in
+    go continent_weight
+  in
+  let total = List.fold_left (fun acc (_, _, v) -> acc +. v) 0.0 pairs in
+  List.map
+    (fun (a, b, v) ->
+      { from_continent = a; to_continent = b; volume = 100.0 *. v /. total })
+    pairs
+
+type routing = {
+  delivered_pct : float;
+  max_cable_load : float;
+  mean_cable_load : float;
+  overloaded_cables : int;
+}
+
+(* Gateway: the surviving landing station of a continent with the most
+   live cables. *)
+let gateways network ~alive_graph =
+  let best = Hashtbl.create 8 in
+  for i = 0 to Infra.Network.nb_nodes network - 1 do
+    let node = Infra.Network.node network i in
+    let k = Geo.Region.continent_of_nearest node.Infra.Network.pos in
+    let deg = Netgraph.Graph.degree alive_graph i in
+    if deg > 0 then
+      match Hashtbl.find_opt best k with
+      | Some (_, d) when d >= deg -> ()
+      | _ -> Hashtbl.replace best k (i, deg)
+  done;
+  best
+
+let baseline_max = ref None
+
+let route_internal ?dead ~network ~demands () =
+  let dead =
+    match dead with
+    | Some d -> d
+    | None -> Array.make (Infra.Network.nb_cables network) false
+  in
+  let g = Infra.Network.graph_without_cables network ~dead in
+  (* Edge ids of graph_without_cables are renumbered; rebuild with mapping
+     via to_graph-style expansion: we need cable lengths as weights, so we
+     recompute a fresh expansion with the same keep predicate. *)
+  let gw = gateways network ~alive_graph:g in
+  (* Edge weight: spread the cable's length over its hops. *)
+  let edge_weights = Hashtbl.create 1024 in
+  let edge_cable_tbl = Hashtbl.create 1024 in
+  let next_edge = ref 0 in
+  for c = 0 to Infra.Network.nb_cables network - 1 do
+    let cable = Infra.Network.cable network c in
+    if not dead.(c) then begin
+      let hops = Infra.Cable.hop_count cable in
+      let rec walk = function
+        | _ :: (_ :: _ as rest) ->
+            Hashtbl.replace edge_weights !next_edge
+              (cable.Infra.Cable.length_km /. float_of_int (Int.max 1 hops));
+            Hashtbl.replace edge_cable_tbl !next_edge c;
+            incr next_edge;
+            walk rest
+        | [ _ ] | [] -> ()
+      in
+      walk cable.Infra.Cable.landings
+    end
+  done;
+  let weight e = Option.value ~default:1.0 (Hashtbl.find_opt edge_weights e) in
+  let cable_load = Array.make (Infra.Network.nb_cables network) 0.0 in
+  let delivered = ref 0.0 and total = ref 0.0 in
+  List.iter
+    (fun d ->
+      total := !total +. d.volume;
+      match (Hashtbl.find_opt gw d.from_continent, Hashtbl.find_opt gw d.to_continent) with
+      | Some (a, _), Some (b, _) -> (
+          match Netgraph.Paths.shortest_path g ~weight a b with
+          | Some (_, path) ->
+              delivered := !delivered +. d.volume;
+              (* Charge the load to each cable along the path: recover the
+                 edge between consecutive path nodes. *)
+              let rec charge = function
+                | x :: (y :: _ as rest) ->
+                    (* Cheapest live edge between x and y. *)
+                    let best = ref None in
+                    List.iter
+                      (fun (m, eid) ->
+                        if m = y then
+                          match !best with
+                          | Some (_, w) when w <= weight eid -> ()
+                          | _ -> best := Some (eid, weight eid))
+                      (Netgraph.Graph.neighbors g x);
+                    (match !best with
+                    | Some (eid, _) -> (
+                        match Hashtbl.find_opt edge_cable_tbl eid with
+                        | Some c -> cable_load.(c) <- cable_load.(c) +. d.volume
+                        | None -> ())
+                    | None -> ());
+                    charge rest
+                | [ _ ] | [] -> ()
+              in
+              charge path
+          | None -> ())
+      | _ -> ())
+    demands;
+  let loaded = Array.to_list cable_load |> List.filter (fun l -> l > 0.0) in
+  let max_load = List.fold_left Float.max 0.0 loaded in
+  let mean_load = Stats.mean loaded in
+  let base =
+    match !baseline_max with
+    | Some b -> b
+    | None ->
+        baseline_max := Some max_load;
+        max_load
+  in
+  {
+    delivered_pct = (if !total <= 0.0 then 0.0 else 100.0 *. !delivered /. !total);
+    max_cable_load = max_load;
+    mean_cable_load = mean_load;
+    overloaded_cables =
+      List.length (List.filter (fun l -> l > 2.0 *. Float.max 1e-9 base) loaded);
+  }
+
+let route ?dead ~network ~demands () =
+  (* Reset the baseline memo when called on a healthy network so repeated
+     use stays self-consistent. *)
+  (match dead with
+  | None -> baseline_max := None
+  | Some d -> if Array.for_all not d then baseline_max := None);
+  route_internal ?dead ~network ~demands ()
+
+let storm_shift ?(trials = 10) ?(seed = 47) ?(spacing_km = 150.0) ~network ~model () =
+  let demands = gravity_demands () in
+  let baseline = route ~network ~demands () in
+  let per_repeater = Failure_model.compile model ~network in
+  let master = Rng.create seed in
+  let acc = ref [] in
+  for _ = 1 to trials do
+    let rng = Rng.split master in
+    let trial = Montecarlo.trial rng ~network ~spacing_km ~per_repeater in
+    acc := route_internal ~dead:trial.Montecarlo.dead ~network ~demands () :: !acc
+  done;
+  let avg f = Stats.mean (List.map f !acc) in
+  let after =
+    {
+      delivered_pct = avg (fun r -> r.delivered_pct);
+      max_cable_load = avg (fun r -> r.max_cable_load);
+      mean_cable_load = avg (fun r -> r.mean_cable_load);
+      overloaded_cables =
+        int_of_float (Float.round (avg (fun r -> float_of_int r.overloaded_cables)));
+    }
+  in
+  (baseline, after)

@@ -1,0 +1,47 @@
+(** Inter-continental traffic shifts after cable failures (§5.5).
+
+    The paper's example: if every New York cable dies, BGP shifts the
+    transatlantic demand onto surviving paths and may overload cables in
+    California.  This module builds a gravity-model demand matrix between
+    continents, routes it over the (surviving) submarine graph along
+    shortest paths, and measures deliverability and per-cable load. *)
+
+type demand = {
+  from_continent : Geo.Region.continent;
+  to_continent : Geo.Region.continent;
+  volume : float;  (** arbitrary units; total normalized to 100 *)
+}
+
+val gravity_demands : unit -> demand list
+(** Demand ∝ product of the continents' population shares (Antarctica
+    excluded), normalized to a total of 100 units across ordered-free
+    pairs. *)
+
+type routing = {
+  delivered_pct : float;  (** demand share with a surviving path *)
+  max_cable_load : float;  (** largest per-cable load, demand units *)
+  mean_cable_load : float;  (** over cables carrying any traffic *)
+  overloaded_cables : int;  (** cables above [overload_factor] × baseline max *)
+}
+
+val route :
+  ?dead:bool array ->
+  network:Infra.Network.t ->
+  demands:demand list ->
+  unit ->
+  routing
+(** Route each continent-pair demand along one shortest (by length) path
+    between the continents' highest-degree surviving landing stations.
+    [dead] marks failed cables (default: none).  Overload counts cables
+    whose load exceeds twice the healthy-network maximum. *)
+
+val storm_shift :
+  ?trials:int ->
+  ?seed:int ->
+  ?spacing_km:float ->
+  network:Infra.Network.t ->
+  model:Failure_model.t ->
+  unit ->
+  routing * routing
+(** [(baseline, after)] — average routing metrics over Monte-Carlo storm
+    trials. *)

@@ -1,0 +1,1 @@
+lib/datasets/datasets.ml: Caida Cities Datacenters Dns_roots Intertubes Itu Ixp Population Submarine

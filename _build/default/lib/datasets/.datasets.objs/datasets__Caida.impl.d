@@ -1,0 +1,1 @@
+lib/datasets/caida.ml: Array Cities Float Geo Int List Rng

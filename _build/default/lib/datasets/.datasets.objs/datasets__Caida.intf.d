@@ -1,0 +1,1 @@
+lib/datasets/caida.mli: Geo

@@ -1,0 +1,1 @@
+lib/datasets/cities.ml: Array Float Geo Hashtbl Lazy List Rng

@@ -1,0 +1,1 @@
+lib/datasets/cities.mli: Geo Rng

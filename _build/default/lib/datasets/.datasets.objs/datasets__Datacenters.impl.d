@@ -1,0 +1,1 @@
+lib/datasets/datacenters.ml: Float Geo Hashtbl List

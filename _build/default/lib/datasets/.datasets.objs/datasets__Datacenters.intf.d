@@ -1,0 +1,1 @@
+lib/datasets/datacenters.mli: Geo

@@ -1,0 +1,1 @@
+lib/datasets/dns_roots.ml: Array Cities Float Geo Hashtbl Int List Option Rng

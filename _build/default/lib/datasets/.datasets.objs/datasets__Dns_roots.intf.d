@@ -1,0 +1,1 @@
+lib/datasets/dns_roots.mli: Geo

@@ -1,0 +1,1 @@
+lib/datasets/intertubes.ml: Array Cities Float Geo Hashtbl Infra Int List Printf Rng

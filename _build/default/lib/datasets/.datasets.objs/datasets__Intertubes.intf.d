@@ -1,0 +1,1 @@
+lib/datasets/intertubes.mli: Infra

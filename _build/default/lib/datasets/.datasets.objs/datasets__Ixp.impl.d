@@ -1,0 +1,1 @@
+lib/datasets/ixp.ml: Array Cities Float Geo Printf Rng

@@ -1,0 +1,1 @@
+lib/datasets/population.ml: Array Float List Rng

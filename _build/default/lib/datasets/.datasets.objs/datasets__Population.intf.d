@@ -1,0 +1,1 @@
+lib/datasets/population.mli: Rng

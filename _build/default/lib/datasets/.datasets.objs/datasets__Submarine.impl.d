@@ -1,0 +1,1 @@
+lib/datasets/submarine.ml: Array Cities Float Geo Hashtbl Infra Int List Netgraph Printf Queue Rng

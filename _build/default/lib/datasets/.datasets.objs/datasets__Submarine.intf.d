@@ -1,0 +1,1 @@
+lib/datasets/submarine.mli: Infra

@@ -1,0 +1,37 @@
+(** Router and Autonomous-System geography (substitute for the CAIDA
+    Internet Topology Data Kit).
+
+    The real ITDK maps 46 million routers into 61,448 ASes; Figure 9 of
+    the paper consumes only (AS, router latitude) pairs.  We synthesize
+    every AS with a home city and a heavy-tailed latitude spread, sampling
+    a scaled-down router cloud per AS.  Calibration targets (Fig. 9):
+    57% of ASes have at least one router above |40°|; the median AS
+    latitude spread is 1.723° and the 90th percentile 18.263°; 38% of
+    routers sit above |40°|. *)
+
+type asys = {
+  asn : int;
+  home : Geo.Coord.t;
+  router_count : int;
+  router_lats : float array;  (** latitudes of the sampled routers *)
+  spread_deg : float;  (** max − min router latitude *)
+}
+
+val target_ases : int
+(** 61,448. *)
+
+val build : ?seed:int -> ?ases:int -> unit -> asys array
+(** Synthesize [ases] Autonomous Systems (default {!target_ases}).
+    Deterministic in the seed.  @raise Invalid_argument if [ases <= 0]. *)
+
+val router_latitudes : asys array -> float array
+(** All router latitudes pooled (weighted sample of the router
+    population). *)
+
+val reach_above : asys array -> threshold:float -> float
+(** Fraction of ASes with at least one router above the |latitude|
+    threshold (Fig. 9a). *)
+
+val spread_cdf : asys array -> (float * float) list
+(** [(spread, cumulative fraction)] steps of the AS-spread CDF
+    (Fig. 9b). *)

@@ -1,0 +1,18 @@
+(** Dataset substrate: synthetic-but-calibrated replacements for every
+    dataset in §4.1 of the paper (see DESIGN.md §1 for the substitution
+    table), plus the world-city gazetteer they share.
+
+    All generators are deterministic in their seed; the default seed (42)
+    is what the figure harness and EXPERIMENTS.md numbers use. *)
+
+module Cities = Cities
+module Population = Population
+module Submarine = Submarine
+module Intertubes = Intertubes
+module Itu = Itu
+module Caida = Caida
+module Dns_roots = Dns_roots
+module Ixp = Ixp
+module Datacenters = Datacenters
+
+let default_seed = 42

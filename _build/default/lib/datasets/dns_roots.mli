@@ -1,0 +1,27 @@
+(** DNS root-server instances (root-servers.org directory, 2021 snapshot
+    shape).
+
+    13 root letters, 1076 anycast instances spread over the gazetteer's
+    cities on every continent.  The per-letter instance counts follow the
+    2021 directory's proportions (D/E/F/J/L operate hundreds of sites;
+    B a handful). *)
+
+type instance = {
+  letter : char;  (** 'A'..'M' *)
+  city : string;
+  pos : Geo.Coord.t;
+}
+
+val target_instances : int
+(** 1076. *)
+
+val letter_counts : (char * int) list
+(** Instances per root letter; sums to {!target_instances}. *)
+
+val build : ?seed:int -> unit -> instance array
+
+val latitudes : instance array -> (float * float) list
+(** [(latitude, weight 1.)] pairs for the Fig. 4b threshold curve. *)
+
+val per_continent : instance array -> (Geo.Region.continent * int) list
+(** Instance counts per continent, descending. *)

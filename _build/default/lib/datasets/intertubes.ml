@@ -1,0 +1,114 @@
+let target_nodes = 273
+let target_links = 542
+let road_factor = 1.25
+
+(* Long-haul conduits concentrate on a mesh between neighbouring metros;
+   junction nodes subdivide the longest corridors, which is why most
+   Intertubes links are short (Fig. 5 of the paper). *)
+
+let build ?(seed = 42) () =
+  let rng = Rng.create seed in
+  let us_cities = Cities.in_country "United States" in
+  (* Exclude Alaska/Hawaii landing hamlets: the Intertubes map covers the
+     contiguous US. *)
+  let contiguous =
+    Array.of_list
+      (List.filter
+         (fun c ->
+           let lat = Geo.Coord.lat c.Cities.pos and lon = Geo.Coord.lon c.Cities.pos in
+           lat > 24.0 && lat < 50.0 && lon > -125.0 && lon < -66.0)
+         (Array.to_list us_cities))
+  in
+  let nodes = ref [] in
+  let n_nodes = ref 0 in
+  let add_node ~name ~pos =
+    let id = !n_nodes in
+    nodes := { Infra.Network.id; name; country = "United States"; pos } :: !nodes;
+    incr n_nodes;
+    id
+  in
+  Array.iter (fun c -> ignore (add_node ~name:c.Cities.name ~pos:c.Cities.pos)) contiguous;
+  let base_count = !n_nodes in
+  (* Junction nodes: conduit splice points clustered around the metros.
+     The real conduit system is densest across the northern tier
+     (I-80/I-90/I-94 corridors): bias the anchor metro north so that ~40%
+     of endpoints sit above 40°N, matching Fig. 4a. *)
+  while !n_nodes < target_nodes do
+    let a = Rng.choice rng contiguous in
+    let keep = Geo.Coord.lat a.Cities.pos > 38.0 || Rng.bernoulli rng ~p:0.45 in
+    if keep then begin
+      let dlat = Rng.normal rng ~mu:0.0 ~sigma:1.0 in
+      let dlon = Rng.normal rng ~mu:0.0 ~sigma:1.2 in
+      let lat =
+        Float.max 24.5 (Float.min 49.0 (Geo.Coord.lat a.Cities.pos +. dlat))
+      in
+      let lon =
+        Float.max (-124.5) (Float.min (-67.0) (Geo.Coord.lon a.Cities.pos +. dlon))
+      in
+      ignore
+        (add_node
+           ~name:(Printf.sprintf "Junction-%d" !n_nodes)
+           ~pos:(Geo.Coord.make ~lat ~lon))
+    end
+  done;
+  let node_arr = Array.of_list (List.rev !nodes) in
+  let pos_of i = node_arr.(i).Infra.Network.pos in
+  (* Links: k-nearest-neighbour mesh (k grows with metro size), plus
+     long-haul express routes between major metros. *)
+  let cables = ref [] in
+  let n_cables = ref 0 in
+  let seen_pairs = Hashtbl.create 1024 in
+  let add_link a b =
+    let key = (Int.min a b, Int.max a b) in
+    if a <> b && not (Hashtbl.mem seen_pairs key) && !n_cables < target_links then begin
+      Hashtbl.replace seen_pairs key ();
+      let gc = Geo.Distance.haversine_km (pos_of a) (pos_of b) in
+      cables :=
+        Infra.Cable.make ~id:!n_cables
+          ~name:(Printf.sprintf "us-conduit-%d" !n_cables)
+          ~kind:Infra.Cable.Land_fiber
+          ~landings:[ (a, pos_of a); (b, pos_of b) ]
+          ~length_km:(Float.max 10.0 (gc *. road_factor))
+          ()
+        :: !cables;
+      incr n_cables
+    end
+  in
+  let index =
+    Geo.Grid_index.of_list
+      (Array.to_list (Array.mapi (fun i n -> (n.Infra.Network.pos, i)) node_arr))
+  in
+  let neighbors_of i k =
+    let rec gather radius =
+      let hits =
+        Geo.Grid_index.within_km index (pos_of i) ~radius_km:radius
+        |> List.filter (fun (_, j, _) -> j <> i)
+      in
+      if List.length hits < k && radius < 6000.0 then gather (radius *. 1.8)
+      else
+        List.sort (fun (_, _, d1) (_, _, d2) -> Float.compare d1 d2) hits
+        |> List.filteri (fun idx _ -> idx < k)
+        |> List.map (fun (_, j, _) -> j)
+    in
+    gather 400.0
+  in
+  (* Pass 1: every node connects to its 1-2 nearest neighbours (short
+     metro conduits). *)
+  Array.iteri
+    (fun i _ ->
+      let k = 1 + Rng.int rng 2 in
+      List.iter (add_link i) (neighbors_of i k))
+    node_arr;
+  (* Pass 2: express long-haul routes between metros; these carry the
+     repeatered tail of the length distribution (mean ≈ 1.7 repeaters per
+     conduit at 150 km). *)
+  let metro_ids = Array.init base_count (fun i -> i) in
+  let guard = ref 0 in
+  while !n_cables < target_links && !guard < 50000 do
+    incr guard;
+    let a = Rng.choice rng metro_ids and b = Rng.choice rng metro_ids in
+    let d = Geo.Distance.haversine_km (pos_of a) (pos_of b) in
+    if d > 250.0 && d < 720.0 then add_link a b
+  done;
+  Infra.Network.create ~name:"intertubes" ~nodes:(List.rev !nodes)
+    ~cables:(List.rev !cables)

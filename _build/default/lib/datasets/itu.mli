@@ -1,0 +1,19 @@
+(** Global terrestrial fiber network (substitute for the private ITU
+    transmission map).
+
+    11,314 nodes and 11,737 fiber links.  Nodes are placed around the
+    gazetteer's cities (population-weighted within each continent);
+    links form regional chains and meshes with the short-link-dominated
+    length distribution the paper reports (most links need no repeater at
+    150 km; mean 0.63 repeaters per link at 150 km). *)
+
+val target_nodes : int
+(** 11,314. *)
+
+val target_links : int
+(** 11,737. *)
+
+val build : ?seed:int -> ?scale:float -> unit -> Infra.Network.t
+(** Deterministic synthetic ITU-style network.  [scale] (default 1.0)
+    multiplies both targets, letting tests run on a 0.1× network.
+    @raise Invalid_argument if [scale <= 0.] or [scale > 1.]. *)

@@ -1,0 +1,14 @@
+(** Internet exchange points (substitute for the PCH IXP directory).
+
+    1026 IXPs placed in gazetteer cities with the European/North-American
+    concentration of the real directory (43% above |40°|, Fig. 4b). *)
+
+type t = { name : string; city : string; pos : Geo.Coord.t }
+
+val target_count : int
+(** 1026. *)
+
+val build : ?seed:int -> unit -> t array
+
+val latitudes : t array -> (float * float) list
+(** [(latitude, weight 1.)] pairs for the Fig. 4b curve. *)

@@ -1,0 +1,1 @@
+lib/geo/geo.ml: Angle Coord Distance Geodesic Geomagnetic Grid_index Latband Projection Region

@@ -1,0 +1,1 @@
+lib/geo/coord.ml: Angle Float Format Printf String

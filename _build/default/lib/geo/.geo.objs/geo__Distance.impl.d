@@ -1,0 +1,1 @@
+lib/geo/distance.ml: Angle Coord Float

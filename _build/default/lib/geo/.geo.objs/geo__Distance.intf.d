@@ -1,0 +1,1 @@
+lib/geo/distance.mli: Coord

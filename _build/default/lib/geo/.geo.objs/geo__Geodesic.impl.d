@@ -1,0 +1,1 @@
+lib/geo/geodesic.ml: Angle Coord Distance Float Int List

@@ -1,0 +1,1 @@
+lib/geo/geodesic.mli: Coord

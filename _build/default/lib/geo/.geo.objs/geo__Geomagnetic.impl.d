@@ -1,0 +1,1 @@
+lib/geo/geomagnetic.ml: Angle Coord Distance Float

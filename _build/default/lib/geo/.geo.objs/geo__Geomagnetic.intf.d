@@ -1,0 +1,1 @@
+lib/geo/geomagnetic.mli: Coord

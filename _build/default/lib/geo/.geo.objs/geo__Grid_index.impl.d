@@ -1,0 +1,1 @@
+lib/geo/grid_index.ml: Angle Coord Distance Float Hashtbl List

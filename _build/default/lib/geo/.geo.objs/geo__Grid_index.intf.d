@@ -1,0 +1,1 @@
+lib/geo/grid_index.mli: Coord

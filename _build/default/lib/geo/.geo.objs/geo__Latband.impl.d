@@ -1,0 +1,1 @@
+lib/geo/latband.ml: Array Coord Float Int List

@@ -1,0 +1,1 @@
+lib/geo/projection.ml: Angle Coord Float Int

@@ -1,0 +1,1 @@
+lib/geo/region.ml: Array Coord Distance Float List String

@@ -1,0 +1,34 @@
+(** Great-circle distances on the WGS-84 mean sphere.
+
+    The paper measures cable lengths in kilometres; the simulator needs
+    distances accurate to a few kilometres over spans of up to 39,000 km,
+    for which a spherical model is sufficient.  {!vincenty} provides an
+    ellipsoidal reference used in the test suite to bound the spherical
+    error. *)
+
+val earth_radius_km : float
+(** Mean Earth radius (6371.0088 km). *)
+
+val haversine_km : Coord.t -> Coord.t -> float
+(** Great-circle distance via the haversine formula.  Numerically stable
+    for antipodal and for very close points. *)
+
+val equirectangular_km : Coord.t -> Coord.t -> float
+(** Fast flat-earth approximation; adequate below ~100 km separation.
+    Used by the spatial index for candidate pruning only. *)
+
+val vincenty_km : ?max_iter:int -> Coord.t -> Coord.t -> float
+(** Vincenty inverse formula on the WGS-84 ellipsoid.  Falls back to
+    {!haversine_km} when the iteration fails to converge (nearly antipodal
+    points). *)
+
+val central_angle_rad : Coord.t -> Coord.t -> float
+(** Central angle between two points, radians. *)
+
+val path_length_km : Coord.t list -> float
+(** Sum of haversine hop lengths along a polyline.  [0.] for lists of
+    fewer than two points. *)
+
+val initial_bearing_deg : Coord.t -> Coord.t -> float
+(** Forward azimuth from the first point towards the second, degrees in
+    [[0, 360)]. *)

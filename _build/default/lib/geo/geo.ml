@@ -1,0 +1,17 @@
+(** Geospatial substrate: coordinates, distances, geodesics, geomagnetic
+    latitude, latitude banding, coarse regions, spatial indexing and map
+    projections.
+
+    This library replaces the GIS tooling the paper relied on (shapefiles,
+    Google Maps API): everything downstream consumes only these
+    primitives. *)
+
+module Angle = Angle
+module Coord = Coord
+module Distance = Distance
+module Geodesic = Geodesic
+module Geomagnetic = Geomagnetic
+module Latband = Latband
+module Region = Region
+module Grid_index = Grid_index
+module Projection = Projection

@@ -1,0 +1,24 @@
+(** Geomagnetic (dipole) latitude.
+
+    GIC intensity correlates with {e geomagnetic} rather than geographic
+    latitude: the auroral electrojets are organized around the geomagnetic
+    pole.  We use the centred-dipole approximation with the IGRF-13 (2020)
+    north geomagnetic pole at 80.65°N, 72.68°W.  The paper's thresholds
+    (40°, 60°) are geographic; this module supports the physics-based GIC
+    extension and the sensitivity analyses. *)
+
+val north_pole : Coord.t
+(** IGRF-13 2020 centred-dipole north pole. *)
+
+val dipole_latitude : Coord.t -> float
+(** [dipole_latitude c] is the geomagnetic latitude of [c] in degrees
+    ([[-90, 90]]), positive towards the geomagnetic north pole. *)
+
+val dipole_colatitude : Coord.t -> float
+(** [90. -. |dipole_latitude c|]: angular distance to the nearer
+    geomagnetic pole. *)
+
+val l_shell : Coord.t -> float
+(** McIlwain L-parameter of the dipole field line through [c] at the
+    surface: [L = 1 / cos²(dipole latitude)].  Diverges towards the poles;
+    capped at 1000. *)

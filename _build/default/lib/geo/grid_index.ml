@@ -1,0 +1,109 @@
+type 'a entry = { pos : Coord.t; value : 'a }
+
+type 'a t = {
+  cell_deg : float;
+  cells : (int * int, 'a entry list ref) Hashtbl.t;
+  mutable count : int;
+}
+
+let create ?(cell_deg = 5.0) () =
+  if cell_deg <= 0.0 || cell_deg > 90.0 then
+    invalid_arg "Grid_index.create: cell_deg out of (0, 90]";
+  { cell_deg; cells = Hashtbl.create 256; count = 0 }
+
+let key t c =
+  let lat_i = int_of_float (Float.floor ((Coord.lat c +. 90.0) /. t.cell_deg)) in
+  let lon_i = int_of_float (Float.floor ((Coord.lon c +. 180.0) /. t.cell_deg)) in
+  (lat_i, lon_i)
+
+let lon_cells t = int_of_float (Float.ceil (360.0 /. t.cell_deg))
+let lat_cells t = int_of_float (Float.ceil (180.0 /. t.cell_deg))
+
+let add t pos value =
+  let k = key t pos in
+  (match Hashtbl.find_opt t.cells k with
+  | Some l -> l := { pos; value } :: !l
+  | None -> Hashtbl.add t.cells k (ref [ { pos; value } ]));
+  t.count <- t.count + 1
+
+let of_list ?cell_deg entries =
+  let t = create ?cell_deg () in
+  List.iter (fun (pos, v) -> add t pos v) entries;
+  t
+
+let size t = t.count
+
+(* Cells whose bounding box might intersect a circle of [radius_km] around
+   [c].  Longitude span widens with latitude; near the poles we scan the
+   whole ring. *)
+let candidate_cells t c radius_km =
+  let lat0, lon0 = key t c in
+  let deg_per_km_lat = 1.0 /. 111.19 in
+  let dlat_cells =
+    1 + int_of_float (Float.ceil (radius_km *. deg_per_km_lat /. t.cell_deg))
+  in
+  let nlon = lon_cells t and nlat = lat_cells t in
+  let cells = ref [] in
+  for di = -dlat_cells to dlat_cells do
+    let lat_i = lat0 + di in
+    if lat_i >= 0 && lat_i < nlat then begin
+      (* Use the band edge closest to a pole: longitude cells shrink
+         towards the poles, and a polar band must be scanned in full. *)
+      let edge1 = Float.abs ((float_of_int lat_i *. t.cell_deg) -. 90.0) in
+      let edge2 = Float.abs ((float_of_int (lat_i + 1) *. t.cell_deg) -. 90.0) in
+      let band_lat = Float.max edge1 edge2 in
+      let cos_lat = Float.max 0.01 (cos (Angle.deg_to_rad band_lat)) in
+      let dlon_cells =
+        1 + int_of_float (Float.ceil (radius_km *. deg_per_km_lat /. cos_lat /. t.cell_deg))
+      in
+      if band_lat >= 89.0 || 2 * dlon_cells + 1 >= nlon then
+        for lon_i = 0 to nlon - 1 do
+          cells := (lat_i, lon_i) :: !cells
+        done
+      else
+        for dj = -dlon_cells to dlon_cells do
+          let lon_i = ((lon0 + dj) mod nlon + nlon) mod nlon in
+          cells := (lat_i, lon_i) :: !cells
+        done
+    end
+  done;
+  !cells
+
+let within_km t c ~radius_km =
+  if radius_km < 0.0 then invalid_arg "Grid_index.within_km: negative radius";
+  let acc = ref [] in
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt t.cells k with
+      | None -> ()
+      | Some l ->
+          List.iter
+            (fun e ->
+              let d = Distance.haversine_km c e.pos in
+              if d <= radius_km then acc := (e.pos, e.value, d) :: !acc)
+            !l)
+    (candidate_cells t c radius_km);
+  !acc
+
+let nearest t c =
+  if t.count = 0 then None
+  else
+    (* Expanding-ring search: double the radius until something is found;
+       cap at half the Earth's circumference, where the scan is global. *)
+    let rec search radius =
+      match within_km t c ~radius_km:radius with
+      | [] when radius < 21000.0 -> search (radius *. 2.0)
+      | [] -> None
+      | hits ->
+          Some
+            (List.fold_left
+               (fun ((_, _, dbest) as best) ((_, _, d) as hit) ->
+                 if d < dbest then hit else best)
+               (List.hd hits) (List.tl hits))
+    in
+    search 250.0
+
+let fold t ~init ~f =
+  Hashtbl.fold
+    (fun _ l acc -> List.fold_left (fun acc e -> f acc e.pos e.value) acc !l)
+    t.cells init

@@ -1,0 +1,29 @@
+(** Spatial index over geographic points.
+
+    A fixed-resolution latitude/longitude grid bucketing values by cell.
+    Lookups scan the cells overlapped by the query radius; with the default
+    5° cells this turns nearest-neighbour queries over tens of thousands of
+    points into a handful of bucket scans.  Used by the dataset generators
+    (snap synthetic nodes to cities) and by the mitigation planner. *)
+
+type 'a t
+
+val create : ?cell_deg:float -> unit -> 'a t
+(** Fresh empty index.  @raise Invalid_argument if [cell_deg <= 0.] or
+    [cell_deg > 90.]. *)
+
+val add : 'a t -> Coord.t -> 'a -> unit
+
+val of_list : ?cell_deg:float -> (Coord.t * 'a) list -> 'a t
+
+val size : 'a t -> int
+(** Number of stored entries. *)
+
+val within_km : 'a t -> Coord.t -> radius_km:float -> (Coord.t * 'a * float) list
+(** All entries within [radius_km] of the query point, with their distance,
+    unsorted.  @raise Invalid_argument if [radius_km < 0.]. *)
+
+val nearest : 'a t -> Coord.t -> (Coord.t * 'a * float) option
+(** Closest entry to the query point, or [None] on an empty index. *)
+
+val fold : 'a t -> init:'b -> f:('b -> Coord.t -> 'a -> 'b) -> 'b

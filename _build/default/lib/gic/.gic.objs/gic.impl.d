@@ -1,0 +1,1 @@
+lib/gic/gic.ml: Conductivity Disturbance Efield Induced Time_series

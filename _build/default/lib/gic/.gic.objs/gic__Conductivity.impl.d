@@ -1,0 +1,1 @@
+lib/gic/conductivity.ml: Complex Float Geo List

@@ -1,0 +1,1 @@
+lib/gic/conductivity.mli: Complex Geo

@@ -1,0 +1,1 @@
+lib/gic/disturbance.ml: Float Geo Spaceweather

@@ -1,0 +1,1 @@
+lib/gic/disturbance.mli: Geo Spaceweather

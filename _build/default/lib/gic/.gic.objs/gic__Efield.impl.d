@@ -1,0 +1,1 @@
+lib/gic/efield.ml: Conductivity Disturbance Float Geo

@@ -1,0 +1,1 @@
+lib/gic/efield.mli: Conductivity Disturbance Geo

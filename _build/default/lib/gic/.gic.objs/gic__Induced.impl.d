@@ -1,0 +1,1 @@
+lib/gic/induced.ml: Efield Float Geo List

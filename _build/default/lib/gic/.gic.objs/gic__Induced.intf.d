@@ -1,0 +1,1 @@
+lib/gic/induced.mli: Disturbance Geo

@@ -1,0 +1,1 @@
+lib/gic/time_series.mli: Disturbance

@@ -1,0 +1,30 @@
+(** Geoelectric field from the plane-wave method.
+
+    [E = Z(ω) · H] with [H = ΔB / μ0]: the standard engineering
+    approximation for GIC studies (Pulkkinen et al. 2012).  Combines the
+    disturbance model (field amplitude by location and storm) with the
+    layered-earth impedance (by terrain). *)
+
+val amplitude_v_per_km : Disturbance.storm -> Geo.Coord.t -> float
+(** Geoelectric-field amplitude at a location for a storm, in V/km, using
+    {!Conductivity.profile_for} for the local ground. *)
+
+val amplitude_with_profile :
+  Disturbance.storm -> Conductivity.profile -> Geo.Coord.t -> float
+(** Same with an explicit conductivity profile. *)
+
+val benchmark_100yr_v_per_km : float
+(** Pulkkinen et al. 2012 reference: ≈ 5 V/km at 60° geomagnetic latitude
+    for the 100-year scenario on resistive ground; used to sanity-check the
+    model in tests. *)
+
+val segment_voltage :
+  Disturbance.storm -> Geo.Coord.t -> Geo.Coord.t -> float
+(** Expected magnitude of the induced EMF along the great-circle segment
+    between two points, volts.  Uses the mid-point field amplitude, the
+    segment length, and the mean projection factor [2/π] for a uniformly
+    random field direction (the paper notes CME-driven fields have no
+    directional preference, §3.1(iv)). *)
+
+val projection_factor_mean : float
+(** E[|cos θ|] for uniformly random θ: [2/π]. *)

@@ -1,0 +1,13 @@
+(** Geomagnetically-induced-current substrate (§3 of the paper).
+
+    Pipeline: a storm (Dst) expands the auroral disturbance equatorward
+    ({!Disturbance}); the local field variation drives a geoelectric field
+    through the layered-earth impedance ({!Conductivity}, {!Efield}); the
+    field integrated between a cable's grounding points yields the
+    quasi-DC current through its power-feeding line ({!Induced}). *)
+
+module Conductivity = Conductivity
+module Disturbance = Disturbance
+module Efield = Efield
+module Induced = Induced
+module Time_series = Time_series

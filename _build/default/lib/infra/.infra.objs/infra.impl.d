@@ -1,0 +1,1 @@
+lib/infra/infra.ml: Cable Exposure Grounding Network Power_feed Repeater

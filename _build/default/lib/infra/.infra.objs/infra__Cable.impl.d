@@ -1,0 +1,1 @@
+lib/infra/cable.ml: Float Geo Int List Repeater

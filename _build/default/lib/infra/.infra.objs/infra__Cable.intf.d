@@ -1,0 +1,1 @@
+lib/infra/cable.mli: Geo

@@ -1,0 +1,1 @@
+lib/infra/exposure.ml: Array Cable Float Geo Gic Grounding List Network

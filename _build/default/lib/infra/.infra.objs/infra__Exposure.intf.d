@@ -1,0 +1,1 @@
+lib/infra/exposure.mli: Cable Gic Network

@@ -1,0 +1,1 @@
+lib/infra/grounding.ml: Int List

@@ -1,0 +1,1 @@
+lib/infra/network.ml: Array Cable Format Geo Hashtbl Int List Netgraph Printf

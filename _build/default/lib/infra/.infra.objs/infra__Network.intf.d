@@ -1,0 +1,1 @@
+lib/infra/network.mli: Cable Format Geo Netgraph

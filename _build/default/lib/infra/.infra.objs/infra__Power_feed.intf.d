@@ -1,0 +1,1 @@
+lib/infra/power_feed.mli:

@@ -1,0 +1,1 @@
+lib/infra/repeater.ml: Float Geo Int

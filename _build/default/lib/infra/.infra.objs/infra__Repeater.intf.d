@@ -1,0 +1,1 @@
+lib/infra/repeater.mli: Geo

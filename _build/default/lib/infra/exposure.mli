@@ -1,0 +1,36 @@
+(** Physics-based GIC exposure of a concrete cable in a network.
+
+    Bridges the infrastructure model to the [Gic] library: reconstructs
+    the cable's great-circle route from its landing chain, places the
+    grounding points, and computes the peak quasi-DC current through the
+    power-feeding line for a given storm.  This is the model extension
+    that replaces the paper's purely probabilistic repeater-failure knob
+    in the physics ablation (DESIGN.md §3). *)
+
+type t = {
+  cable_id : int;
+  peak_gic_a : float;
+  stress_ratio : float;  (** peak GIC / 1 A operating current *)
+  worst_section_km : float * float;  (** chainage range of the worst section *)
+}
+
+val of_cable :
+  ?interval_km:float ->
+  storm:Gic.Disturbance.storm ->
+  network:Network.t ->
+  Cable.t ->
+  t
+(** Exposure of one cable under a storm. *)
+
+val failure_probability : ?scale_a:float -> t -> float
+(** Maps a stress ratio to a per-repeater failure probability through a
+    saturating exponential: [1 - exp (-peak_gic / scale_a)].  [scale_a]
+    defaults to 30 A (repeaters survive small GIC; a 100 A Carrington-class
+    surge is near-certain destruction). *)
+
+val network_exposures :
+  ?interval_km:float ->
+  storm:Gic.Disturbance.storm ->
+  Network.t ->
+  t array
+(** Exposure of every cable, indexed by cable id. *)

@@ -1,0 +1,9 @@
+(** Physical Internet-infrastructure substrate (§3.2): cables, repeaters,
+    power feeding, grounding, whole networks and their GIC exposure. *)
+
+module Repeater = Repeater
+module Power_feed = Power_feed
+module Cable = Cable
+module Grounding = Grounding
+module Network = Network
+module Exposure = Exposure

@@ -1,0 +1,59 @@
+(** A physical cable network: named nodes with coordinates plus cables.
+
+    This is the object the Monte-Carlo failure simulator and the figure
+    harness consume.  Conversion to a {!Netgraph.Graph.t} expands each
+    cable's landing chain into consecutive edges that all carry the
+    cable's identity, so killing a cable removes every edge it
+    contributes. *)
+
+type node = {
+  id : int;
+  name : string;
+  country : string;
+  pos : Geo.Coord.t;
+}
+
+type t = private {
+  name : string;
+  nodes : node array;  (** indexed by node id *)
+  cables : Cable.t array;
+}
+
+val create : name:string -> nodes:node list -> cables:Cable.t list -> t
+(** @raise Invalid_argument if node ids are not exactly [0 .. n-1], cable
+    ids are not exactly [0 .. m-1], or a cable references an unknown
+    node. *)
+
+val node : t -> int -> node
+val cable : t -> int -> Cable.t
+val nb_nodes : t -> int
+val nb_cables : t -> int
+
+val node_coord : t -> int -> Geo.Coord.t
+
+val cables_at : t -> int -> Cable.t list
+(** Cables with a landing at the node. *)
+
+val to_graph : t -> Netgraph.Graph.t * (int -> int)
+(** The connectivity graph and the edge-id → cable-id mapping. *)
+
+val graph_without_cables : t -> dead:bool array -> Netgraph.Graph.t
+(** Connectivity graph restricted to cables whose [dead] flag is false.
+    @raise Invalid_argument if [dead] length differs from [nb_cables]. *)
+
+val cable_lengths : t -> float list
+(** All cable lengths, km (Fig. 5 input). *)
+
+val endpoint_latitudes : t -> (float * float) list
+(** [(latitude, weight 1.)] for every node that has at least one cable
+    landing — the "endpoints" of Figs 3–4. *)
+
+val one_hop_endpoints : t -> threshold:float -> int list
+(** Nodes at or below the |latitude| threshold that have a direct cable to
+    a node above it (the "one-hop endpoints" of Fig. 4a). *)
+
+val mean_repeaters_per_cable : t -> spacing_km:float -> float
+
+val cables_without_repeaters : t -> spacing_km:float -> int
+
+val pp_summary : Format.formatter -> t -> unit

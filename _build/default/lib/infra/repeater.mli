@@ -1,0 +1,33 @@
+(** Optical repeaters on long-haul cables (§3.2.1).
+
+    Repeaters are fed in series at ≈ 1 A over the power-feeding conductor
+    and spaced 50–150 km apart in practical deployments.  GIC during a
+    superstorm can reach ~100× the operating current, which is the damage
+    mechanism the paper's failure models abstract. *)
+
+type spec = {
+  spacing_km : float;  (** inter-repeater distance *)
+  operating_current_a : float;  (** nominal feed current, ≈ 1 A *)
+  damage_current_a : float;  (** quasi-DC current that destroys the unit *)
+  lifetime_years : float;  (** design lifetime (25 y, §3.2.2) *)
+}
+
+val default : spacing_km:float -> spec
+(** Spec with the paper's nominal electrical figures at the given spacing.
+    @raise Invalid_argument if [spacing_km <= 0.]. *)
+
+val paper_spacings_km : float list
+(** The three spacings swept in Figs 6–8: [[50.; 100.; 150.]]. *)
+
+val count_for_length : spacing_km:float -> length_km:float -> int
+(** Number of repeaters a cable of the given length needs: one per full
+    [spacing_km] of length, none for cables at or below one spacing
+    (matching the paper: 82/441 submarine cables need none at 150 km).
+    @raise Invalid_argument on non-positive spacing or negative length. *)
+
+val positions_for_path : spacing_km:float -> Geo.Coord.t list -> (float * Geo.Coord.t) list
+(** Chainage and location of each repeater along a concrete path. *)
+
+val damaged_by : spec -> gic_a:float -> bool
+(** Whether a quasi-DC current of [gic_a] amperes exceeds the damage
+    threshold. *)

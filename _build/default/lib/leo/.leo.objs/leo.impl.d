@@ -1,0 +1,1 @@
+lib/leo/leo.ml: Atmosphere Constellation Decay Orbit Storm_impact

@@ -1,0 +1,1 @@
+lib/leo/atmosphere.mli:

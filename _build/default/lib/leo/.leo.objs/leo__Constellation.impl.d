@@ -1,0 +1,1 @@
+lib/leo/constellation.ml: Float Geo List Orbit

@@ -1,0 +1,1 @@
+lib/leo/constellation.mli:

@@ -1,0 +1,1 @@
+lib/leo/decay.ml: Atmosphere Float Orbit

@@ -1,0 +1,1 @@
+lib/leo/orbit.mli:

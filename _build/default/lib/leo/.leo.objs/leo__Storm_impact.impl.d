@@ -1,0 +1,1 @@
+lib/leo/storm_impact.ml: Atmosphere Constellation Decay Float Format List Option Orbit

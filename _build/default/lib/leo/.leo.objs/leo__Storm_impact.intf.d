@@ -1,0 +1,1 @@
+lib/leo/storm_impact.mli: Constellation Decay Format

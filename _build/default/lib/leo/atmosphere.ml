@@ -1,0 +1,28 @@
+type conditions = { dst_nt : float }
+
+let quiet = { dst_nt = 0.0 }
+
+let of_storm dst =
+  if dst > 0.0 then invalid_arg "Atmosphere.of_storm: Dst must be <= 0";
+  { dst_nt = dst }
+
+(* Anchor at 200 km; base density and exospheric temperature rise with
+   storm strength (Joule heating at auroral latitudes mixes globally in
+   hours). *)
+let anchor_alt_km = 200.0
+let anchor_density_quiet = 2.5e-10 (* kg/m^3 *)
+
+let exospheric_temperature_k c =
+  Float.min 2100.0 (900.0 +. (0.6 *. Float.abs c.dst_nt))
+
+let scale_height_km c = 8.0 +. (0.045 *. exospheric_temperature_k c)
+
+let base_density c = anchor_density_quiet *. (1.0 +. (0.004 *. Float.abs c.dst_nt))
+
+let density_kg_m3 c ~alt_km =
+  if alt_km <= 0.0 then invalid_arg "Atmosphere.density_kg_m3: altitude <= 0";
+  let alt = Float.max 150.0 (Float.min 1500.0 alt_km) in
+  base_density c *. exp (-.(alt -. anchor_alt_km) /. scale_height_km c)
+
+let enhancement c ~alt_km =
+  Float.max 1.0 (density_kg_m3 c ~alt_km /. density_kg_m3 quiet ~alt_km)

@@ -1,0 +1,10 @@
+(** LEO satellite substrate — the paper's §3.3/§5.1 future-work item
+    ("study the impact of solar superstorms on satellite Internet
+    constellations"): orbital mechanics, storm-heated thermosphere,
+    drag decay, Walker constellations and storm-impact assessment. *)
+
+module Orbit = Orbit
+module Atmosphere = Atmosphere
+module Decay = Decay
+module Constellation = Constellation
+module Storm_impact = Storm_impact

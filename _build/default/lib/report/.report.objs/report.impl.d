@@ -1,0 +1,1 @@
+lib/report/report.ml: Ascii_plot Csv Figures Markdown Table Worldmap

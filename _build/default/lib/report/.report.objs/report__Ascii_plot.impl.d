@@ -1,0 +1,1 @@
+lib/report/ascii_plot.ml: Array Buffer Float Int List Printf String

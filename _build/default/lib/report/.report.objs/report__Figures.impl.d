@@ -1,0 +1,1 @@
+lib/report/figures.ml: Array Ascii_plot Buffer Cme Datasets Float Format Infra Int Interdomain Leo List Mitigation Printf Probability Spaceweather Stormsim String Table Worldmap

@@ -1,0 +1,1 @@
+lib/report/figures.mli: Datasets Infra

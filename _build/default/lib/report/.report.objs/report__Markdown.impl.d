@@ -1,0 +1,1 @@
+lib/report/markdown.ml: Buffer Csv List Printf String

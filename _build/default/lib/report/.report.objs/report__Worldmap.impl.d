@@ -1,0 +1,1 @@
+lib/report/worldmap.ml: Array Buffer Geo Infra Int List String

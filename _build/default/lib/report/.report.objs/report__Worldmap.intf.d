@@ -1,0 +1,1 @@
+lib/report/worldmap.mli: Geo Infra

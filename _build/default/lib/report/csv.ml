@@ -1,0 +1,29 @@
+let escape field =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field
+  in
+  if not needs_quote then field
+  else begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let of_rows ~header rows =
+  let line cells = String.concat "," (List.map escape cells) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let of_series ~header:(hx, hy) points =
+  of_rows ~header:[ hx; hy ]
+    (List.map (fun (x, y) -> [ Printf.sprintf "%g" x; Printf.sprintf "%g" y ]) points)
+
+let write_file ~path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)

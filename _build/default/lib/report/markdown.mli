@@ -1,0 +1,19 @@
+(** Markdown export of the figure harness.
+
+    `solarstorm figures --markdown results.md` emits one fenced section
+    per figure so results can be committed/diffed alongside the paper
+    comparison in EXPERIMENTS.md. *)
+
+val escape_heading : string -> string
+(** Strips newlines/backticks from text used in headings. *)
+
+val section : title:string -> body:string -> string
+(** A [##] heading followed by the body in a fenced code block (the
+    harness output is preformatted ASCII). *)
+
+val document : title:string -> intro:string -> (string * string) list -> string
+(** Full document from [(figure id, text)] pairs. *)
+
+val write_results :
+  path:string -> ?title:string -> ?intro:string -> (string * string) list -> unit
+(** Render and write to a file.  @raise Sys_error on unwritable paths. *)

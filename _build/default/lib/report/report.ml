@@ -1,0 +1,9 @@
+(** Reporting substrate: plain-text tables, ASCII plots and world maps,
+    CSV export, and the per-figure regeneration harness ({!Figures}). *)
+
+module Table = Table
+module Ascii_plot = Ascii_plot
+module Worldmap = Worldmap
+module Csv = Csv
+module Markdown = Markdown
+module Figures = Figures

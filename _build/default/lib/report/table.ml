@@ -1,0 +1,43 @@
+let looks_numeric s =
+  s <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = '%') s
+
+let render ?(header = []) rows =
+  let all = if header = [] then rows else header :: rows in
+  let ncols = List.fold_left (fun m r -> Int.max m (List.length r)) 0 all in
+  if ncols = 0 then ""
+  else begin
+    let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+    let widths =
+      Array.init ncols (fun i ->
+          List.fold_left (fun m r -> Int.max m (String.length (cell r i))) 0 all)
+    in
+    let line row =
+      String.concat "  "
+        (List.init ncols (fun i ->
+             let c = cell row i in
+             let pad = widths.(i) - String.length c in
+             if looks_numeric c && i > 0 then String.make pad ' ' ^ c
+             else c ^ String.make pad ' '))
+      |> fun s -> String.trim s |> fun t -> if t = "" then s else
+        (* keep trailing alignment but drop line-end spaces *)
+        let rec rstrip n = if n > 0 && s.[n - 1] = ' ' then rstrip (n - 1) else n in
+        String.sub s 0 (rstrip (String.length s))
+    in
+    let buf = Buffer.create 256 in
+    if header <> [] then begin
+      Buffer.add_string buf (line header);
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (Array.fold_left ( + ) (2 * (ncols - 1)) widths) '-');
+      Buffer.add_char buf '\n'
+    end;
+    List.iter
+      (fun r ->
+        Buffer.add_string buf (line r);
+        Buffer.add_char buf '\n')
+      rows;
+    Buffer.contents buf
+  end
+
+let render_floats ?header ?(fmt = Printf.sprintf "%.2f") rows =
+  render ?header (List.map (fun (label, vs) -> label :: List.map fmt vs) rows)

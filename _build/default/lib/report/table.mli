@@ -1,0 +1,10 @@
+(** Plain-text tables for the figure harness and the CLI. *)
+
+val render : ?header:string list -> string list list -> string
+(** [render ?header rows] aligns columns (left for text, right for
+    numeric-looking cells) with a separator line under the header.  Rows
+    may have differing lengths; missing cells render empty. *)
+
+val render_floats :
+  ?header:string list -> ?fmt:(float -> string) -> (string * float list) list -> string
+(** [(label, values)] rows; default float format ["%.2f"]. *)

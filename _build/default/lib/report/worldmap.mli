@@ -1,0 +1,17 @@
+(** ASCII world maps (Figures 1 and 2 style).
+
+    Renders a coastline background from the [Geo.Region] polygons, then
+    overlays point layers (IXPs, data centers, landing stations) and
+    great-circle cable arcs. *)
+
+type layer =
+  | Points of char * Geo.Coord.t list
+  | Arcs of char * (Geo.Coord.t * Geo.Coord.t) list
+
+val render :
+  ?width:int -> ?height:int -> ?bounds:float * float * float * float -> layer list -> string
+(** Later layers draw over earlier ones.  [bounds] as in
+    {!Geo.Projection.equirectangular}. *)
+
+val network_layers : ?cable_glyph:char -> ?node_glyph:char -> Infra.Network.t -> layer list
+(** Cable arcs (hop by hop) under landing-point markers. *)

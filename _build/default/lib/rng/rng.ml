@@ -1,0 +1,109 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let split t = { state = next_int64 t }
+
+let copy t = { state = t.state }
+
+let next_float53 t =
+  (* 53 random bits into [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Rejection-free for our purposes: bounds here are far below 2^53. *)
+  int_of_float (next_float53 t *. float_of_int bound)
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound = next_float53 t *. bound
+
+let uniform t lo hi = lo +. (next_float53 t *. (hi -. lo))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t ~p =
+  let p = Float.max 0.0 (Float.min 1.0 p) in
+  next_float53 t < p
+
+let normal t ~mu ~sigma =
+  let rec draw () =
+    let u1 = next_float53 t in
+    if u1 <= 1e-300 then draw ()
+    else
+      let u2 = next_float53 t in
+      mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+  in
+  draw ()
+
+let lognormal t ~mu ~sigma = exp (normal t ~mu ~sigma)
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate <= 0";
+  let rec draw () =
+    let u = next_float53 t in
+    if u <= 1e-300 then draw () else -.log u /. rate
+  in
+  draw ()
+
+let pareto t ~xmin ~alpha =
+  if xmin <= 0.0 then invalid_arg "Rng.pareto: xmin <= 0";
+  if alpha <= 0.0 then invalid_arg "Rng.pareto: alpha <= 0";
+  let rec draw () =
+    let u = next_float53 t in
+    if u <= 1e-300 then draw () else xmin /. (u ** (1.0 /. alpha))
+  in
+  draw ()
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Rng.choice: empty array";
+  a.(int t (Array.length a))
+
+let weighted_choice t a =
+  if Array.length a = 0 then invalid_arg "Rng.weighted_choice: empty array";
+  let total =
+    Array.fold_left
+      (fun acc (_, w) ->
+        if w < 0.0 then invalid_arg "Rng.weighted_choice: negative weight";
+        acc +. w)
+      0.0 a
+  in
+  if total <= 0.0 then invalid_arg "Rng.weighted_choice: all-zero weights";
+  let x = float t total in
+  let rec scan i acc =
+    if i = Array.length a - 1 then fst a.(i)
+    else
+      let acc = acc +. snd a.(i) in
+      if x < acc then fst a.(i) else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t a ~k =
+  let n = Array.length a in
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement: bad k";
+  let idx = Array.init n (fun i -> i) in
+  shuffle t idx;
+  List.init k (fun i -> a.(idx.(i)))

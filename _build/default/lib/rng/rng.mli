@@ -1,0 +1,64 @@
+(** Deterministic splittable pseudo-random numbers (SplitMix64).
+
+    Every stochastic component (dataset synthesis, Monte-Carlo failure
+    trials) draws from this generator so that experiments are reproducible
+    bit-for-bit from a seed, independent of the OCaml stdlib [Random]
+    state and of evaluation order across modules. *)
+
+type t
+
+val create : int -> t
+(** Generator seeded from an integer. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) the parent.
+    Used to give each Monte-Carlo trial / dataset component its own
+    stream. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] in [[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] inclusive of both bounds.  @raise Invalid_argument if
+    [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] uniform in [[0, bound)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] uniform in [[lo, hi)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> p:float -> bool
+(** True with probability [p] (clamped to [[0, 1]]). *)
+
+val normal : t -> mu:float -> sigma:float -> float
+(** Gaussian (Box–Muller). *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** [exp (normal mu sigma)]. *)
+
+val exponential : t -> rate:float -> float
+(** @raise Invalid_argument if [rate <= 0.]. *)
+
+val pareto : t -> xmin:float -> alpha:float -> float
+(** Pareto-distributed value ≥ xmin with density exponent alpha.
+    @raise Invalid_argument if [xmin <= 0.] or [alpha <= 0.]. *)
+
+val choice : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)
+
+val weighted_choice : t -> ('a * float) array -> 'a
+(** Weights must be non-negative and not all zero.
+    @raise Invalid_argument otherwise. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val sample_without_replacement : t -> 'a array -> k:int -> 'a list
+(** [k] distinct elements.  @raise Invalid_argument if [k] exceeds the
+    array length or is negative. *)

@@ -1,0 +1,1 @@
+lib/routing/interdomain.ml: As_topology Bgp Storm

@@ -1,0 +1,1 @@
+lib/routing/as_topology.ml: Array Datasets Geo Int List Queue Rng

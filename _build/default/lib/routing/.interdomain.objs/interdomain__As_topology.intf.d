@@ -1,0 +1,1 @@
+lib/routing/as_topology.mli:

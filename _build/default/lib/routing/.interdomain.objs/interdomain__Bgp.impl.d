@@ -1,0 +1,1 @@
+lib/routing/bgp.ml: Array As_topology List Queue

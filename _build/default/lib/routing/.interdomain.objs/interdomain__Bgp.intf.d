@@ -1,0 +1,1 @@
+lib/routing/bgp.mli: As_topology

@@ -1,0 +1,1 @@
+lib/routing/storm.ml: Array As_topology Bgp Float List Rng

@@ -1,0 +1,1 @@
+lib/routing/storm.mli: As_topology Rng

@@ -1,0 +1,115 @@
+let all_alive (t : As_topology.t) = Array.make t.As_topology.n true
+
+(* Phase-layered BFS.  Phases: 0 = ascending (may still go up), 1 = just
+   crossed the one allowed peer link, 2 = descending.  Transitions from
+   (x, 0): provider (0), peer (1), customer (2); from (x, 1): customer (2);
+   from (x, 2): customer (2). *)
+
+let phase_bfs (t : As_topology.t) ~alive ~src =
+  let n = t.As_topology.n in
+  let parent = Array.make (3 * n) (-1) in
+  let seen = Array.make (3 * n) false in
+  let q = Queue.create () in
+  let idx phase x = (phase * n) + x in
+  if alive.(src) then begin
+    seen.(idx 0 src) <- true;
+    Queue.add (src, 0) q
+  end;
+  while not (Queue.is_empty q) do
+    let x, phase = Queue.pop q in
+    let push y phase' =
+      if alive.(y) && not seen.(idx phase' y) then begin
+        seen.(idx phase' y) <- true;
+        parent.(idx phase' y) <- idx phase x;
+        Queue.add (y, phase') q
+      end
+    in
+    (match phase with
+    | 0 ->
+        List.iter (fun p -> push p 0) t.As_topology.providers.(x);
+        List.iter (fun p -> push p 1) t.As_topology.peers.(x);
+        List.iter (fun c -> push c 2) t.As_topology.customers.(x)
+    | 1 | 2 -> List.iter (fun c -> push c 2) t.As_topology.customers.(x)
+    | _ -> ())
+  done;
+  (seen, parent)
+
+let reach_state (t : As_topology.t) seen dst =
+  let n = t.As_topology.n in
+  let rec find phase = if phase > 2 then None else if seen.((phase * n) + dst) then Some phase else find (phase + 1) in
+  find 0
+
+let reachable t ~alive ~src ~dst =
+  if not (alive.(src) && alive.(dst)) then false
+  else if src = dst then true
+  else
+    let seen, _ = phase_bfs t ~alive ~src in
+    reach_state t seen dst <> None
+
+let reachability_fraction t ~alive ~dst =
+  if not alive.(dst) then 0.0
+  else begin
+    (* Valley-free reachability is symmetric: reversing up*(peer)?down*
+       yields the same shape (each up edge reverses to a down edge).  So
+       "who can reach dst" equals "whom dst can reach", and one forward
+       BFS from dst suffices. *)
+    let seen, _ = phase_bfs t ~alive ~src:dst in
+    let n = t.As_topology.n in
+    let total = ref 0 and ok = ref 0 in
+    for x = 0 to n - 1 do
+      if alive.(x) && x <> dst then begin
+        incr total;
+        if seen.(x) || seen.(n + x) || seen.((2 * n) + x) then incr ok
+      end
+    done;
+    if !total = 0 then 0.0 else float_of_int !ok /. float_of_int !total
+  end
+
+let shortest_path t ~alive ~src ~dst =
+  if not (alive.(src) && alive.(dst)) then None
+  else if src = dst then Some [ src ]
+  else begin
+    let n = t.As_topology.n in
+    let seen, parent = phase_bfs t ~alive ~src in
+    match reach_state t seen dst with
+    | None -> None
+    | Some phase ->
+        let rec build acc state =
+          let x = state mod n in
+          let p = parent.(state) in
+          if p = -1 then x :: acc else build (x :: acc) p
+        in
+        Some (build [] ((phase * n) + dst))
+  end
+
+let disjoint_paths ?(k = 3) t ~alive ~src ~dst =
+  let alive = Array.copy alive in
+  let rec collect acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      match shortest_path t ~alive ~src ~dst with
+      | None -> List.rev acc
+      | Some path ->
+          List.iter (fun x -> if x <> src && x <> dst then alive.(x) <- false) path;
+          collect (path :: acc) (remaining - 1)
+  in
+  collect [] k
+
+let is_valley_free (t : As_topology.t) path =
+  let rel a b =
+    if List.mem b t.As_topology.providers.(a) then `Up
+    else if List.mem b t.As_topology.customers.(a) then `Down
+    else if List.mem b t.As_topology.peers.(a) then `Peer
+    else `None
+  in
+  let rec walk phase = function
+    | a :: (b :: _ as rest) -> (
+        match (rel a b, phase) with
+        | `Up, `Ascending -> walk `Ascending rest
+        | `Peer, `Ascending -> walk `Descending rest
+        | `Down, (`Ascending | `Descending) -> walk `Descending rest
+        | (`Up | `Peer), `Descending -> false
+        | `None, _ -> false)
+    | [ _ ] | [] -> true
+  in
+  walk `Ascending path

@@ -1,0 +1,31 @@
+(** Valley-free (Gao–Rexford) interdomain routing over an AS topology.
+
+    A BGP path ascends provider links, crosses at most one peer link, and
+    descends customer links.  Reachability and shortest valley-free paths
+    are computed with a phase-layered BFS; every function takes an
+    [alive] mask so storm scenarios can knock ASes out. *)
+
+val all_alive : As_topology.t -> bool array
+
+val reachable : As_topology.t -> alive:bool array -> src:int -> dst:int -> bool
+(** Valley-free reachability using only alive ASes (src and dst must be
+    alive themselves). *)
+
+val reachability_fraction : As_topology.t -> alive:bool array -> dst:int -> float
+(** Fraction of alive ASes (dst excluded) with a valley-free route to
+    [dst]. *)
+
+val shortest_path :
+  As_topology.t -> alive:bool array -> src:int -> dst:int -> int list option
+(** Shortest valley-free AS path (inclusive), [None] if unreachable.
+    Ties break deterministically. *)
+
+val disjoint_paths :
+  ?k:int -> As_topology.t -> alive:bool array -> src:int -> dst:int -> int list list
+(** Up to [k] (default 3) valley-free paths with pairwise-disjoint
+    intermediate ASes, found greedily (successive shortest paths with
+    intermediate removal) — the "multiple paths" a SCION-like
+    architecture keeps ready. *)
+
+val is_valley_free : As_topology.t -> int list -> bool
+(** Checks the Gao–Rexford shape of an explicit path (used by tests). *)

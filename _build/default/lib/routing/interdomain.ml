@@ -1,0 +1,7 @@
+(** Interdomain-routing substrate (§5.3): Gao–Rexford AS topologies,
+    valley-free BGP path computation, and the BGP-vs-multipath comparison
+    under storm-induced AS failures. *)
+
+module As_topology = As_topology
+module Bgp = Bgp
+module Storm = Storm

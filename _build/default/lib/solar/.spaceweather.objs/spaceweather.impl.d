@@ -1,0 +1,1 @@
+lib/solar/spaceweather.ml: Cme Dst Event_generator Flare Forecast Gleissberg Noaa_scale Probability Storm_catalog Sunspot

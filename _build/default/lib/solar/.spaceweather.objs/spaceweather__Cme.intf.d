@@ -1,0 +1,1 @@
+lib/solar/cme.mli:

@@ -1,0 +1,1 @@
+lib/solar/dst.ml: Float Int

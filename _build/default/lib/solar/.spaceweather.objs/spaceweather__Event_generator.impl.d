@@ -1,0 +1,1 @@
+lib/solar/event_generator.ml: Dst Float List Probability Rng

@@ -1,0 +1,1 @@
+lib/solar/event_generator.mli: Dst Rng

@@ -1,0 +1,1 @@
+lib/solar/forecast.ml: Cme Float Format

@@ -1,0 +1,1 @@
+lib/solar/forecast.mli: Cme Format

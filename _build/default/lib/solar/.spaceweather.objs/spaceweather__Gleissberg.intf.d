@@ -1,0 +1,1 @@
+lib/solar/gleissberg.mli:

@@ -1,0 +1,1 @@
+lib/solar/noaa_scale.ml: Float

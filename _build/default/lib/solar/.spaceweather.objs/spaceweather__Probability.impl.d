@@ -1,0 +1,1 @@
+lib/solar/probability.ml: Float Gleissberg Sunspot

@@ -1,0 +1,1 @@
+lib/solar/storm_catalog.ml: Cme Dst Format List String

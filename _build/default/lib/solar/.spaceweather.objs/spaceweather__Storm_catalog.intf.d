@@ -1,0 +1,1 @@
+lib/solar/storm_catalog.mli: Cme Dst Format

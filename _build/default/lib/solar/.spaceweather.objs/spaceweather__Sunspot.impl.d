@@ -1,0 +1,1 @@
+lib/solar/sunspot.ml: Float List

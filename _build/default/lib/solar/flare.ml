@@ -1,0 +1,67 @@
+type flare_class = A | B | C | M | X
+
+type t = { cls : flare_class; magnitude : float }
+
+let class_base = function
+  | A -> 1e-8
+  | B -> 1e-7
+  | C -> 1e-6
+  | M -> 1e-5
+  | X -> 1e-4
+
+let make cls magnitude =
+  if magnitude < 1.0 then invalid_arg "Flare.make: magnitude < 1";
+  if cls <> X && magnitude >= 10.0 then
+    invalid_arg "Flare.make: magnitude >= 10 rolls into the next class";
+  { cls; magnitude }
+
+let peak_flux_w_m2 f = class_base f.cls *. f.magnitude
+
+let of_peak_flux flux =
+  if flux <= 0.0 then invalid_arg "Flare.of_peak_flux: non-positive flux";
+  let cls =
+    if flux < 1e-7 then A else if flux < 1e-6 then B else if flux < 1e-5 then C
+    else if flux < 1e-4 then M
+    else X
+  in
+  { cls; magnitude = flux /. class_base cls }
+
+type r_level = R0 | R1 | R2 | R3 | R4 | R5
+
+let r_scale f =
+  let flux = peak_flux_w_m2 f in
+  if flux < 1e-5 then R0
+  else if flux < 5e-5 then R1
+  else if flux < 1e-4 then R2
+  else if flux < 1e-3 then R3
+  else if flux < 2e-3 then R4
+  else R5
+
+let r_to_string = function
+  | R0 -> "R0"
+  | R1 -> "R1 (minor)"
+  | R2 -> "R2 (moderate)"
+  | R3 -> "R3 (strong)"
+  | R4 -> "R4 (severe)"
+  | R5 -> "R5 (extreme)"
+
+let blackout_minutes f =
+  match r_scale f with
+  | R0 -> 0.0
+  | R1 -> 10.0
+  | R2 -> 30.0
+  | R3 -> 60.0
+  | R4 -> 120.0
+  | R5 -> 240.0
+
+let affects_terrestrial_cables _ = false
+
+let rate_per_day cls ~ssn =
+  let m_rate = 0.05 +. (ssn /. 60.0) in
+  match cls with
+  | A | B -> 10.0 +. (ssn /. 5.0) (* small flares are constant background *)
+  | C -> 1.0 +. (ssn /. 15.0)
+  | M -> m_rate
+  | X -> m_rate /. 10.0
+
+let carrington_flare = { cls = X; magnitude = 45.0 }

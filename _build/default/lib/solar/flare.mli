@@ -1,0 +1,49 @@
+(** Solar flares and radio blackouts (§2.1).
+
+    Flares are electromagnetic bursts that reach Earth in 8 minutes and
+    disturb the ionosphere — HF radio blackouts and GPS degradation on the
+    dayside — but, as the paper stresses, "do not pose any threat to
+    terrestrial communication".  Modeled here for completeness of the §2
+    threat taxonomy: classes, the NOAA R scale, and occurrence rates tied
+    to the solar cycle. *)
+
+type flare_class = A | B | C | M | X
+
+type t = {
+  cls : flare_class;
+  magnitude : float;  (** multiplier within the class, ≥ 1 (X13.3 → X, 13.3) *)
+}
+
+val make : flare_class -> float -> t
+(** @raise Invalid_argument if the magnitude is below 1 (or ≥ 10 for
+    classes below X, which have a next class). *)
+
+val peak_flux_w_m2 : t -> float
+(** GOES 1–8 Å peak flux: A = 1e-8 × magnitude, each class a decade up. *)
+
+val of_peak_flux : float -> t
+(** Inverse of {!peak_flux_w_m2}.  @raise Invalid_argument on
+    non-positive flux. *)
+
+type r_level = R0 | R1 | R2 | R3 | R4 | R5
+
+val r_scale : t -> r_level
+(** NOAA radio-blackout level: M1 → R1, M5 → R2, X1 → R3, X10 → R4,
+    X20 → R5. *)
+
+val r_to_string : r_level -> string
+
+val blackout_minutes : t -> float
+(** Typical dayside HF blackout duration (0 below M; tens of minutes to
+    hours for X-class). *)
+
+val affects_terrestrial_cables : t -> bool
+(** Always [false] — the paper's point. *)
+
+val rate_per_day : flare_class -> ssn:float -> float
+(** Occurrence rate as a function of sunspot number (flares track active
+    regions: ~0.1 M-flares/day at SSN 20, several per day near a strong
+    maximum; X-flares roughly a tenth of that). *)
+
+val carrington_flare : t
+(** The 1859 white-light flare, estimated ≈ X45. *)

@@ -1,0 +1,51 @@
+type g_level = G0 | G1 | G2 | G3 | G4 | G5
+
+let g_to_string = function
+  | G0 -> "G0"
+  | G1 -> "G1 (minor)"
+  | G2 -> "G2 (moderate)"
+  | G3 -> "G3 (strong)"
+  | G4 -> "G4 (severe)"
+  | G5 -> "G5 (extreme)"
+
+let g_of_kp kp =
+  if kp < 0.0 || kp > 9.0 then invalid_arg "Noaa_scale.g_of_kp: Kp outside [0, 9]";
+  if kp < 5.0 then G0
+  else if kp < 6.0 then G1
+  else if kp < 7.0 then G2
+  else if kp < 8.0 then G3
+  else if kp < 9.0 then G4
+  else G5
+
+let kp_floor_of_g = function
+  | G0 -> 0.0
+  | G1 -> 5.0
+  | G2 -> 6.0
+  | G3 -> 7.0
+  | G4 -> 8.0
+  | G5 -> 9.0
+
+(* Empirical main-phase relation (e.g. the quasi-linear fits used in GIC
+   studies): |Dst| ~ 15 exp(Kp/2.1).  Kp 9 -> ~ -1090 .. we use a fit
+   anchored at (Kp 5, -50), (Kp 7, -150), (Kp 9, -550). *)
+let kp_of_dst dst =
+  if dst > 50.0 then invalid_arg "Noaa_scale.kp_of_dst: not a storm-time Dst";
+  let x = Float.max 1.0 (Float.abs (Float.min dst 0.0)) in
+  (* Inverse of |Dst| = 7.5 * exp(Kp / 2.1). *)
+  Float.max 0.0 (Float.min 9.0 (2.1 *. log (x /. 7.5)))
+
+let dst_of_kp kp =
+  if kp < 0.0 || kp > 9.0 then invalid_arg "Noaa_scale.dst_of_kp: Kp outside [0, 9]";
+  -.(7.5 *. exp (kp /. 2.1))
+
+let g_of_dst dst = g_of_kp (kp_of_dst dst)
+
+let expected_effects = function
+  | G0 -> "quiet; no storm-level effects"
+  | G1 -> "weak grid fluctuations; minor satellite operations impact"
+  | G2 -> "high-latitude grids may see voltage alarms; drag increases"
+  | G3 -> "voltage corrections required; surface charging on satellites"
+  | G4 -> "widespread voltage problems; tracking and drag disruptions"
+  | G5 ->
+      "grid collapse and transformer damage possible; HF blackout for days; \
+       severe satellite drag and charging"

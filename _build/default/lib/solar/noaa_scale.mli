@@ -1,0 +1,32 @@
+(** NOAA space-weather G-scale (geomagnetic storms) and the Kp index.
+
+    Operators receive warnings on the G1–G5 scale; the simulator works in
+    Dst.  This module provides the standard conversions (Kp ↔ G level,
+    empirical Kp ↔ Dst mapping) so scenarios can be specified the way
+    NOAA/SWPC would announce them. *)
+
+type g_level = G0 | G1 | G2 | G3 | G4 | G5
+
+val g_to_string : g_level -> string
+
+val g_of_kp : float -> g_level
+(** Kp 5 → G1 … Kp 9 → G5 (below 5 → G0).  @raise Invalid_argument
+    outside [[0, 9]]. *)
+
+val kp_floor_of_g : g_level -> float
+(** Lowest Kp of a level (G0 → 0). *)
+
+val kp_of_dst : float -> float
+(** Empirical main-phase mapping, clamped to [[0, 9]]: quiet Dst → low
+    Kp; −589 nT (Quebec) → ≈ 9.  @raise Invalid_argument for positive
+    Dst beyond +50. *)
+
+val dst_of_kp : float -> float
+(** Inverse of {!kp_of_dst} (representative Dst for a Kp). *)
+
+val g_of_dst : float -> g_level
+(** Composition: the G level a storm of the given Dst would be announced
+    at. *)
+
+val expected_effects : g_level -> string
+(** One-line operational impact description (from the SWPC scale). *)

@@ -1,0 +1,57 @@
+let riley_exponent = 3.2
+
+let power_law_ccdf ~alpha ~xmin x =
+  if alpha <= 1.0 then invalid_arg "Probability.power_law_ccdf: alpha <= 1";
+  if xmin <= 0.0 then invalid_arg "Probability.power_law_ccdf: xmin <= 0";
+  if x <= xmin then 1.0 else (x /. xmin) ** (1.0 -. alpha)
+
+(* Calibration: the tail is normalized so that the headline Riley 2012
+   number comes out of the model rather than being quoted: with alpha = 3.2
+   the rate of |Dst| >= 850 nT events must be ~0.0128/yr for a 12%
+   probability per decade, which pins the rate at the |Dst| = 100 nT
+   normalization point to ~1.42/yr of "large intense" storms. *)
+let intense_rate_per_year = 1.42
+let intense_dst = 100.0
+
+let events_per_year_exceeding ~dst =
+  let x = Float.abs dst in
+  intense_rate_per_year *. power_law_ccdf ~alpha:riley_exponent ~xmin:intense_dst x
+
+let prob_in_years ~rate_per_year ~years =
+  if rate_per_year < 0.0 || years < 0.0 then
+    invalid_arg "Probability.prob_in_years: negative argument";
+  1.0 -. exp (-.rate_per_year *. years)
+
+let riley_decadal = prob_in_years ~rate_per_year:(events_per_year_exceeding ~dst:(-850.0)) ~years:10.0
+
+let kirchen_decadal = 0.016
+
+let bernoulli_decadal_of_centennial = 1.0 -. (0.99 ** 10.0)
+
+let decadal_range = (kirchen_decadal, riley_decadal)
+
+let direct_impact_per_century ~low = if low then 2.6 else 5.2
+
+let modulated_rate ~base_rate_per_year ~year =
+  let g = Gleissberg.modulation year in
+  let ssn = Sunspot.ssn_at year in
+  (* Activity factor: extreme CMEs cluster near maxima; normalize SSN by a
+     strong-maximum value of 200 and keep a floor so minima are not
+     zero-rate (the 2012 near miss occurred in a weak cycle). *)
+  let activity = 0.25 +. (0.75 *. Float.min 1.5 (ssn /. 200.0)) in
+  base_rate_per_year *. g *. activity
+
+let expected_events ~base_rate_per_year ~start ~stop =
+  if stop <= start then 0.0
+  else
+    let step = 1.0 /. 12.0 in
+    let n = int_of_float (Float.ceil ((stop -. start) /. step)) in
+    let sum = ref 0.0 in
+    for i = 0 to n - 1 do
+      let y0 = start +. (float_of_int i *. step) in
+      let y1 = Float.min stop (y0 +. step) in
+      let r0 = modulated_rate ~base_rate_per_year ~year:y0
+      and r1 = modulated_rate ~base_rate_per_year ~year:y1 in
+      sum := !sum +. ((r0 +. r1) /. 2.0 *. (y1 -. y0))
+    done;
+    !sum

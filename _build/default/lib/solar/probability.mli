@@ -1,0 +1,57 @@
+(** Occurrence-probability models for extreme solar events (§2.3).
+
+    The paper quotes per-decade probabilities of a Carrington-scale event
+    between 1.6% (Kirchen et al. 2020) and 12% (Riley 2012), a direct-impact
+    frequency of 2.6–5.2 large events per century, and the Bernoulli
+    observation that a once-in-a-century event has a 9% chance per decade
+    assuming independence.  This module implements all three model
+    families: Riley's power-law extrapolation of the Dst distribution, a
+    lognormal alternative, and homogeneous/modulated Poisson arrival
+    processes. *)
+
+val riley_exponent : float
+(** Power-law CCDF slope for |Dst| used by Riley 2012 (α ≈ 3.2 for the
+    event-magnitude density; the CCDF scales as x^(1−α)). *)
+
+val power_law_ccdf : alpha:float -> xmin:float -> float -> float
+(** [power_law_ccdf ~alpha ~xmin x] is P(X > x) for a Pareto tail with
+    density exponent [alpha] normalized at [xmin]: [(x /. xmin) ** (1. -.
+    alpha)].  1 for [x <= xmin].  @raise Invalid_argument if
+    [alpha <= 1.] or [xmin <= 0.]. *)
+
+val events_per_year_exceeding : dst:float -> float
+(** Rate (per year) of storms at least as strong as [dst], from the
+    power-law tail calibrated on the 1957–2020 Dst record (one |Dst| ≥ 589
+    event per ~31 years). *)
+
+val prob_in_years : rate_per_year:float -> years:float -> float
+(** Poisson probability of at least one arrival in a window:
+    [1 - exp (-rate * years)].  @raise Invalid_argument on negative
+    arguments. *)
+
+val riley_decadal : float
+(** Riley 2012 headline: P(Dst ≤ −850 within a decade) ≈ 0.12. *)
+
+val kirchen_decadal : float
+(** Kirchen et al. 2020 headline: ≈ 0.016. *)
+
+val bernoulli_decadal_of_centennial : float
+(** The paper's note: a once-in-100-years event under independence has
+    [1 - 0.99^10 ≈ 0.096] probability per decade. *)
+
+val decadal_range : float * float
+(** [(kirchen_decadal, riley_decadal)]: the bracket quoted in the paper's
+    abstract and §6 (1.6–12%). *)
+
+val direct_impact_per_century : low:bool -> float
+(** Frequency of direct-impact large events per century: 2.6 (low) or 5.2
+    (high), from McCracken et al. polar-ice flux studies. *)
+
+val modulated_rate : base_rate_per_year:float -> year:float -> float
+(** Extreme-event rate modulated by the Gleissberg factor and the
+    instantaneous solar-cycle activity (normalized SSN), used by the
+    scenario generator. *)
+
+val expected_events : base_rate_per_year:float -> start:float -> stop:float -> float
+(** Integral of {!modulated_rate} over a year span (trapezoid, monthly
+    steps). *)

@@ -1,0 +1,1 @@
+lib/topology/netgraph.ml: Centrality Flow Graph Paths Structure Traversal

@@ -1,0 +1,1 @@
+lib/topology/centrality.ml: Float Graph Hashtbl Int List Option Queue Traversal

@@ -1,0 +1,1 @@
+lib/topology/centrality.mli: Graph Hashtbl

@@ -1,0 +1,1 @@
+lib/topology/flow.ml: Array Float Graph Hashtbl Int List Option Queue

@@ -1,0 +1,1 @@
+lib/topology/paths.mli: Graph Hashtbl

@@ -1,0 +1,1 @@
+lib/topology/structure.ml: Graph Hashtbl Int List

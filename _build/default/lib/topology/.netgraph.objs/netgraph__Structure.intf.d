@@ -1,0 +1,1 @@
+lib/topology/structure.mli: Graph Hashtbl

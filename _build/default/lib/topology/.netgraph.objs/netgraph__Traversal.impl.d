@@ -1,0 +1,1 @@
+lib/topology/traversal.ml: Graph Hashtbl Int List Queue

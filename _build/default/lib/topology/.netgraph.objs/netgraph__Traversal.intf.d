@@ -1,0 +1,1 @@
+lib/topology/traversal.mli: Graph Hashtbl

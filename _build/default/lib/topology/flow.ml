@@ -1,0 +1,236 @@
+(* Dinic with an adjacency-array residual network.  Node ids are remapped
+   to a dense range; each undirected graph edge becomes two arcs with the
+   full capacity plus their residual twins. *)
+
+type result = {
+  value : float;
+  edge_flow : int -> float;
+  source_side : Graph.node -> bool;
+}
+
+type network = {
+  n : int;
+  (* arcs as parallel arrays *)
+  mutable m : int;
+  arc_to : int array;
+  arc_cap : float array;
+  arc_next : int array;  (** next arc in the node's list *)
+  head : int array;  (** first arc per node *)
+  arc_edge : int array;  (** originating graph edge id, -1 for virtual *)
+}
+
+let create_network ~nodes ~arc_estimate =
+  {
+    n = nodes;
+    m = 0;
+    arc_to = Array.make arc_estimate 0;
+    arc_cap = Array.make arc_estimate 0.0;
+    arc_next = Array.make arc_estimate (-1);
+    head = Array.make nodes (-1);
+    arc_edge = Array.make arc_estimate (-1);
+  }
+
+let add_arc net u v cap edge =
+  let a = net.m in
+  net.arc_to.(a) <- v;
+  net.arc_cap.(a) <- cap;
+  net.arc_next.(a) <- net.head.(u);
+  net.arc_edge.(a) <- edge;
+  net.head.(u) <- a;
+  net.m <- a + 1
+
+(* Arc a's residual twin is a lxor 1. *)
+let add_edge_arcs net u v cap edge =
+  add_arc net u v cap edge;
+  add_arc net v u cap edge
+
+let add_directed net u v cap =
+  add_arc net u v cap (-1);
+  add_arc net v u 0.0 (-1)
+
+let dinic net ~s ~t =
+  let level = Array.make net.n (-1) in
+  let iter = Array.make net.n (-1) in
+  let inf = Float.infinity in
+  let bfs () =
+    Array.fill level 0 net.n (-1);
+    let q = Queue.create () in
+    level.(s) <- 0;
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      let a = ref net.head.(u) in
+      while !a <> -1 do
+        let v = net.arc_to.(!a) in
+        if net.arc_cap.(!a) > 1e-12 && level.(v) < 0 then begin
+          level.(v) <- level.(u) + 1;
+          Queue.add v q
+        end;
+        a := net.arc_next.(!a)
+      done
+    done;
+    level.(t) >= 0
+  in
+  let rec dfs u pushed =
+    if u = t then pushed
+    else begin
+      let result = ref 0.0 in
+      while !result = 0.0 && iter.(u) <> -1 do
+        let a = iter.(u) in
+        let v = net.arc_to.(a) in
+        if net.arc_cap.(a) > 1e-12 && level.(v) = level.(u) + 1 then begin
+          let d = dfs v (Float.min pushed net.arc_cap.(a)) in
+          if d > 0.0 then begin
+            net.arc_cap.(a) <- net.arc_cap.(a) -. d;
+            let twin = a lxor 1 in
+            net.arc_cap.(twin) <- net.arc_cap.(twin) +. d;
+            result := d
+          end
+          else iter.(u) <- net.arc_next.(a)
+        end
+        else iter.(u) <- net.arc_next.(a)
+      done;
+      !result
+    end
+  in
+  let total = ref 0.0 in
+  while bfs () do
+    Array.blit net.head 0 iter 0 net.n;
+    let rec pump () =
+      let d = dfs s inf in
+      if d > 0.0 then begin
+        total := !total +. d;
+        pump ()
+      end
+    in
+    pump ()
+  done;
+  !total
+
+let build_base g ~capacity ~extra_nodes =
+  let nodes = Graph.nodes g in
+  let id_map = Hashtbl.create 256 in
+  List.iteri (fun i n -> Hashtbl.replace id_map n i) nodes;
+  let n_real = List.length nodes in
+  let n_edges = Graph.nb_edges g in
+  let net =
+    create_network ~nodes:(n_real + extra_nodes)
+      ~arc_estimate:((4 * n_edges) + (4 * 4 * (n_real + 1)) + 8)
+  in
+  ignore
+    (Graph.fold_edges g ~init:() ~f:(fun () e ->
+         let c = capacity e.Graph.id in
+         if c < 0.0 then invalid_arg "Flow: negative capacity";
+         if e.Graph.u <> e.Graph.v then
+           add_edge_arcs net
+             (Hashtbl.find id_map e.Graph.u)
+             (Hashtbl.find id_map e.Graph.v)
+             c e.Graph.id));
+  (net, id_map, n_real)
+
+let max_flow g ~capacity ~source ~sink =
+  if source = sink then invalid_arg "Flow.max_flow: source = sink";
+  if not (Graph.mem_node g source && Graph.mem_node g sink) then
+    invalid_arg "Flow.max_flow: absent terminal";
+  let net, id_map, _ = build_base g ~capacity ~extra_nodes:0 in
+  let s = Hashtbl.find id_map source and t = Hashtbl.find id_map sink in
+  let original_cap = Array.sub net.arc_cap 0 net.m in
+  let value = dinic net ~s ~t in
+  (* Per-edge |flow|: each arc starts at the edge capacity, so the net
+     transfer equals the capacity shift of the forward arc (pushes in the
+     two directions cancel in the residual). *)
+  let edge_flow_tbl = Hashtbl.create 64 in
+  let a = ref 0 in
+  while !a < net.m do
+    let e = net.arc_edge.(!a) in
+    if e >= 0 && not (Hashtbl.mem edge_flow_tbl e) then begin
+      let delta = Float.abs (net.arc_cap.(!a) -. original_cap.(!a)) in
+      Hashtbl.replace edge_flow_tbl e delta
+    end;
+    a := !a + 2
+  done;
+  (* Residual reachability from s. *)
+  let reach = Array.make net.n false in
+  let q = Queue.create () in
+  reach.(s) <- true;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let a = ref net.head.(u) in
+    while !a <> -1 do
+      let v = net.arc_to.(!a) in
+      if net.arc_cap.(!a) > 1e-12 && not reach.(v) then begin
+        reach.(v) <- true;
+        Queue.add v q
+      end;
+      a := net.arc_next.(!a)
+    done
+  done;
+  {
+    value;
+    edge_flow =
+      (fun e -> Option.value ~default:0.0 (Hashtbl.find_opt edge_flow_tbl e));
+    source_side =
+      (fun node ->
+        match Hashtbl.find_opt id_map node with
+        | Some i -> reach.(i)
+        | None -> false);
+  }
+
+let multi_network g ~capacity ~sources ~sinks =
+  let sources = List.filter (Graph.mem_node g) sources in
+  let sinks = List.filter (Graph.mem_node g) sinks in
+  if List.exists (fun s -> List.mem s sinks) sources then
+    invalid_arg "Flow.max_flow_multi: overlapping groups";
+  if sources = [] || sinks = [] then None
+  else begin
+    let net, id_map, n_real = build_base g ~capacity ~extra_nodes:2 in
+    let s = n_real and t = n_real + 1 in
+    let big = 1e15 in
+    List.iter (fun x -> add_directed net s (Hashtbl.find id_map x) big) sources;
+    List.iter (fun x -> add_directed net (Hashtbl.find id_map x) t big) sinks;
+    Some (net, id_map, s, t)
+  end
+
+let max_flow_multi g ~capacity ~sources ~sinks =
+  match multi_network g ~capacity ~sources ~sinks with
+  | None -> 0.0
+  | Some (net, _, s, t) -> dinic net ~s ~t
+
+let min_cut_edges_multi g ~capacity ~sources ~sinks =
+  match multi_network g ~capacity ~sources ~sinks with
+  | None -> []
+  | Some (net, id_map, s, t) ->
+      let _ = dinic net ~s ~t in
+      let reach = Array.make net.n false in
+      let q = Queue.create () in
+      reach.(s) <- true;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        let a = ref net.head.(u) in
+        while !a <> -1 do
+          let v = net.arc_to.(!a) in
+          if net.arc_cap.(!a) > 1e-12 && not reach.(v) then begin
+            reach.(v) <- true;
+            Queue.add v q
+          end;
+          a := net.arc_next.(!a)
+        done
+      done;
+      let side node =
+        match Hashtbl.find_opt id_map node with Some i -> reach.(i) | None -> false
+      in
+      Graph.fold_edges g ~init:[] ~f:(fun acc e ->
+          if e.Graph.u <> e.Graph.v && side e.Graph.u <> side e.Graph.v then
+            e.Graph.id :: acc
+          else acc)
+      |> List.sort Int.compare
+
+let min_cut_edges g ~capacity ~source ~sink =
+  let r = max_flow g ~capacity ~source ~sink in
+  Graph.fold_edges g ~init:[] ~f:(fun acc e ->
+      if e.Graph.u <> e.Graph.v && r.source_side e.Graph.u <> r.source_side e.Graph.v then
+        e.Graph.id :: acc
+      else acc)
+  |> List.sort Int.compare

@@ -1,0 +1,10 @@
+(** Network-graph substrate: persistent multigraphs, traversals, shortest
+    paths, centrality and structural-fragility analysis.  Nodes are landing
+    points/cities; edges are cables. *)
+
+module Graph = Graph
+module Traversal = Traversal
+module Paths = Paths
+module Centrality = Centrality
+module Structure = Structure
+module Flow = Flow

@@ -1,0 +1,1 @@
+test/test_datasets.ml: Alcotest Array Char Datasets Float Geo Infra Int Lazy List Netgraph Printf QCheck QCheck_alcotest Rng Stormsim String

@@ -1,0 +1,1 @@
+test/test_geo.ml: Alcotest Angle Array Coord Distance Float Geo Geodesic Geomagnetic Grid_index Int Latband List Option Projection QCheck QCheck_alcotest Region

@@ -1,0 +1,1 @@
+test/test_gic.ml: Alcotest Float Geo Gic List Printf QCheck QCheck_alcotest

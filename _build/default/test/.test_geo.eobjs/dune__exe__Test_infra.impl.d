@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Array Float Geo Gic Infra List Netgraph Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Datasets Geo Gic Infra Lazy List Printf Report Spaceweather Stormsim String

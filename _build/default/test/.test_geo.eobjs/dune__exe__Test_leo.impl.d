@@ -1,0 +1,1 @@
+test/test_leo.ml: Alcotest Leo List Printf QCheck QCheck_alcotest

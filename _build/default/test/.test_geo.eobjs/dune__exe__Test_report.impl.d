@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Filename Geo Lazy List Printf Report String Sys

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Datasets Float Format Geo Gic Infra List Netgraph Printf Spaceweather Stormsim String

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array As_topology Bgp Float Int Interdomain Lazy List Printf QCheck QCheck_alcotest Rng Storm String

@@ -1,0 +1,1 @@
+test/test_solar.ml: Alcotest Cme Dst Flare Float Forecast Gleissberg Int List Noaa_scale Printf Probability QCheck QCheck_alcotest Spaceweather Storm_catalog String Sunspot

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Centrality Float Flow Graph Hashtbl Int List Netgraph Paths QCheck QCheck_alcotest Structure Traversal

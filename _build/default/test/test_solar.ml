@@ -1,0 +1,465 @@
+(* Tests for the Spaceweather library: Dst classes, CME kinematics,
+   solar-cycle model, Gleissberg modulation, occurrence probabilities and
+   the early-warning timeline. *)
+
+open Spaceweather
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* --- Dst --- *)
+
+let test_severity_classes () =
+  let open Dst in
+  Alcotest.(check string) "quiet" "quiet" (severity_to_string (severity_of_dst (-10.0)));
+  Alcotest.(check string) "minor" "minor" (severity_to_string (severity_of_dst (-40.0)));
+  Alcotest.(check string) "moderate" "moderate" (severity_to_string (severity_of_dst (-75.0)));
+  Alcotest.(check string) "intense" "intense" (severity_to_string (severity_of_dst (-150.0)));
+  Alcotest.(check string) "severe" "severe" (severity_to_string (severity_of_dst (-400.0)));
+  Alcotest.(check string) "extreme" "extreme" (severity_to_string (severity_of_dst (-700.0)));
+  Alcotest.(check string) "carrington" "carrington" (severity_to_string (severity_of_dst (-1000.0)))
+
+let test_severity_boundaries () =
+  let open Dst in
+  (* Boundary values fall into the weaker class (strict >). *)
+  Alcotest.(check string) "-30 quiet boundary" "minor" (severity_to_string (severity_of_dst (-30.0)));
+  Alcotest.(check string) "-600 extreme boundary" "extreme" (severity_to_string (severity_of_dst (-600.0)));
+  Alcotest.(check string) "-850 carrington boundary" "carrington" (severity_to_string (severity_of_dst (-850.0)))
+
+let test_severity_invalid () =
+  Alcotest.check_raises "positive Dst"
+    (Invalid_argument "Dst.severity_of_dst: not a storm-time Dst") (fun () ->
+      ignore (Dst.severity_of_dst 500.0))
+
+let test_severity_order () =
+  let open Dst in
+  Alcotest.(check bool) "carrington strongest" true
+    (compare_severity Carrington Extreme > 0);
+  Alcotest.(check bool) "quiet weakest" true (compare_severity Quiet Minor < 0)
+
+let test_representative_dst_consistent () =
+  let open Dst in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "representative maps back" true
+        (compare_severity (severity_of_dst (representative_dst s)) s = 0))
+    [ Quiet; Minor; Moderate; Intense; Severe; Extreme; Carrington ]
+
+let test_relative_strength () =
+  check_close 1e-9 "1989 reference" 1.0 (Dst.relative_strength (-589.0));
+  (* The paper: the 1989 storm was one-tenth the strength of 1921-class events;
+     our catalog's 1921 estimate is roughly 1.5x the 1989 Dst. *)
+  Alcotest.(check bool) "carrington stronger" true (Dst.relative_strength (-1200.0) > 2.0)
+
+(* --- CME --- *)
+
+let test_cme_validation () =
+  Alcotest.check_raises "speed 0" (Invalid_argument "Cme.make: speed outside (0, 5000] km/s")
+    (fun () -> ignore (Cme.make ~speed_km_s:0.0 ()));
+  Alcotest.check_raises "speed 6000" (Invalid_argument "Cme.make: speed outside (0, 5000] km/s")
+    (fun () -> ignore (Cme.make ~speed_km_s:6000.0 ()))
+
+let test_carrington_transit_anchor () =
+  (* The Carrington CME reached Earth in 17.6 h. *)
+  let t = Cme.transit_hours Cme.carrington_1859 in
+  Alcotest.(check bool) (Printf.sprintf "%.1f h in [14, 21]" t) true (t > 14.0 && t < 21.0)
+
+let test_slow_cme_transit_range () =
+  (* Typical CMEs take 1-5 days (SS 2.1). *)
+  let slow = Cme.make ~speed_km_s:470.0 () in
+  let t = Cme.transit_hours slow in
+  Alcotest.(check bool) (Printf.sprintf "%.0f h in [48, 120]" t) true (t > 48.0 && t < 120.0)
+
+let test_transit_monotone_in_speed () =
+  let t1 = Cme.transit_hours (Cme.make ~speed_km_s:800.0 ()) in
+  let t2 = Cme.transit_hours (Cme.make ~speed_km_s:1600.0 ()) in
+  Alcotest.(check bool) "faster arrives sooner" true (t2 < t1)
+
+let test_arrival_speed_bounded () =
+  let cme = Cme.make ~speed_km_s:2500.0 () in
+  let v = Cme.arrival_speed_km_s cme in
+  Alcotest.(check bool) "decelerates" true (v < 2500.0);
+  Alcotest.(check bool) "stays above wind" true (v >= 450.0)
+
+let test_expected_dst_negative_and_monotone () =
+  let weak = Cme.expected_dst (Cme.make ~speed_km_s:500.0 ()) in
+  let strong = Cme.expected_dst (Cme.make ~speed_km_s:2700.0 ()) in
+  Alcotest.(check bool) "negative" true (weak < 0.0 && strong < 0.0);
+  Alcotest.(check bool) "stronger CME, deeper Dst" true (strong < weak)
+
+let test_carrington_dst_class () =
+  let dst = Cme.expected_dst Cme.carrington_1859 in
+  Alcotest.(check bool) (Printf.sprintf "Dst %.0f <= -850" dst) true (dst <= -850.0)
+
+let test_hits_earth () =
+  Alcotest.(check bool) "head-on hits" true (Cme.hits_earth Cme.carrington_1859);
+  Alcotest.(check bool) "2012 missed" false (Cme.hits_earth Cme.near_miss_2012)
+
+let test_impact_probability () =
+  let cme = Cme.make ~speed_km_s:1000.0 ~angular_width_deg:90.0 () in
+  check_close 1e-9 "width/360" 0.25 (Cme.earth_impact_probability cme)
+
+(* --- Sunspot --- *)
+
+let test_cycle_lookup () =
+  (match Sunspot.find_cycle 19 with
+  | Some c -> Alcotest.(check bool) "cycle 19 strongest" true (c.Sunspot.peak_ssn > 280.0)
+  | None -> Alcotest.fail "cycle 19 missing");
+  Alcotest.(check bool) "cycle 99 absent" true (Sunspot.find_cycle 99 = None)
+
+let test_shape_properties () =
+  Alcotest.(check (float 1e-9)) "zero before minimum" 0.0
+    (Sunspot.shape ~amplitude:150.0 ~months_since_min:(-5.0));
+  let peak_val =
+    List.fold_left
+      (fun acc m -> Float.max acc (Sunspot.shape ~amplitude:150.0 ~months_since_min:m))
+      0.0
+      (List.init 140 (fun i -> float_of_int i))
+  in
+  check_close 2.0 "shape peaks near amplitude" 150.0 peak_val
+
+let test_ssn_at_known_epochs () =
+  (* Cycle 19 max (~1958) far exceeds the 2008-2019 cycle-24 max. *)
+  let c19 = Sunspot.ssn_at 1958.0 and c24 = Sunspot.ssn_at 2014.0 in
+  Alcotest.(check bool) "cycle 19 stronger" true (c19 > c24);
+  Alcotest.(check bool) "minimum 2019 quiet" true (Sunspot.ssn_at 2019.9 < 40.0)
+
+let test_cycle25_forecasts_differ () =
+  let weak = Sunspot.ssn_at ~cycle25:Sunspot.cycle_25_weak 2025.0 in
+  let strong = Sunspot.ssn_at ~cycle25:Sunspot.cycle_25_strong 2025.0 in
+  Alcotest.(check bool) "strong forecast higher" true (strong > weak +. 30.0)
+
+let test_series_shape () =
+  let s = Sunspot.series ~start:2000.0 ~stop:2010.0 ~step:0.5 () in
+  Alcotest.(check int) "21 samples" 21 (List.length s);
+  List.iter (fun (_, v) -> Alcotest.(check bool) "nonneg" true (v >= 0.0)) s
+
+let test_series_invalid () =
+  Alcotest.check_raises "bad step" (Invalid_argument "Sunspot.series: step <= 0") (fun () ->
+      ignore (Sunspot.series ~start:2000.0 ~stop:2010.0 ~step:0.0 ()))
+
+let test_cycle_peak_year_inside_cycle () =
+  match Sunspot.find_cycle 23 with
+  | None -> Alcotest.fail "cycle 23 missing"
+  | Some c ->
+      let peak = Sunspot.cycle_peak_year c in
+      Alcotest.(check bool) "peak in 1999-2004" true (peak > 1999.0 && peak < 2004.0)
+
+let test_cme_rate_increases_with_ssn () =
+  Alcotest.(check bool) "rate grows" true
+    (Sunspot.cme_rate_per_day 200.0 > Sunspot.cme_rate_per_day 10.0);
+  Alcotest.(check bool) "minimum nonzero" true (Sunspot.cme_rate_per_day 0.0 > 0.0)
+
+(* --- Gleissberg --- *)
+
+let test_gleissberg_phase_range () =
+  List.iter
+    (fun y ->
+      let p = Gleissberg.phase y in
+      Alcotest.(check bool) "phase in [0,1)" true (p >= 0.0 && p < 1.0))
+    [ 1850.0; 1910.0; 1960.0; 1998.0; 2021.0; 2100.0 ]
+
+let test_gleissberg_modulation_bounds () =
+  List.iter
+    (fun y ->
+      let m = Gleissberg.modulation y in
+      Alcotest.(check bool) "in [0.5, 2]" true (m >= 0.5 -. 1e-9 && m <= 2.0 +. 1e-9))
+    (List.init 30 (fun i -> 1900.0 +. (float_of_int i *. 10.0)))
+
+let test_gleissberg_minimum_at_reference () =
+  check_close 1e-6 "minimum = 0.5" 0.5 (Gleissberg.modulation Gleissberg.reference_minimum);
+  let max_year = Gleissberg.reference_minimum +. (Gleissberg.period_years /. 2.0) in
+  check_close 1e-6 "maximum = 2" 2.0 (Gleissberg.modulation max_year)
+
+let test_gleissberg_factor_4_swing () =
+  (* McCracken: extreme-event frequency varies by a factor of ~4. *)
+  let min_m = Gleissberg.modulation 1910.0 in
+  let max_m = Gleissberg.modulation (Gleissberg.next_maximum_after 1910.0) in
+  check_close 0.01 "factor 4" 4.0 (max_m /. min_m)
+
+let test_gleissberg_rising_2021 () =
+  (* The paper: the sun is emerging from a Gleissberg minimum (1996-2020
+     cycles were part of the minimum). *)
+  Alcotest.(check bool) "rising after 1998 minimum" true (Gleissberg.is_rising 2021.0)
+
+let test_next_maximum_after () =
+  let m = Gleissberg.next_maximum_after 2021.0 in
+  Alcotest.(check bool) "in the future" true (m > 2021.0);
+  Alcotest.(check bool) "within one period" true (m < 2021.0 +. Gleissberg.period_years)
+
+(* --- Probability --- *)
+
+let test_power_law_ccdf () =
+  check_close 1e-9 "at xmin" 1.0 (Probability.power_law_ccdf ~alpha:3.2 ~xmin:100.0 50.0);
+  let p1 = Probability.power_law_ccdf ~alpha:3.2 ~xmin:100.0 500.0 in
+  let p2 = Probability.power_law_ccdf ~alpha:3.2 ~xmin:100.0 1000.0 in
+  Alcotest.(check bool) "decreasing" true (p2 < p1);
+  Alcotest.check_raises "alpha <= 1"
+    (Invalid_argument "Probability.power_law_ccdf: alpha <= 1") (fun () ->
+      ignore (Probability.power_law_ccdf ~alpha:1.0 ~xmin:100.0 500.0))
+
+let test_riley_headline () =
+  (* Riley 2012: ~12% per decade for a Carrington-scale event. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "riley %.3f in [0.08, 0.16]" Probability.riley_decadal)
+    true
+    (Probability.riley_decadal > 0.08 && Probability.riley_decadal < 0.16)
+
+let test_decadal_range_matches_paper () =
+  let lo, hi = Probability.decadal_range in
+  check_close 1e-9 "low = kirchen 1.6%" 0.016 lo;
+  Alcotest.(check bool) "high ~ 12%" true (hi > 0.08 && hi < 0.16)
+
+let test_bernoulli_note () =
+  (* The paper: a once-in-100-years event has ~9% probability per decade. *)
+  check_close 0.002 "1 - 0.99^10" 0.0956 Probability.bernoulli_decadal_of_centennial
+
+let test_prob_in_years_edges () =
+  check_close 1e-9 "zero rate" 0.0 (Probability.prob_in_years ~rate_per_year:0.0 ~years:10.0);
+  Alcotest.(check bool) "saturates" true
+    (Probability.prob_in_years ~rate_per_year:10.0 ~years:10.0 > 0.9999);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Probability.prob_in_years: negative argument") (fun () ->
+      ignore (Probability.prob_in_years ~rate_per_year:(-1.0) ~years:1.0))
+
+let test_direct_impact_frequency () =
+  check_close 1e-9 "low" 2.6 (Probability.direct_impact_per_century ~low:true);
+  check_close 1e-9 "high" 5.2 (Probability.direct_impact_per_century ~low:false)
+
+let test_modulated_rate_positive () =
+  List.iter
+    (fun y ->
+      Alcotest.(check bool) "positive" true
+        (Probability.modulated_rate ~base_rate_per_year:0.03 ~year:y > 0.0))
+    [ 1910.0; 1958.0; 2020.0; 2025.0 ]
+
+let test_expected_events_monotone_in_span () =
+  let e1 = Probability.expected_events ~base_rate_per_year:0.03 ~start:2021.0 ~stop:2031.0 in
+  let e2 = Probability.expected_events ~base_rate_per_year:0.03 ~start:2021.0 ~stop:2051.0 in
+  Alcotest.(check bool) "longer window, more events" true (e2 > e1);
+  check_close 1e-9 "empty window" 0.0
+    (Probability.expected_events ~base_rate_per_year:0.03 ~start:2021.0 ~stop:2021.0)
+
+(* --- Forecast --- *)
+
+let test_timeline_lead_time () =
+  (* SS 5.2: at least 13 h of lead time, typically 1-3 days. *)
+  let fast = Forecast.timeline Cme.carrington_1859 in
+  Alcotest.(check bool) "fastest >= 13h" true
+    (fast.Forecast.actionable_lead_h >= 13.0);
+  let typical = Forecast.timeline (Cme.make ~speed_km_s:700.0 ()) in
+  Alcotest.(check bool) "typical 1-3 days" true
+    (typical.Forecast.actionable_lead_h > 24.0 && typical.Forecast.actionable_lead_h < 120.0)
+
+let test_l1_confirmation_short () =
+  let tl = Forecast.timeline Cme.carrington_1859 in
+  Alcotest.(check bool) "L1 window under 1 h" true (tl.Forecast.l1_confirmation_h < 1.0)
+
+let test_warning_levels_progress () =
+  let tl = Forecast.timeline Cme.carrington_1859 in
+  Alcotest.(check bool) "before detection" true
+    (Forecast.level_at tl ~hours_after_launch:0.1 = None);
+  Alcotest.(check bool) "watch after detection" true
+    (Forecast.level_at tl ~hours_after_launch:2.0 = Some Forecast.Watch);
+  let near = tl.Forecast.transit_h -. 0.1 in
+  Alcotest.(check bool) "alert just before impact" true
+    (Forecast.level_at tl ~hours_after_launch:near = Some Forecast.Alert)
+
+(* --- Flares --- *)
+
+let test_flare_classes_and_flux () =
+  let x1 = Flare.make Flare.X 1.0 in
+  check_close 1e-12 "X1 flux" 1e-4 (Flare.peak_flux_w_m2 x1);
+  let m5 = Flare.make Flare.M 5.0 in
+  check_close 1e-12 "M5 flux" 5e-5 (Flare.peak_flux_w_m2 m5);
+  Alcotest.check_raises "mag < 1" (Invalid_argument "Flare.make: magnitude < 1") (fun () ->
+      ignore (Flare.make Flare.C 0.5));
+  Alcotest.check_raises "rollover"
+    (Invalid_argument "Flare.make: magnitude >= 10 rolls into the next class") (fun () ->
+      ignore (Flare.make Flare.M 12.0))
+
+let test_flare_flux_roundtrip () =
+  List.iter
+    (fun f ->
+      let f' = Flare.of_peak_flux (Flare.peak_flux_w_m2 f) in
+      Alcotest.(check bool) "class preserved" true (f'.Flare.cls = f.Flare.cls);
+      check_close 1e-6 "magnitude preserved" f.Flare.magnitude f'.Flare.magnitude)
+    [ Flare.make Flare.B 3.0; Flare.make Flare.M 5.0; Flare.make Flare.X 9.0;
+      Flare.carrington_flare ]
+
+let test_flare_r_scale_anchors () =
+  Alcotest.(check string) "M1 -> R1" "R1 (minor)"
+    (Flare.r_to_string (Flare.r_scale (Flare.make Flare.M 1.0)));
+  Alcotest.(check string) "X1 -> R3" "R3 (strong)"
+    (Flare.r_to_string (Flare.r_scale (Flare.make Flare.X 1.0)));
+  Alcotest.(check string) "carrington -> R5" "R5 (extreme)"
+    (Flare.r_to_string (Flare.r_scale Flare.carrington_flare));
+  Alcotest.(check string) "C-class -> R0" "R0"
+    (Flare.r_to_string (Flare.r_scale (Flare.make Flare.C 5.0)))
+
+let test_flare_does_not_touch_cables () =
+  (* The paper's point in 2.1. *)
+  Alcotest.(check bool) "no terrestrial effect" false
+    (Flare.affects_terrestrial_cables Flare.carrington_flare)
+
+let test_flare_rates_track_cycle () =
+  Alcotest.(check bool) "maximum busier than minimum" true
+    (Flare.rate_per_day Flare.M ~ssn:200.0 > 5.0 *. Flare.rate_per_day Flare.M ~ssn:5.0);
+  Alcotest.(check bool) "X rarer than M" true
+    (Flare.rate_per_day Flare.X ~ssn:150.0 < Flare.rate_per_day Flare.M ~ssn:150.0);
+  Alcotest.(check bool) "blackout minutes grow" true
+    (Flare.blackout_minutes Flare.carrington_flare
+    > Flare.blackout_minutes (Flare.make Flare.M 2.0))
+
+(* --- NOAA scale --- *)
+
+let test_g_of_kp_boundaries () =
+  let open Noaa_scale in
+  Alcotest.(check string) "kp 4.9" "G0" (g_to_string (g_of_kp 4.9));
+  Alcotest.(check string) "kp 5" "G1 (minor)" (g_to_string (g_of_kp 5.0));
+  Alcotest.(check string) "kp 7.5" "G3 (strong)" (g_to_string (g_of_kp 7.5));
+  Alcotest.(check string) "kp 9" "G5 (extreme)" (g_to_string (g_of_kp 9.0));
+  Alcotest.check_raises "kp 10" (Invalid_argument "Noaa_scale.g_of_kp: Kp outside [0, 9]")
+    (fun () -> ignore (g_of_kp 10.0))
+
+let test_kp_dst_roundtrip () =
+  List.iter
+    (fun kp ->
+      let dst = Noaa_scale.dst_of_kp kp in
+      check_close 0.05 "roundtrip" kp (Noaa_scale.kp_of_dst dst))
+    [ 2.0; 5.0; 7.0; 8.5 ]
+
+let test_g_of_dst_anchors () =
+  let open Noaa_scale in
+  (* Quebec 1989 and Carrington are both announced as G5; moderate storms
+     in the G2-G3 band. *)
+  Alcotest.(check string) "quebec g5" "G5 (extreme)" (g_to_string (g_of_dst (-589.0)));
+  Alcotest.(check string) "carrington g5" "G5 (extreme)" (g_to_string (g_of_dst (-1200.0)));
+  Alcotest.(check bool) "minor storm below G3" true
+    (kp_floor_of_g (g_of_dst (-66.0)) < kp_floor_of_g G3)
+
+let test_effects_nonempty () =
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "description" true
+        (String.length (Noaa_scale.expected_effects g) > 10))
+    [ Noaa_scale.G0; G1; G2; G3; G4; G5 ]
+
+(* --- Storm catalog --- *)
+
+let test_catalog_chronological () =
+  let years = List.map (fun e -> e.Storm_catalog.year) Storm_catalog.all in
+  Alcotest.(check (list int)) "sorted" (List.sort Int.compare years) years
+
+let test_catalog_find () =
+  (match Storm_catalog.find "carrington" with
+  | Some e -> Alcotest.(check int) "1859" 1859 e.Storm_catalog.year
+  | None -> Alcotest.fail "carrington missing");
+  (match Storm_catalog.find "Quebec" with
+  | Some e -> Alcotest.(check int) "1989" 1989 e.Storm_catalog.year
+  | None -> Alcotest.fail "quebec missing");
+  Alcotest.(check bool) "unknown" true (Storm_catalog.find "zzz" = None)
+
+let test_catalog_strongest () =
+  Alcotest.(check string) "strongest is carrington" "carrington"
+    (Dst.severity_to_string (Storm_catalog.severity Storm_catalog.strongest))
+
+let test_catalog_2012_missed () =
+  match Storm_catalog.find "2012" with
+  | Some e -> Alcotest.(check bool) "missed earth" false e.Storm_catalog.hit_earth
+  | None -> Alcotest.fail "2012 event missing"
+
+(* --- QCheck --- *)
+
+let prop_severity_total =
+  QCheck.Test.make ~name:"severity defined on all storm Dst" ~count:300
+    (QCheck.float_range (-3000.0) 50.0)
+    (fun dst -> ignore (Dst.severity_of_dst dst); true)
+
+let prop_transit_bounded =
+  QCheck.Test.make ~name:"transit time in [12h, 10d] for observed speeds" ~count:50
+    (QCheck.float_range 300.0 3000.0)
+    (fun v ->
+      let t = Cme.transit_hours (Cme.make ~speed_km_s:v ()) in
+      t > 12.0 && t < 240.0)
+
+let prop_ssn_nonnegative =
+  QCheck.Test.make ~name:"SSN never negative" ~count:200 (QCheck.float_range 1850.0 2040.0)
+    (fun y -> Sunspot.ssn_at y >= 0.0)
+
+let prop_ccdf_decreasing =
+  QCheck.Test.make ~name:"power-law CCDF in [0,1]" ~count:200 (QCheck.float_range 1.0 10000.0)
+    (fun x ->
+      let p = Probability.power_law_ccdf ~alpha:3.2 ~xmin:100.0 x in
+      p >= 0.0 && p <= 1.0)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_severity_total; prop_transit_bounded; prop_ssn_nonnegative; prop_ccdf_decreasing ]
+
+let () =
+  Alcotest.run "spaceweather"
+    [
+      ( "dst",
+        [ Alcotest.test_case "classes" `Quick test_severity_classes;
+          Alcotest.test_case "boundaries" `Quick test_severity_boundaries;
+          Alcotest.test_case "invalid" `Quick test_severity_invalid;
+          Alcotest.test_case "order" `Quick test_severity_order;
+          Alcotest.test_case "representative" `Quick test_representative_dst_consistent;
+          Alcotest.test_case "relative strength" `Quick test_relative_strength ] );
+      ( "cme",
+        [ Alcotest.test_case "validation" `Quick test_cme_validation;
+          Alcotest.test_case "carrington 17.6h anchor" `Quick test_carrington_transit_anchor;
+          Alcotest.test_case "slow transit range" `Quick test_slow_cme_transit_range;
+          Alcotest.test_case "transit monotone" `Quick test_transit_monotone_in_speed;
+          Alcotest.test_case "arrival speed" `Quick test_arrival_speed_bounded;
+          Alcotest.test_case "expected Dst" `Quick test_expected_dst_negative_and_monotone;
+          Alcotest.test_case "carrington class" `Quick test_carrington_dst_class;
+          Alcotest.test_case "hits earth" `Quick test_hits_earth;
+          Alcotest.test_case "impact probability" `Quick test_impact_probability ] );
+      ( "sunspot",
+        [ Alcotest.test_case "cycle lookup" `Quick test_cycle_lookup;
+          Alcotest.test_case "shape" `Quick test_shape_properties;
+          Alcotest.test_case "known epochs" `Quick test_ssn_at_known_epochs;
+          Alcotest.test_case "cycle 25 forecasts" `Quick test_cycle25_forecasts_differ;
+          Alcotest.test_case "series" `Quick test_series_shape;
+          Alcotest.test_case "series invalid" `Quick test_series_invalid;
+          Alcotest.test_case "peak year" `Quick test_cycle_peak_year_inside_cycle;
+          Alcotest.test_case "cme rate" `Quick test_cme_rate_increases_with_ssn ] );
+      ( "gleissberg",
+        [ Alcotest.test_case "phase range" `Quick test_gleissberg_phase_range;
+          Alcotest.test_case "modulation bounds" `Quick test_gleissberg_modulation_bounds;
+          Alcotest.test_case "minimum reference" `Quick test_gleissberg_minimum_at_reference;
+          Alcotest.test_case "factor 4 swing" `Quick test_gleissberg_factor_4_swing;
+          Alcotest.test_case "rising 2021" `Quick test_gleissberg_rising_2021;
+          Alcotest.test_case "next maximum" `Quick test_next_maximum_after ] );
+      ( "probability",
+        [ Alcotest.test_case "ccdf" `Quick test_power_law_ccdf;
+          Alcotest.test_case "riley headline" `Quick test_riley_headline;
+          Alcotest.test_case "decadal range" `Quick test_decadal_range_matches_paper;
+          Alcotest.test_case "bernoulli note" `Quick test_bernoulli_note;
+          Alcotest.test_case "prob_in_years" `Quick test_prob_in_years_edges;
+          Alcotest.test_case "direct impact" `Quick test_direct_impact_frequency;
+          Alcotest.test_case "modulated rate" `Quick test_modulated_rate_positive;
+          Alcotest.test_case "expected events" `Quick test_expected_events_monotone_in_span ] );
+      ( "forecast",
+        [ Alcotest.test_case "lead time" `Quick test_timeline_lead_time;
+          Alcotest.test_case "L1 window" `Quick test_l1_confirmation_short;
+          Alcotest.test_case "warning levels" `Quick test_warning_levels_progress ] );
+      ( "flare",
+        [ Alcotest.test_case "classes and flux" `Quick test_flare_classes_and_flux;
+          Alcotest.test_case "flux roundtrip" `Quick test_flare_flux_roundtrip;
+          Alcotest.test_case "R-scale anchors" `Quick test_flare_r_scale_anchors;
+          Alcotest.test_case "no cable effect" `Quick test_flare_does_not_touch_cables;
+          Alcotest.test_case "rates track cycle" `Quick test_flare_rates_track_cycle ] );
+      ( "noaa_scale",
+        [ Alcotest.test_case "g of kp" `Quick test_g_of_kp_boundaries;
+          Alcotest.test_case "kp/dst roundtrip" `Quick test_kp_dst_roundtrip;
+          Alcotest.test_case "dst anchors" `Quick test_g_of_dst_anchors;
+          Alcotest.test_case "effects" `Quick test_effects_nonempty ] );
+      ( "catalog",
+        [ Alcotest.test_case "chronological" `Quick test_catalog_chronological;
+          Alcotest.test_case "find" `Quick test_catalog_find;
+          Alcotest.test_case "strongest" `Quick test_catalog_strongest;
+          Alcotest.test_case "2012 near miss" `Quick test_catalog_2012_missed ] );
+      ("properties", qcheck_tests);
+    ]
