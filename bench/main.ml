@@ -5,7 +5,12 @@
       paper reports, printed as text) — the reproduction harness;
    2. runs a Bechamel micro-benchmark per experiment kernel.
 
-   `dune exec bench/main.exe -- --fast` skips the Bechamel pass. *)
+   `dune exec bench/main.exe -- --fast` skips the Bechamel pass.
+   `dune exec bench/main.exe -- --json FILE` additionally writes a
+   BENCH.json-shaped document: per-kernel timings (Bechamel OLS estimates,
+   or a single timed run per kernel in --fast mode) plus an Obs metrics
+   snapshot of the figure pass.  This is what seeds the repo's perf
+   trajectory (BENCH_*.json). *)
 
 let print_figures () =
   print_endline "==============================================================";
@@ -19,96 +24,79 @@ let print_figures () =
     (Report.Figures.all ctx);
   ctx
 
-(* One Bechamel kernel per table/figure. *)
-let bechamel_tests ctx =
-  let open Bechamel in
+(* One kernel per table/figure, shared by the Bechamel pass and the
+   single-run --fast timings. *)
+let kernels ctx : (string * (unit -> unit)) list =
   let sub = ctx.Report.Figures.submarine in
   let rng = Rng.create 99 in
   let per_repeater = Stormsim.Failure_model.compile (Stormsim.Failure_model.uniform 0.01) ~network:sub in
   let tiered = Stormsim.Failure_model.compile Stormsim.Failure_model.s1 ~network:sub in
   let graph, _ = Infra.Network.to_graph sub in
   let storm = Gic.Disturbance.storm_of_dst (-1200.0) in
-  let long_cable =
-    (* SEA-ME-WE 3: the longest cable of the dataset. *)
-    let best = ref (Infra.Network.cable sub 0) in
-    for i = 1 to Infra.Network.nb_cables sub - 1 do
-      let c = Infra.Network.cable sub i in
-      if c.Infra.Cable.length_km > !best.Infra.Cable.length_km then best := c
-    done;
-    !best
-  in
+  (* The longest cable of the dataset (the SEA-ME-WE 3 analogue in the
+     synthetic build; found at runtime, whatever it is). *)
+  let long_cable = Infra.Network.longest_cable sub in
   [
-    Test.make ~name:"fig3-latitude-pdf"
-      (Staged.stage (fun () ->
-           ignore (Stormsim.Distribution.fig3 ~submarine:sub)));
-    Test.make ~name:"fig4-threshold-curves"
-      (Staged.stage (fun () ->
-           ignore
-             (Stormsim.Distribution.fig4a ~submarine:sub
-                ~intertubes:ctx.Report.Figures.intertubes)));
-    Test.make ~name:"fig5-length-cdf"
-      (Staged.stage (fun () ->
-           ignore
-             (Stormsim.Distribution.fig5 ~submarine:sub
-                ~intertubes:ctx.Report.Figures.intertubes ~itu:ctx.Report.Figures.itu)));
-    Test.make ~name:"fig6-uniform-trial"
-      (Staged.stage (fun () ->
-           ignore (Stormsim.Montecarlo.trial rng ~network:sub ~spacing_km:150.0 ~per_repeater)));
-    Test.make ~name:"fig8-tiered-trial"
-      (Staged.stage (fun () ->
-           ignore
-             (Stormsim.Montecarlo.trial rng ~network:sub ~spacing_km:150.0
-                ~per_repeater:tiered)));
-    Test.make ~name:"fig9-as-analysis"
-      (Staged.stage (fun () ->
-           ignore (Stormsim.Systems.analyze_ases ctx.Report.Figures.ases)));
-    Test.make ~name:"country-case-study"
-      (Staged.stage (fun () ->
-           ignore
-             (Stormsim.Country.evaluate ~trials:5 sub
-                (List.hd Stormsim.Country.paper_case_studies))));
-    Test.make ~name:"gic-exposure-longest-cable"
-      (Staged.stage (fun () ->
-           ignore (Infra.Exposure.of_cable ~storm ~network:sub long_cable)));
-    Test.make ~name:"graph-connected-components"
-      (Staged.stage (fun () -> ignore (Netgraph.Traversal.connected_components graph)));
-    Test.make ~name:"mitigation-partitions"
-      (Staged.stage (fun () ->
-           ignore (Stormsim.Mitigation.predicted_partitions ~network:sub ())));
-    Test.make ~name:"leo-storm-assessment"
-      (Staged.stage (fun () ->
-           ignore
-             (Leo.Storm_impact.assess ~dst_nt:(-1200.0) Leo.Constellation.starlink_phase1)));
-    Test.make ~name:"grid-coupled-trial"
-      (Staged.stage (fun () ->
-           ignore
-             (Stormsim.Powergrid.simulate ~trials:1 ~network:sub
-                ~model:Stormsim.Failure_model.s1 ~dst_nt:(-1200.0) ())));
-    Test.make ~name:"traffic-routing"
-      (Staged.stage
-         (let demands = Stormsim.Traffic.gravity_demands () in
-          fun () -> ignore (Stormsim.Traffic.route ~network:sub ~demands ())));
-    Test.make ~name:"recovery-plan"
-      (Staged.stage
-         (let dead =
-            Array.init (Infra.Network.nb_cables sub) (fun i -> i mod 3 = 0)
-          in
-          fun () -> ignore (Stormsim.Recovery.plan ~network:sub ~dead ())));
-    Test.make ~name:"service-availability"
-      (Staged.stage (fun () ->
-           ignore
-             (Stormsim.Resilience_test.evaluate ~network:sub
-                (List.hd Stormsim.Resilience_test.sample_services))));
-    Test.make ~name:"event-sequence-30y"
-      (Staged.stage
-         (let seq_rng = Rng.create 5 in
-          fun () ->
-            ignore
-              (Spaceweather.Event_generator.generate ~rng:seq_rng ~start:2021.0
-                 ~stop:2051.0 ())));
+    ("fig3-latitude-pdf", fun () -> ignore (Stormsim.Distribution.fig3 ~submarine:sub));
+    ( "fig4-threshold-curves",
+      fun () ->
+        ignore
+          (Stormsim.Distribution.fig4a ~submarine:sub
+             ~intertubes:ctx.Report.Figures.intertubes) );
+    ( "fig5-length-cdf",
+      fun () ->
+        ignore
+          (Stormsim.Distribution.fig5 ~submarine:sub
+             ~intertubes:ctx.Report.Figures.intertubes ~itu:ctx.Report.Figures.itu) );
+    ( "fig6-uniform-trial",
+      fun () ->
+        ignore (Stormsim.Montecarlo.trial rng ~network:sub ~spacing_km:150.0 ~per_repeater) );
+    ( "fig8-tiered-trial",
+      fun () ->
+        ignore
+          (Stormsim.Montecarlo.trial rng ~network:sub ~spacing_km:150.0
+             ~per_repeater:tiered) );
+    ("fig9-as-analysis", fun () -> ignore (Stormsim.Systems.analyze_ases ctx.Report.Figures.ases));
+    ( "country-case-study",
+      fun () ->
+        ignore
+          (Stormsim.Country.evaluate ~trials:5 sub
+             (List.hd Stormsim.Country.paper_case_studies)) );
+    ( "gic-exposure-longest-cable",
+      fun () -> ignore (Infra.Exposure.of_cable ~storm ~network:sub long_cable) );
+    ( "graph-connected-components",
+      fun () -> ignore (Netgraph.Traversal.connected_components graph) );
+    ( "mitigation-partitions",
+      fun () -> ignore (Stormsim.Mitigation.predicted_partitions ~network:sub ()) );
+    ( "leo-storm-assessment",
+      fun () ->
+        ignore (Leo.Storm_impact.assess ~dst_nt:(-1200.0) Leo.Constellation.starlink_phase1) );
+    ( "grid-coupled-trial",
+      fun () ->
+        ignore
+          (Stormsim.Powergrid.simulate ~trials:1 ~network:sub
+             ~model:Stormsim.Failure_model.s1 ~dst_nt:(-1200.0) ()) );
+    ( "traffic-routing",
+      let demands = Stormsim.Traffic.gravity_demands () in
+      fun () -> ignore (Stormsim.Traffic.route ~network:sub ~demands ()) );
+    ( "recovery-plan",
+      let dead = Array.init (Infra.Network.nb_cables sub) (fun i -> i mod 3 = 0) in
+      fun () -> ignore (Stormsim.Recovery.plan ~network:sub ~dead ()) );
+    ( "service-availability",
+      fun () ->
+        ignore
+          (Stormsim.Resilience_test.evaluate ~network:sub
+             (List.hd Stormsim.Resilience_test.sample_services)) );
+    ( "event-sequence-30y",
+      let seq_rng = Rng.create 5 in
+      fun () ->
+        ignore
+          (Spaceweather.Event_generator.generate ~rng:seq_rng ~start:2021.0 ~stop:2051.0 ())
+    );
   ]
 
-let run_bechamel ctx =
+(* (kernel, ns/run, estimator) rows for the JSON document. *)
+let run_bechamel ks =
   let open Bechamel in
   let open Bechamel.Toolkit in
   print_endline "\n==============================================================";
@@ -116,25 +104,81 @@ let run_bechamel ctx =
   print_endline "==============================================================";
   let instances = [ Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
-  let tests = bechamel_tests ctx in
-  List.iter
-    (fun test ->
+  List.concat_map
+    (fun (name, f) ->
+      let test = Test.make ~name (Staged.stage f) in
       let results = Benchmark.all cfg instances test in
       let ols =
         Analyze.all
           (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
-          (Instance.monotonic_clock) results
+          Instance.monotonic_clock results
       in
+      let rows = ref [] in
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n" name est
+          | Some [ est ] ->
+              Printf.printf "%-32s %12.0f ns/run\n" name est;
+              rows := (name, est, "bechamel-ols") :: !rows
           | _ -> Printf.printf "%-32s (no estimate)\n" name)
         ols;
-      flush stdout)
-    tests
+      flush stdout;
+      List.rev !rows)
+    ks
+
+(* Cheap --fast timings: one warm-up-free run per kernel against the
+   monotonic clock.  Coarse, but enough to seed a perf trajectory without
+   paying for a Bechamel pass. *)
+let run_single ks =
+  List.map
+    (fun (name, f) ->
+      let t0 = Obs.Clock.monotonic () in
+      f ();
+      let dt = Int64.to_float (Int64.sub (Obs.Clock.monotonic ()) t0) in
+      (name, dt, "single-run"))
+    ks
+
+let write_json ~path ~mode ~kernel_rows ~metrics =
+  let kernel_json =
+    String.concat ","
+      (List.map
+         (fun (name, ns, estimator) ->
+           Printf.sprintf "{\"name\":\"%s\",\"ns_per_run\":%s,\"estimator\":\"%s\"}"
+             (Obs.Export.json_escape name) (Obs.Export.json_float ns) estimator)
+         kernel_rows)
+  in
+  let doc =
+    Printf.sprintf
+      "{\"schema\":\"solarstorm-bench/1\",\"mode\":\"%s\",\"kernels\":[%s],\"metrics\":%s}\n"
+      mode kernel_json
+      (Obs.Export.json_of_snapshot metrics)
+  in
+  let oc = open_out path in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "\nbench json written to %s\n" path
 
 let () =
-  let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
+  let fast = ref false and json = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--fast" :: rest -> fast := true; parse rest
+    | "--json" :: path :: rest -> json := Some path; parse rest
+    | "--json" :: [] -> prerr_endline "--json requires a FILE argument"; exit 2
+    | arg :: _ -> Printf.eprintf "unknown argument %s\n" arg; exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !json <> None then Obs.enable ();
   let ctx = print_figures () in
-  if not fast then run_bechamel ctx
+  let ks = kernels ctx in
+  let kernel_rows =
+    if not !fast then run_bechamel ks
+    else if !json <> None then run_single ks
+    else []
+  in
+  match !json with
+  | None -> ()
+  | Some path ->
+      write_json ~path
+        ~mode:(if !fast then "fast" else "full")
+        ~kernel_rows ~metrics:(Obs.Metrics.snapshot ())

@@ -1,0 +1,45 @@
+#!/bin/sh
+# CI gate: build, run the test suites, and prove the bench harness emits a
+# well-formed perf-trajectory document.  Exits non-zero on any failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+BENCH_JSON="${BENCH_JSON:-/tmp/bench.json}"
+rm -f "$BENCH_JSON"
+
+echo "== bench --fast --json $BENCH_JSON =="
+dune exec bench/main.exe -- --fast --json "$BENCH_JSON" > /dev/null
+
+test -s "$BENCH_JSON" || { echo "check.sh: $BENCH_JSON missing or empty" >&2; exit 1; }
+
+# Structural sanity without assuming a JSON parser is installed: the
+# document must be one object carrying the schema marker, a non-empty
+# kernel list with timings, and a metrics object.
+for needle in '"schema":"solarstorm-bench/1"' '"kernels":[{' '"ns_per_run":' '"metrics":{'; do
+  grep -q -F "$needle" "$BENCH_JSON" \
+    || { echo "check.sh: $BENCH_JSON malformed (missing $needle)" >&2; exit 1; }
+done
+case "$(head -c 1 "$BENCH_JSON")" in
+  '{') ;;
+  *) echo "check.sh: $BENCH_JSON does not start with '{'" >&2; exit 1 ;;
+esac
+
+# When python3 happens to be available, do a real parse too.
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$BENCH_JSON" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "solarstorm-bench/1", "bad schema"
+assert doc["kernels"] and all("ns_per_run" in k for k in doc["kernels"]), "bad kernels"
+assert isinstance(doc["metrics"], dict), "bad metrics"
+EOF
+fi
+
+echo "check.sh: all green ($BENCH_JSON ok)"

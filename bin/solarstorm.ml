@@ -35,19 +35,56 @@ let markdown_t =
   Arg.(value & opt (some string) None & info [ "markdown" ] ~docv:"FILE"
          ~doc:"Also write all rendered figures to $(docv) as markdown.")
 
+(* Observability plumbing, shared by every subcommand: --metrics/--trace
+   switch the Obs layer on for the duration of the command and dump the
+   collected data afterwards.  Without either flag the layer stays off and
+   output is byte-identical to an uninstrumented build. *)
+let metrics_t =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write a metrics + span summary table to $(docv) after the run \
+               ($(b,-) = stderr).")
+
+let trace_t =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write the span trace as JSONL (one event per line) to $(docv) \
+               ($(b,-) = stderr).")
+
+let write_dump dst content =
+  match dst with
+  | "-" ->
+      output_string stderr content;
+      flush stderr
+  | path ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc
+
+let with_obs metrics trace run =
+  if metrics = None && trace = None then run ()
+  else begin
+    Obs.enable ();
+    run ();
+    Option.iter
+      (fun dst ->
+        write_dump dst
+          (Report.Obs_report.render ~events:(Obs.Span.events ()) (Obs.Metrics.snapshot ())))
+      metrics;
+    Option.iter (fun dst -> write_dump dst (Obs.Export.jsonl (Obs.Span.events ()))) trace
+  end
+
+let obs_args term = Cmdliner.Term.(term $ metrics_t $ trace_t)
+
 (* figures *)
 let figures_cmd =
   let id_t =
     Arg.(value & opt (some string) None & info [ "id" ] ~doc:"Only this figure id.")
   in
-  let run seed trials itu_scale caida_ases id out_dir markdown =
+  let run seed trials itu_scale caida_ases id out_dir markdown metrics trace =
+    with_obs metrics trace @@ fun () ->
     let ctx = ctx_of ~seed ~itu_scale ~caida_ases in
     let all = Report.Figures.all ~trials ctx in
-    (match markdown with
-    | Some path ->
-        Report.Markdown.write_results ~path all;
-        Printf.printf "markdown written to %s\n" path
-    | None -> ());
+    (* Validate the id before any side effect: a failed invocation must not
+       clobber the --markdown output file. *)
     let selected =
       match id with
       | None -> all
@@ -57,6 +94,11 @@ let figures_cmd =
       Printf.eprintf "unknown figure id; known: %s\n"
         (String.concat ", " (List.map fst all));
       exit 1);
+    (match markdown with
+    | Some path ->
+        Report.Markdown.write_results ~path all;
+        Printf.printf "markdown written to %s\n" path
+    | None -> ());
     List.iter (fun (fid, text) -> Printf.printf "----- %s -----\n%s\n" fid text) selected;
     (match out_dir with
     | None -> ()
@@ -85,8 +127,9 @@ let figures_cmd =
         Printf.printf "CSV series written to %s\n" dir)
   in
   let term =
-    Term.(const run $ seed_t $ trials_t $ itu_scale_t $ caida_t $ id_t $ out_dir_t
-          $ markdown_t)
+    obs_args
+      Term.(const run $ seed_t $ trials_t $ itu_scale_t $ caida_t $ id_t $ out_dir_t
+            $ markdown_t)
   in
   Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures") term
 
@@ -98,7 +141,8 @@ let map_cmd =
   let net_t =
     Arg.(value & opt network_conv `Submarine & info [ "network" ] ~doc:"Network to draw.")
   in
-  let run seed net =
+  let run seed net metrics trace =
+    with_obs metrics trace @@ fun () ->
     let network =
       match net with
       | `Submarine -> Datasets.Submarine.build ~seed ()
@@ -108,7 +152,7 @@ let map_cmd =
     print_string (Report.Worldmap.render (Report.Worldmap.network_layers network))
   in
   Cmd.v (Cmd.info "map" ~doc:"ASCII world map of a network")
-    Term.(const run $ seed_t $ net_t)
+    (obs_args Term.(const run $ seed_t $ net_t))
 
 (* simulate *)
 let model_conv : Stormsim.Failure_model.t Arg.conv =
@@ -135,7 +179,8 @@ let simulate_cmd =
   let net_t =
     Arg.(value & opt network_conv `Submarine & info [ "network" ] ~doc:"Network.")
   in
-  let run seed trials itu_scale model spacing net =
+  let run seed trials itu_scale model spacing net metrics trace =
+    with_obs metrics trace @@ fun () ->
     let name, network =
       match net with
       | `Submarine -> ("submarine", Datasets.Submarine.build ~seed ())
@@ -153,7 +198,8 @@ let simulate_cmd =
       s.Stormsim.Montecarlo.nodes_std
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Monte-Carlo failure simulation")
-    Term.(const run $ seed_t $ trials_t $ itu_scale_t $ model_t $ spacing_t $ net_t)
+    (obs_args
+       Term.(const run $ seed_t $ trials_t $ itu_scale_t $ model_t $ spacing_t $ net_t))
 
 (* scenario *)
 let scenario_cmd =
@@ -168,7 +214,8 @@ let scenario_cmd =
   let physical_t =
     Arg.(value & flag & info [ "physical" ] ~doc:"Also run the GIC-physical model.")
   in
-  let run seed trials event speed physical =
+  let run seed trials event speed physical metrics trace =
+    with_obs metrics trace @@ fun () ->
     let networks =
       [ ("submarine", Datasets.Submarine.build ~seed ());
         ("intertubes", Datasets.Intertubes.build ~seed ()) ]
@@ -188,11 +235,12 @@ let scenario_cmd =
     Format.printf "%a@." Stormsim.Scenario.pp s
   in
   Cmd.v (Cmd.info "scenario" ~doc:"End-to-end CME impact scenario")
-    Term.(const run $ seed_t $ trials_t $ event_t $ speed_t $ physical_t)
+    (obs_args Term.(const run $ seed_t $ trials_t $ event_t $ speed_t $ physical_t))
 
 (* countries *)
 let countries_cmd =
-  let run seed trials =
+  let run seed trials metrics trace =
+    with_obs metrics trace @@ fun () ->
     let net = Datasets.Submarine.build ~seed () in
     let findings = Stormsim.Country.run_all ~trials net in
     List.iter
@@ -205,25 +253,27 @@ let countries_cmd =
       findings
   in
   Cmd.v (Cmd.info "countries" ~doc:"Country-scale connectivity case studies")
-    Term.(const run $ seed_t $ trials_t)
+    (obs_args Term.(const run $ seed_t $ trials_t))
 
 (* systems *)
 let systems_cmd =
-  let run seed caida_ases =
+  let run seed caida_ases metrics trace =
+    with_obs metrics trace @@ fun () ->
     let ctx = ctx_of ~seed ~itu_scale:0.05 ~caida_ases in
     print_string (Report.Figures.systems ctx)
   in
   Cmd.v (Cmd.info "systems" ~doc:"AS / data-center / DNS resilience")
-    Term.(const run $ seed_t $ caida_t)
+    (obs_args Term.(const run $ seed_t $ caida_t))
 
 (* mitigate *)
 let mitigate_cmd =
-  let run seed =
+  let run seed metrics trace =
+    with_obs metrics trace @@ fun () ->
     let ctx = ctx_of ~seed ~itu_scale:0.05 ~caida_ases:1000 in
     print_string (Report.Figures.mitigation ctx)
   in
   Cmd.v (Cmd.info "mitigate" ~doc:"Shutdown, augmentation and partition planning")
-    Term.(const run $ seed_t)
+    (obs_args Term.(const run $ seed_t))
 
 (* leo *)
 let leo_cmd =
@@ -234,7 +284,8 @@ let leo_cmd =
     Arg.(value & opt (some float) None
          & info [ "batch" ] ~docv:"ALT" ~doc:"Also assess an injection batch parked at ALT km.")
   in
-  let run dst batch =
+  let run dst batch metrics trace =
+    with_obs metrics trace @@ fun () ->
     let r =
       Leo.Storm_impact.assess ?injection_batch:batch ~dst_nt:dst
         Leo.Constellation.starlink_phase1
@@ -242,14 +293,15 @@ let leo_cmd =
     Format.printf "%a@." Leo.Storm_impact.pp r
   in
   Cmd.v (Cmd.info "leo" ~doc:"Storm impact on a LEO mega-constellation")
-    Term.(const run $ dst_t $ batch_t)
+    (obs_args Term.(const run $ dst_t $ batch_t))
 
 (* decision *)
 let decision_cmd =
   let event_t =
     Arg.(value & opt string "carrington" & info [ "event" ] ~doc:"Historical event name.")
   in
-  let run seed event =
+  let run seed event metrics trace =
+    with_obs metrics trace @@ fun () ->
     match Spaceweather.Storm_catalog.find event with
     | None ->
         Printf.eprintf "unknown event %s\n" event;
@@ -268,13 +320,15 @@ let decision_cmd =
           (if d.Stormsim.Mitigation.recommended then "DE-POWER" else "STAY POWERED")
   in
   Cmd.v (Cmd.info "decision" ~doc:"Shutdown decision for a storm (5.2)")
-    Term.(const run $ seed_t $ event_t)
+    (obs_args Term.(const run $ seed_t $ event_t))
 
 (* probability *)
 let probability_cmd =
-  let run () = print_string (Report.Figures.probability ()) in
+  let run () metrics trace =
+    with_obs metrics trace @@ fun () -> print_string (Report.Figures.probability ())
+  in
   Cmd.v (Cmd.info "probability" ~doc:"Occurrence-probability table")
-    Term.(const run $ const ())
+    (obs_args Term.(const run $ const ()))
 
 let main_cmd =
   let doc = "solar-superstorm Internet resilience simulator (SIGCOMM '21 reproduction)" in

@@ -52,7 +52,11 @@ let to_string = function
   | Geomag_tiered { high; mid; low; _ } ->
       Printf.sprintf "geomag-tiered[%g; %g; %g]" high mid low
 
+let compiles = Obs.Metrics.counter "fm.compiles"
+
 let compile model ~network =
+  Obs.Metrics.incr compiles;
+  Obs.Span.with_ ~name:"fm.compile" @@ fun () ->
   match model with
   | Uniform p -> fun (_ : Infra.Cable.t) -> p
   | Latitude_tiered { high; mid; low; mid_threshold; high_threshold } ->

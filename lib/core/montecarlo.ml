@@ -38,26 +38,36 @@ let nodes_unreachable_pct net dead =
   done;
   if !total = 0 then 0.0 else 100.0 *. float_of_int !unreachable /. float_of_int !total
 
+let trials_total = Obs.Metrics.counter "mc.trials_total"
+let cables_failed_total = Obs.Metrics.counter "mc.cables_failed"
+
 let trial rng ~network ~spacing_km ~per_repeater =
-  let m = Infra.Network.nb_cables network in
-  let dead = Array.make m false in
-  for c = 0 to m - 1 do
-    let cable = Infra.Network.cable network c in
-    let p =
-      Failure_model.cable_death_prob ~per_repeater:(per_repeater cable) ~spacing_km
-        cable
-    in
-    dead.(c) <- Rng.bernoulli rng ~p
-  done;
-  {
-    dead;
-    cables_failed_pct = cables_failed_pct network dead;
-    nodes_unreachable_pct = nodes_unreachable_pct network dead;
-  }
+  Obs.Span.with_ ~name:"mc.trial" (fun () ->
+      let m = Infra.Network.nb_cables network in
+      let dead = Array.make m false in
+      for c = 0 to m - 1 do
+        let cable = Infra.Network.cable network c in
+        let p =
+          Failure_model.cable_death_prob ~per_repeater:(per_repeater cable) ~spacing_km
+            cable
+        in
+        dead.(c) <- Rng.bernoulli rng ~p
+      done;
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.incr trials_total;
+        Obs.Metrics.add cables_failed_total
+          (Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 dead)
+      end;
+      {
+        dead;
+        cables_failed_pct = cables_failed_pct network dead;
+        nodes_unreachable_pct = nodes_unreachable_pct network dead;
+      })
 
 let run ?(trials = 10) ~seed ~network ~spacing_km ~model () =
   if trials <= 0 then invalid_arg "Montecarlo.run: trials <= 0";
   if spacing_km <= 0.0 then invalid_arg "Montecarlo.run: spacing <= 0";
+  Obs.Span.with_ ~name:"mc.run" @@ fun () ->
   let per_repeater = Failure_model.compile model ~network in
   let master = Rng.create seed in
   let cables = ref [] and nodes = ref [] in

@@ -112,6 +112,7 @@ type coupled_result = {
 
 let simulate ?(trials = 30) ?(seed = 31) ?(backup_days = 3.0) ?(spacing_km = 150.0)
     ~network ~model ~dst_nt () =
+  Obs.Span.with_ ~name:"powergrid.simulate" @@ fun () ->
   let per_repeater = Failure_model.compile model ~network in
   let master = Rng.create seed in
   let n = Infra.Network.nb_nodes network in

@@ -136,7 +136,11 @@ let route_internal ?dead ~network ~demands () =
       List.length (List.filter (fun l -> l > 2.0 *. Float.max 1e-9 base) loaded);
   }
 
+let routes = Obs.Metrics.counter "traffic.routes"
+
 let route ?dead ~network ~demands () =
+  Obs.Metrics.incr routes;
+  Obs.Span.with_ ~name:"traffic.route" @@ fun () ->
   (* Reset the baseline memo when called on a healthy network so repeated
      use stays self-consistent. *)
   (match dead with

@@ -19,7 +19,14 @@ let path_of_cable ~network (c : Cable.t) =
   in
   expand coords
 
+let exposure_evals = Obs.Metrics.counter "gic.exposure_evals"
+
+let peak_gic_hist =
+  Obs.Metrics.histogram "gic.peak_gic_a"
+    ~buckets:[| 1.0; 3.0; 10.0; 30.0; 100.0; 300.0; 1000.0 |]
+
 let of_cable ?interval_km ~storm ~network (c : Cable.t) =
+  Obs.Metrics.incr exposure_evals;
   let path = path_of_cable ~network c in
   let grounds = Grounding.chainages ?interval_km ~length_km:c.Cable.length_km () in
   if grounds = [] then
@@ -35,6 +42,7 @@ let of_cable ?interval_km ~storm ~network (c : Cable.t) =
         (0.0, 0.0, 0.0) result.Gic.Induced.sections
     in
     let a, b, _ = worst in
+    Obs.Metrics.observe peak_gic_hist result.Gic.Induced.peak_gic_a;
     {
       cable_id = c.Cable.id;
       peak_gic_a = result.Gic.Induced.peak_gic_a;
@@ -47,5 +55,6 @@ let failure_probability ?(scale_a = 30.0) t =
   1.0 -. exp (-.t.peak_gic_a /. scale_a)
 
 let network_exposures ?interval_km ~storm network =
+  Obs.Span.with_ ~name:"gic.network_exposures" @@ fun () ->
   Array.init (Network.nb_cables network) (fun i ->
       of_cable ?interval_km ~storm ~network (Network.cable network i))

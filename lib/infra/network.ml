@@ -70,6 +70,13 @@ let graph_without_cables t ~dead =
 let cable_lengths t =
   Array.to_list (Array.map (fun (c : Cable.t) -> c.Cable.length_km) t.cables)
 
+let longest_cable t =
+  if Array.length t.cables = 0 then invalid_arg "Network.longest_cable: no cables";
+  Array.fold_left
+    (fun (best : Cable.t) (c : Cable.t) ->
+      if c.Cable.length_km > best.Cable.length_km then c else best)
+    t.cables.(0) t.cables
+
 let endpoint_latitudes t =
   let has_cable = Array.make (Array.length t.nodes) false in
   Array.iter

@@ -44,6 +44,10 @@ val graph_without_cables : t -> dead:bool array -> Netgraph.Graph.t
 val cable_lengths : t -> float list
 (** All cable lengths, km (Fig. 5 input). *)
 
+val longest_cable : t -> Cable.t
+(** The cable with the greatest length.  @raise Invalid_argument on a
+    network without cables. *)
+
 val endpoint_latitudes : t -> (float * float) list
 (** [(latitude, weight 1.)] for every node that has at least one cable
     landing — the "endpoints" of Figs 3–4. *)

@@ -1,0 +1,4 @@
+let flag = ref false
+let enable () = flag := true
+let disable () = flag := false
+let enabled () = !flag

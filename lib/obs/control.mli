@@ -1,0 +1,13 @@
+(** Global on/off switch for the whole observability layer.
+
+    Every mutation in {!Metrics} and {!Span} is gated on [flag], so with
+    observability disabled (the default) an instrumented call site costs a
+    single branch and nothing is recorded: instrumented binaries behave —
+    and print — exactly like uninstrumented ones. *)
+
+val flag : bool ref
+(** The raw switch, exposed so hot paths can read it with one load. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool

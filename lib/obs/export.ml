@@ -1,0 +1,87 @@
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+let jsonl events =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (e : Span.event) ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"ts_ns\":%Ld,\"depth\":%d}\n"
+           (json_escape e.Span.name)
+           (match e.Span.phase with Span.Begin -> "B" | Span.End -> "E")
+           e.Span.t_ns e.Span.depth))
+    events;
+  Buffer.contents buf
+
+(* Prometheus metric names allow [a-zA-Z0-9_:]; map everything else to '_'. *)
+let prometheus_name s =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = ':'
+      then c
+      else '_')
+    s
+
+let prometheus (snap : Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let pname = prometheus_name name in
+      match v with
+      | Metrics.Counter n ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" pname pname n)
+      | Metrics.Gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s gauge\n%s %s\n" pname pname (json_float g))
+      | Metrics.Histogram { bounds; counts; sum; count } ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" pname);
+          let cum = ref 0 in
+          Array.iteri
+            (fun i b ->
+              cum := !cum + counts.(i);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" pname (json_float b) !cum))
+            bounds;
+          cum := !cum + counts.(Array.length counts - 1);
+          Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pname !cum);
+          Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" pname (json_float sum));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" pname count))
+    snap;
+  Buffer.contents buf
+
+let json_of_value = function
+  | Metrics.Counter n -> string_of_int n
+  | Metrics.Gauge g -> json_float g
+  | Metrics.Histogram { bounds; counts; sum; count } ->
+      let buckets =
+        List.init (Array.length counts) (fun i ->
+            let le =
+              if i < Array.length bounds then Printf.sprintf "%s" (json_float bounds.(i))
+              else "\"+Inf\""
+            in
+            Printf.sprintf "{\"le\":%s,\"n\":%d}" le counts.(i))
+      in
+      Printf.sprintf "{\"count\":%d,\"sum\":%s,\"buckets\":[%s]}" count (json_float sum)
+        (String.concat "," buckets)
+
+let json_of_snapshot (snap : Metrics.snapshot) =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (name, v) -> Printf.sprintf "\"%s\":%s" (json_escape name) (json_of_value v)) snap)
+  ^ "}"

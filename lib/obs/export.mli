@@ -1,0 +1,26 @@
+(** Machine-readable exporters.
+
+    - [jsonl]: one JSON object per span event
+      ([{"name":…,"ph":"B"|"E","ts_ns":…,"depth":…}]), suitable for
+      line-oriented trace tooling;
+    - [prometheus]: Prometheus text exposition format (names are
+      sanitised, histograms expand to cumulative [_bucket]/[_sum]/[_count]
+      series);
+    - [json_of_snapshot]: a single JSON object keyed by metric name, the
+      form embedded in [bench --json] documents.
+
+    The human-readable table rendering lives in [Report.Obs_report] so
+    this library stays dependency-free. *)
+
+val jsonl : Span.event list -> string
+
+val prometheus : Metrics.snapshot -> string
+
+val json_of_snapshot : Metrics.snapshot -> string
+
+val json_escape : string -> string
+(** Escape a string for embedding inside a JSON string literal (quotes
+    not included). *)
+
+val json_float : float -> string
+(** Compact JSON float formatting (integers render as ["n.0"]). *)

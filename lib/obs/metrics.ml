@@ -1,0 +1,155 @@
+type counter = { c_name : string; mutable c_count : int }
+type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+
+type histogram = {
+  h_name : string;
+  h_bounds : float array;
+  h_counts : int array; (* length = Array.length h_bounds + 1; last = overflow *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { bounds : float array; counts : int array; sum : float; count : int }
+
+type snapshot = (string * value) list
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let registered kind name make =
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None ->
+      ignore kind;
+      let m = make () in
+      Hashtbl.replace registry name m;
+      m
+
+let kind_mismatch name = invalid_arg ("Obs.Metrics: " ^ name ^ " registered with another kind")
+
+let counter name =
+  match registered `C name (fun () -> C { c_name = name; c_count = 0 }) with
+  | C c -> c
+  | _ -> kind_mismatch name
+
+let gauge name =
+  match registered `G name (fun () -> G { g_name = name; g_value = 0.0; g_set = false }) with
+  | G g -> g
+  | _ -> kind_mismatch name
+
+let check_bounds bounds =
+  if Array.length bounds = 0 then invalid_arg "Obs.Metrics.histogram: no buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && bounds.(i - 1) >= b then
+        invalid_arg "Obs.Metrics.histogram: bucket bounds must increase strictly")
+    bounds
+
+let histogram name ~buckets =
+  check_bounds buckets;
+  match
+    registered `H name (fun () ->
+        H
+          {
+            h_name = name;
+            h_bounds = Array.copy buckets;
+            h_counts = Array.make (Array.length buckets + 1) 0;
+            h_sum = 0.0;
+            h_count = 0;
+          })
+  with
+  | H h ->
+      if h.h_bounds <> buckets then
+        invalid_arg ("Obs.Metrics: " ^ name ^ " re-registered with different buckets");
+      h
+  | _ -> kind_mismatch name
+
+let enabled = Control.enabled
+
+let incr c = if !Control.flag then c.c_count <- c.c_count + 1
+
+let add c n = if !Control.flag then c.c_count <- c.c_count + n
+
+let set g v =
+  if !Control.flag then begin
+    g.g_value <- v;
+    g.g_set <- true
+  end
+
+let bucket_index bounds v =
+  (* Linear scan: bucket arrays here are small (<= ~16). A value lands in
+     the first bucket whose upper bound is >= v; past the last bound it
+     falls into the overflow slot. *)
+  let n = Array.length bounds in
+  let rec scan i = if i = n then n else if v <= bounds.(i) then i else scan (i + 1) in
+  scan 0
+
+let observe h v =
+  if !Control.flag then begin
+    let i = bucket_index h.h_bounds v in
+    h.h_counts.(i) <- h.h_counts.(i) + 1;
+    h.h_sum <- h.h_sum +. v;
+    h.h_count <- h.h_count + 1
+  end
+
+let value_of = function
+  | C c -> Counter c.c_count
+  | G g -> Gauge g.g_value
+  | H h ->
+      Histogram
+        {
+          bounds = Array.copy h.h_bounds;
+          counts = Array.copy h.h_counts;
+          sum = h.h_sum;
+          count = h.h_count;
+        }
+
+let snapshot () =
+  Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> c.c_count <- 0
+      | G g ->
+          g.g_value <- 0.0;
+          g.g_set <- false
+      | H h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_sum <- 0.0;
+          h.h_count <- 0)
+    registry
+
+let merge_value name a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge _, Gauge y -> Gauge y (* right-biased: the later snapshot wins *)
+  | Histogram x, Histogram y ->
+      if x.bounds <> y.bounds then
+        invalid_arg ("Obs.Metrics.merge: " ^ name ^ " has mismatched buckets");
+      Histogram
+        {
+          bounds = x.bounds;
+          counts = Array.init (Array.length x.counts) (fun i -> x.counts.(i) + y.counts.(i));
+          sum = x.sum +. y.sum;
+          count = x.count + y.count;
+        }
+  | _ -> invalid_arg ("Obs.Metrics.merge: " ^ name ^ " has mismatched kinds")
+
+let merge a b =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (name, v) -> Hashtbl.replace tbl name v) a;
+  List.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt tbl name with
+      | None -> Hashtbl.replace tbl name v
+      | Some prev -> Hashtbl.replace tbl name (merge_value name prev v))
+    b;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,57 @@
+(** Process-global metrics registry: named counters, gauges and
+    fixed-bucket histograms.
+
+    Registration ([counter] / [gauge] / [histogram]) is idempotent and
+    cheap, so instrumented modules register their metrics once at module
+    initialisation.  Mutations ([incr], [add], [set], [observe]) are
+    no-ops unless the layer is enabled (see {!Control}), costing a single
+    branch on the disabled path.
+
+    [snapshot] freezes the registry into a plain, order-stable value that
+    exporters consume; snapshots from different runs (or shards) can be
+    combined with [merge]. *)
+
+type counter
+type gauge
+type histogram
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { bounds : float array; counts : int array; sum : float; count : int }
+      (** [counts] has one slot per bound (value <= bound, first match
+          wins) plus a final overflow slot. *)
+
+type snapshot = (string * value) list
+(** Sorted by metric name. *)
+
+val counter : string -> counter
+(** Find-or-create. @raise Invalid_argument if the name is already
+    registered as a different kind. *)
+
+val gauge : string -> gauge
+
+val histogram : string -> buckets:float array -> histogram
+(** [buckets] are strictly increasing upper bounds; an implicit overflow
+    bucket catches everything above the last bound.
+    @raise Invalid_argument on empty or non-increasing [buckets], or if
+    the name exists with different buckets. *)
+
+val enabled : unit -> bool
+(** True when the observability layer is switched on — use to gate any
+    non-trivial work done only to feed a metric. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations are kept). *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Counters add, histograms add bucket-wise, gauges take the
+    right-hand (later) value.  @raise Invalid_argument on kind or bucket
+    mismatches. *)

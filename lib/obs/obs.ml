@@ -1,0 +1,23 @@
+(** Observability substrate: a global metrics registry, span tracing
+    against an injectable clock, and machine-readable exporters.
+
+    The layer is off by default and every instrumented call site is gated
+    on one branch, so binaries built with instrumentation behave exactly
+    like uninstrumented ones until {!enable} is called (the [--metrics] /
+    [--trace] CLI flags, or [bench --json], do that).
+
+    Metric name catalogue and the trace-event schema are documented in
+    DESIGN.md §Observability. *)
+
+module Clock = Clock
+module Metrics = Metrics
+module Span = Span
+module Export = Export
+
+let enable = Control.enable
+let disable = Control.disable
+let enabled = Control.enabled
+
+let reset () =
+  Metrics.reset ();
+  Span.reset ()

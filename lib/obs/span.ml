@@ -1,0 +1,83 @@
+type phase = Begin | End
+
+type event = { name : string; phase : phase; t_ns : int64; depth : int }
+
+let clock = ref Clock.monotonic
+let set_clock c = clock := c
+let now () = !clock ()
+
+let default_capacity = 65_536
+
+(* Ring buffer of events: cheap push, bounded memory.  When full, the
+   oldest events are overwritten and [dropped] counts them. *)
+let dummy = { name = ""; phase = Begin; t_ns = 0L; depth = 0 }
+let capacity = ref default_capacity
+let buf = ref (Array.make default_capacity dummy)
+let next = ref 0 (* slot for the next push *)
+let total = ref 0 (* events pushed since last reset *)
+let depth = ref 0
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Obs.Span.set_capacity: capacity <= 0";
+  capacity := n;
+  buf := Array.make n dummy;
+  next := 0;
+  total := 0
+
+let reset () =
+  Array.fill !buf 0 (Array.length !buf) dummy;
+  next := 0;
+  total := 0;
+  depth := 0
+
+let push ev =
+  !buf.(!next) <- ev;
+  next := (!next + 1) mod !capacity;
+  incr total
+
+let dropped () = Int.max 0 (!total - !capacity)
+
+let events () =
+  let n = Int.min !total !capacity in
+  let start = if !total <= !capacity then 0 else !next in
+  List.init n (fun i -> !buf.((start + i) mod !capacity))
+
+let with_ ~name f =
+  if not !Control.flag then f ()
+  else begin
+    let d = !depth in
+    push { name; phase = Begin; t_ns = now (); depth = d };
+    depth := d + 1;
+    Fun.protect
+      ~finally:(fun () ->
+        depth := d;
+        push { name; phase = End; t_ns = now (); depth = d })
+      f
+  end
+
+type summary = { span_name : string; calls : int; total_ns : int64 }
+
+let summarize evs =
+  (* Pair Begin/End events with a stack; unmatched Begins (still-open or
+     overwritten spans) are ignored. *)
+  let acc : (string, int * int64) Hashtbl.t = Hashtbl.create 16 in
+  let stack = ref [] in
+  List.iter
+    (fun ev ->
+      match ev.phase with
+      | Begin -> stack := ev :: !stack
+      | End -> (
+          match !stack with
+          | b :: rest when b.name = ev.name && b.depth = ev.depth ->
+              stack := rest;
+              let dt = Int64.sub ev.t_ns b.t_ns in
+              let calls, tot =
+                Option.value ~default:(0, 0L) (Hashtbl.find_opt acc ev.name)
+              in
+              Hashtbl.replace acc ev.name (calls + 1, Int64.add tot dt)
+          | _ -> ()))
+    evs;
+  Hashtbl.fold
+    (fun span_name (calls, total_ns) out -> { span_name; calls; total_ns } :: out)
+    acc []
+  |> List.sort (fun a b -> String.compare a.span_name b.span_name)

@@ -1,0 +1,39 @@
+(** Span tracing: nested begin/end events against an injectable clock.
+
+    [with_ ~name f] wraps [f] in a span.  When the layer is disabled the
+    wrapper is a single branch around [f]; when enabled it pushes a
+    [Begin] and an [End] event (the latter even if [f] raises) into a
+    bounded ring buffer.  Events carry the nesting depth at the time the
+    span opened, so exporters can reconstruct the parent/child tree. *)
+
+type phase = Begin | End
+
+type event = { name : string; phase : phase; t_ns : int64; depth : int }
+
+val set_clock : Clock.t -> unit
+(** Install the clock used to stamp events (default {!Clock.monotonic}). *)
+
+val now : unit -> int64
+(** Read the installed clock. *)
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+
+val events : unit -> event list
+(** Retained events, oldest first.  The buffer is a ring: once more than
+    the capacity have been recorded, the oldest are gone (see
+    [dropped]). *)
+
+val dropped : unit -> int
+
+val set_capacity : int -> unit
+(** Resize the ring (discards retained events).  Default 65536 events.
+    @raise Invalid_argument if the capacity is not positive. *)
+
+val reset : unit -> unit
+(** Drop all retained events and reset the nesting depth. *)
+
+type summary = { span_name : string; calls : int; total_ns : int64 }
+
+val summarize : event list -> summary list
+(** Per-name call counts and total inclusive time, from pairing matching
+    [Begin]/[End] events; sorted by name.  Unpaired events are ignored. *)

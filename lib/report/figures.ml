@@ -479,29 +479,45 @@ let interdomain () =
       ~header:[ "storm"; "ASes down%"; "reachable%"; "BGP cont%"; "multipath%"; "paths" ]
       rows
 
+let render_ns =
+  Obs.Metrics.histogram "figures.render_ns"
+    ~buckets:[| 1e6; 1e7; 1e8; 1e9; 1e10; 1e11 |]
+
+(* Render one figure under a span named after its id, feeding the
+   per-figure render-time histogram.  When observability is off this is
+   the bare [f ()]. *)
+let timed id f =
+  if not (Obs.enabled ()) then (id, f ())
+  else
+    Obs.Span.with_ ~name:("figures." ^ id) (fun () ->
+        let t0 = Obs.Span.now () in
+        let text = f () in
+        Obs.Metrics.observe render_ns (Int64.to_float (Int64.sub (Obs.Span.now ()) t0));
+        (id, text))
+
 let all ?(trials = 10) ctx =
   [
-    ("fig1", fig1 ctx);
-    ("fig2", fig2 ctx);
-    ("fig3", fig3 ctx);
-    ("fig4a", fig4a ctx);
-    ("fig4b", fig4b ctx);
-    ("fig5", fig5 ctx);
-    ("fig6", fig6 ~trials ctx);
-    ("fig7", fig7 ~trials ctx);
-    ("fig8", fig8 ~trials ctx);
-    ("fig9a", fig9a ctx);
-    ("fig9b", fig9b ctx);
-    ("countries", countries ~trials:(Int.max 20 trials) ctx);
-    ("systems", systems ctx);
-    ("probability", probability ());
-    ("mitigation", mitigation ctx);
-    ("leo", leo ());
-    ("grid-coupling", grid_coupling ~trials ctx);
-    ("aftermath", aftermath ~trials:(Int.min 5 trials) ctx);
-    ("service-resilience", service_resilience ctx);
-    ("ablations", ablations ~trials ctx);
-    ("risk-horizon", risk_horizon ());
-    ("interdomain", interdomain ());
-    ("capacity", capacity ~trials:(Int.min 5 trials) ctx);
+    timed "fig1" (fun () -> fig1 ctx);
+    timed "fig2" (fun () -> fig2 ctx);
+    timed "fig3" (fun () -> fig3 ctx);
+    timed "fig4a" (fun () -> fig4a ctx);
+    timed "fig4b" (fun () -> fig4b ctx);
+    timed "fig5" (fun () -> fig5 ctx);
+    timed "fig6" (fun () -> fig6 ~trials ctx);
+    timed "fig7" (fun () -> fig7 ~trials ctx);
+    timed "fig8" (fun () -> fig8 ~trials ctx);
+    timed "fig9a" (fun () -> fig9a ctx);
+    timed "fig9b" (fun () -> fig9b ctx);
+    timed "countries" (fun () -> countries ~trials:(Int.max 20 trials) ctx);
+    timed "systems" (fun () -> systems ctx);
+    timed "probability" (fun () -> probability ());
+    timed "mitigation" (fun () -> mitigation ctx);
+    timed "leo" (fun () -> leo ());
+    timed "grid-coupling" (fun () -> grid_coupling ~trials ctx);
+    timed "aftermath" (fun () -> aftermath ~trials:(Int.min 5 trials) ctx);
+    timed "service-resilience" (fun () -> service_resilience ctx);
+    timed "ablations" (fun () -> ablations ~trials ctx);
+    timed "risk-horizon" (fun () -> risk_horizon ());
+    timed "interdomain" (fun () -> interdomain ());
+    timed "capacity" (fun () -> capacity ~trials:(Int.min 5 trials) ctx);
   ]

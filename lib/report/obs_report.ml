@@ -1,0 +1,49 @@
+let hist_cell ~bounds ~counts ~sum ~count =
+  let mean = if count = 0 then 0.0 else sum /. float_of_int count in
+  let cells =
+    List.init (Array.length counts) (fun i ->
+        let le =
+          if i < Array.length bounds then Printf.sprintf "%g" bounds.(i) else "+Inf"
+        in
+        Printf.sprintf "%s:%d" le counts.(i))
+  in
+  Printf.sprintf "count=%d mean=%g [%s]" count mean (String.concat " " cells)
+
+let metrics_table (snap : Obs.Metrics.snapshot) =
+  let rows =
+    List.map
+      (fun (name, v) ->
+        match v with
+        | Obs.Metrics.Counter n -> [ name; "counter"; string_of_int n ]
+        | Obs.Metrics.Gauge g -> [ name; "gauge"; Printf.sprintf "%g" g ]
+        | Obs.Metrics.Histogram { bounds; counts; sum; count } ->
+            [ name; "histogram"; hist_cell ~bounds ~counts ~sum ~count ])
+      snap
+  in
+  Table.render ~header:[ "metric"; "kind"; "value" ] rows
+
+let spans_table events =
+  let rows =
+    List.map
+      (fun (s : Obs.Span.summary) ->
+        [ s.Obs.Span.span_name;
+          string_of_int s.Obs.Span.calls;
+          Printf.sprintf "%.3f" (Int64.to_float s.Obs.Span.total_ns /. 1e6) ])
+      (Obs.Span.summarize events)
+  in
+  Table.render ~header:[ "span"; "calls"; "total_ms" ] rows
+
+let render ?(events = []) snap =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Observability summary\n";
+  Buffer.add_string buf (metrics_table snap);
+  (match Obs.Span.summarize events with
+  | [] -> ()
+  | _ ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (spans_table events);
+      let d = Obs.Span.dropped () in
+      if d > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "(ring full: %d oldest events dropped)\n" d));
+  Buffer.contents buf

@@ -7,3 +7,4 @@ module Worldmap = Worldmap
 module Csv = Csv
 module Markdown = Markdown
 module Figures = Figures
+module Obs_report = Obs_report

@@ -27,7 +27,11 @@ let reachable_set g src =
   List.iter (fun (n, _) -> Hashtbl.replace tbl n ()) (bfs g src);
   tbl
 
+let cc_calls = Obs.Metrics.counter "graph.cc_calls"
+
 let connected_components g =
+  Obs.Metrics.incr cc_calls;
+  Obs.Span.with_ ~name:"graph.connected_components" @@ fun () ->
   let seen = Hashtbl.create 64 in
   let comps =
     Graph.fold_nodes g ~init:[] ~f:(fun acc n ->

@@ -1,0 +1,281 @@
+(* Tests for the Obs observability layer: metric arithmetic, histogram
+   bucket boundaries, span nesting under a fake clock, exporter golden
+   output, and the no-interference guarantee (instrumented Monte-Carlo
+   runs are bit-identical to uninstrumented ones). *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0
+
+(* Every test starts from a clean, enabled slate and leaves the layer off
+   so test order never matters. *)
+let with_obs_enabled f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ();
+      Obs.Span.set_clock Obs.Clock.monotonic)
+    f
+
+(* --- metric arithmetic --- *)
+
+let test_counter_arithmetic () =
+  with_obs_enabled @@ fun () ->
+  let c = Obs.Metrics.counter "test.counter" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 40;
+  (match List.assoc "test.counter" (Obs.Metrics.snapshot ()) with
+  | Obs.Metrics.Counter n -> Alcotest.(check int) "counter" 42 n
+  | _ -> Alcotest.fail "not a counter");
+  Obs.Metrics.reset ();
+  match List.assoc "test.counter" (Obs.Metrics.snapshot ()) with
+  | Obs.Metrics.Counter n -> Alcotest.(check int) "reset" 0 n
+  | _ -> Alcotest.fail "not a counter"
+
+let test_counter_disabled_is_noop () =
+  Obs.reset ();
+  Obs.disable ();
+  let c = Obs.Metrics.counter "test.disabled" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 10;
+  match List.assoc "test.disabled" (Obs.Metrics.snapshot ()) with
+  | Obs.Metrics.Counter n -> Alcotest.(check int) "stays zero" 0 n
+  | _ -> Alcotest.fail "not a counter"
+
+let test_gauge_set () =
+  with_obs_enabled @@ fun () ->
+  let g = Obs.Metrics.gauge "test.gauge" in
+  Obs.Metrics.set g 1.5;
+  Obs.Metrics.set g 2.5;
+  match List.assoc "test.gauge" (Obs.Metrics.snapshot ()) with
+  | Obs.Metrics.Gauge v -> Alcotest.(check (float 1e-9)) "last write wins" 2.5 v
+  | _ -> Alcotest.fail "not a gauge"
+
+let test_kind_clash_rejected () =
+  with_obs_enabled @@ fun () ->
+  let (_ : Obs.Metrics.counter) = Obs.Metrics.counter "test.clash" in
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Obs.Metrics: test.clash registered with another kind") (fun () ->
+      ignore (Obs.Metrics.gauge "test.clash"))
+
+(* --- histogram buckets --- *)
+
+let test_histogram_bucket_boundaries () =
+  with_obs_enabled @@ fun () ->
+  let h = Obs.Metrics.histogram "test.hist" ~buckets:[| 1.0; 10.0; 100.0 |] in
+  (* On-boundary values land in the bucket they bound (le semantics). *)
+  List.iter (Obs.Metrics.observe h) [ 0.5; 1.0; 1.0001; 10.0; 99.9; 100.0; 100.1; 1e9 ];
+  match List.assoc "test.hist" (Obs.Metrics.snapshot ()) with
+  | Obs.Metrics.Histogram { bounds; counts; sum; count } ->
+      Alcotest.(check (array (float 1e-9))) "bounds" [| 1.0; 10.0; 100.0 |] bounds;
+      Alcotest.(check (array int)) "counts" [| 2; 2; 2; 2 |] counts;
+      Alcotest.(check int) "count" 8 count;
+      Alcotest.(check (float 1e-3)) "sum" (0.5 +. 1.0 +. 1.0001 +. 10.0 +. 99.9 +. 100.0 +. 100.1 +. 1e9) sum
+  | _ -> Alcotest.fail "not a histogram"
+
+let test_histogram_rejects_bad_buckets () =
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Obs.Metrics.histogram: bucket bounds must increase strictly")
+    (fun () -> ignore (Obs.Metrics.histogram "test.hist.bad" ~buckets:[| 1.0; 1.0 |]))
+
+(* --- merge --- *)
+
+let test_merge () =
+  with_obs_enabled @@ fun () ->
+  let c = Obs.Metrics.counter "m.c" in
+  let h = Obs.Metrics.histogram "m.h" ~buckets:[| 1.0; 2.0 |] in
+  Obs.Metrics.incr c;
+  Obs.Metrics.observe h 0.5;
+  let a = Obs.Metrics.snapshot () in
+  Obs.Metrics.reset ();
+  Obs.Metrics.add c 2;
+  Obs.Metrics.observe h 1.5;
+  Obs.Metrics.observe h 5.0;
+  let b = Obs.Metrics.snapshot () in
+  let m = Obs.Metrics.merge a b in
+  (match List.assoc "m.c" m with
+  | Obs.Metrics.Counter n -> Alcotest.(check int) "counters add" 3 n
+  | _ -> Alcotest.fail "not a counter");
+  match List.assoc "m.h" m with
+  | Obs.Metrics.Histogram { counts; count; _ } ->
+      Alcotest.(check (array int)) "bucketwise add" [| 1; 1; 1 |] counts;
+      Alcotest.(check int) "count" 3 count
+  | _ -> Alcotest.fail "not a histogram"
+
+(* --- spans --- *)
+
+let test_nested_spans_fake_clock () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.set_clock (Obs.Clock.fake ~start:0L ~step:100L ());
+  let r =
+    Obs.Span.with_ ~name:"outer" (fun () ->
+        Obs.Span.with_ ~name:"inner" (fun () -> 7))
+  in
+  Alcotest.(check int) "value threads through" 7 r;
+  let evs = Obs.Span.events () in
+  let shape =
+    List.map
+      (fun (e : Obs.Span.event) ->
+        Printf.sprintf "%s %s %Ld d%d" e.Obs.Span.name
+          (match e.Obs.Span.phase with Obs.Span.Begin -> "B" | Obs.Span.End -> "E")
+          e.Obs.Span.t_ns e.Obs.Span.depth)
+      evs
+  in
+  Alcotest.(check (list string))
+    "begin/end nesting with ticking clock"
+    [ "outer B 0 d0"; "inner B 100 d1"; "inner E 200 d1"; "outer E 300 d0" ]
+    shape;
+  let sums = Obs.Span.summarize evs in
+  Alcotest.(check int) "two span names" 2 (List.length sums);
+  let outer = List.find (fun s -> s.Obs.Span.span_name = "outer") sums in
+  let inner = List.find (fun s -> s.Obs.Span.span_name = "inner") sums in
+  Alcotest.(check int64) "outer total" 300L outer.Obs.Span.total_ns;
+  Alcotest.(check int64) "inner total" 100L inner.Obs.Span.total_ns
+
+let test_span_end_recorded_on_raise () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.set_clock (Obs.Clock.fake ());
+  (try Obs.Span.with_ ~name:"boom" (fun () -> failwith "x") with Failure _ -> ());
+  let evs = Obs.Span.events () in
+  Alcotest.(check int) "begin and end" 2 (List.length evs);
+  match List.rev evs with
+  | last :: _ ->
+      Alcotest.(check bool) "last is End" true (last.Obs.Span.phase = Obs.Span.End)
+  | [] -> Alcotest.fail "no events"
+
+let test_span_ring_overflow () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.set_capacity 8;
+  Fun.protect ~finally:(fun () -> Obs.Span.set_capacity 65_536) @@ fun () ->
+  Obs.Span.set_clock (Obs.Clock.fake ());
+  for _ = 1 to 10 do
+    Obs.Span.with_ ~name:"tick" (fun () -> ())
+  done;
+  Alcotest.(check int) "ring keeps capacity" 8 (List.length (Obs.Span.events ()));
+  Alcotest.(check int) "dropped counts overflow" 12 (Obs.Span.dropped ())
+
+let test_disabled_span_records_nothing () =
+  Obs.reset ();
+  Obs.disable ();
+  let r = Obs.Span.with_ ~name:"off" (fun () -> 3) in
+  Alcotest.(check int) "passthrough" 3 r;
+  Alcotest.(check int) "no events" 0 (List.length (Obs.Span.events ()))
+
+(* --- exporters (golden output) --- *)
+
+let test_jsonl_golden () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.set_clock (Obs.Clock.fake ~start:5L ~step:10L ());
+  Obs.Span.with_ ~name:"a.b" (fun () -> ());
+  Alcotest.(check string) "jsonl"
+    "{\"name\":\"a.b\",\"ph\":\"B\",\"ts_ns\":5,\"depth\":0}\n\
+     {\"name\":\"a.b\",\"ph\":\"E\",\"ts_ns\":15,\"depth\":0}\n"
+    (Obs.Export.jsonl (Obs.Span.events ()))
+
+let test_prometheus_golden () =
+  with_obs_enabled @@ fun () ->
+  let c = Obs.Metrics.counter "gold.count" in
+  let h = Obs.Metrics.histogram "gold.hist" ~buckets:[| 1.0; 2.0 |] in
+  Obs.Metrics.add c 3;
+  Obs.Metrics.observe h 0.5;
+  Obs.Metrics.observe h 1.5;
+  Obs.Metrics.observe h 9.0;
+  let snap =
+    List.filter (fun (n, _) -> n = "gold.count" || n = "gold.hist") (Obs.Metrics.snapshot ())
+  in
+  Alcotest.(check string) "prometheus text"
+    "# TYPE gold_count counter\n\
+     gold_count 3\n\
+     # TYPE gold_hist histogram\n\
+     gold_hist_bucket{le=\"1.0\"} 1\n\
+     gold_hist_bucket{le=\"2.0\"} 2\n\
+     gold_hist_bucket{le=\"+Inf\"} 3\n\
+     gold_hist_sum 11.0\n\
+     gold_hist_count 3\n"
+    (Obs.Export.prometheus snap)
+
+let test_json_snapshot_golden () =
+  with_obs_enabled @@ fun () ->
+  let c = Obs.Metrics.counter "gold.count" in
+  Obs.Metrics.add c 3;
+  let snap = List.filter (fun (n, _) -> n = "gold.count") (Obs.Metrics.snapshot ()) in
+  Alcotest.(check string) "json object" "{\"gold.count\":3}" (Obs.Export.json_of_snapshot snap)
+
+let test_report_table () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.set_clock (Obs.Clock.fake ());
+  let c = Obs.Metrics.counter "table.counter" in
+  Obs.Metrics.add c 5;
+  Obs.Span.with_ ~name:"table.span" (fun () -> ());
+  let out = Report.Obs_report.render ~events:(Obs.Span.events ()) (Obs.Metrics.snapshot ()) in
+  Alcotest.(check bool) "metric row" true (contains out "table.counter");
+  Alcotest.(check bool) "metric value" true (contains out "5");
+  Alcotest.(check bool) "span row" true (contains out "table.span");
+  Alcotest.(check bool) "header" true (contains out "metric")
+
+(* --- instrumented pipeline --- *)
+
+let test_montecarlo_metrics_flow () =
+  with_obs_enabled @@ fun () ->
+  let network = Datasets.Submarine.build ~seed:7 () in
+  let (_ : Stormsim.Montecarlo.series) =
+    Stormsim.Montecarlo.run ~trials:4 ~seed:7 ~network ~spacing_km:150.0
+      ~model:Stormsim.Failure_model.s1 ()
+  in
+  (match List.assoc "mc.trials_total" (Obs.Metrics.snapshot ()) with
+  | Obs.Metrics.Counter n -> Alcotest.(check int) "trials counted" 4 n
+  | _ -> Alcotest.fail "not a counter");
+  (match List.assoc "rng.draws" (Obs.Metrics.snapshot ()) with
+  | Obs.Metrics.Counter n -> Alcotest.(check bool) "rng draws counted" true (n > 0)
+  | _ -> Alcotest.fail "not a counter");
+  let names =
+    List.sort_uniq String.compare
+      (List.map (fun (e : Obs.Span.event) -> e.Obs.Span.name) (Obs.Span.events ()))
+  in
+  Alcotest.(check bool) "mc.run span" true (List.mem "mc.run" names);
+  Alcotest.(check bool) "mc.trial span" true (List.mem "mc.trial" names);
+  Alcotest.(check bool) "fm.compile span" true (List.mem "fm.compile" names)
+
+let test_montecarlo_determinism_under_instrumentation () =
+  Obs.reset ();
+  Obs.disable ();
+  let network = Datasets.Submarine.build ~seed:11 () in
+  let run () =
+    Stormsim.Montecarlo.run ~trials:6 ~seed:11 ~network ~spacing_km:150.0
+      ~model:Stormsim.Failure_model.s2 ()
+  in
+  let plain = run () in
+  let instrumented = with_obs_enabled run in
+  let again = run () in
+  Alcotest.(check bool) "instrumented run bit-identical" true (plain = instrumented);
+  Alcotest.(check bool) "disabled-again run bit-identical" true (plain = again)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [ Alcotest.test_case "counter arithmetic" `Quick test_counter_arithmetic;
+          Alcotest.test_case "disabled no-op" `Quick test_counter_disabled_is_noop;
+          Alcotest.test_case "gauge" `Quick test_gauge_set;
+          Alcotest.test_case "kind clash" `Quick test_kind_clash_rejected;
+          Alcotest.test_case "histogram boundaries" `Quick test_histogram_bucket_boundaries;
+          Alcotest.test_case "histogram bad buckets" `Quick test_histogram_rejects_bad_buckets;
+          Alcotest.test_case "merge" `Quick test_merge ] );
+      ( "spans",
+        [ Alcotest.test_case "nesting under fake clock" `Quick test_nested_spans_fake_clock;
+          Alcotest.test_case "end on raise" `Quick test_span_end_recorded_on_raise;
+          Alcotest.test_case "ring overflow" `Quick test_span_ring_overflow;
+          Alcotest.test_case "disabled records nothing" `Quick test_disabled_span_records_nothing ] );
+      ( "exporters",
+        [ Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden;
+          Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+          Alcotest.test_case "json snapshot golden" `Quick test_json_snapshot_golden;
+          Alcotest.test_case "report table" `Quick test_report_table ] );
+      ( "pipeline",
+        [ Alcotest.test_case "montecarlo metrics" `Quick test_montecarlo_metrics_flow;
+          Alcotest.test_case "determinism" `Quick test_montecarlo_determinism_under_instrumentation ] );
+    ]
