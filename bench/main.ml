@@ -27,10 +27,15 @@ let print_figures () =
 (* One kernel per table/figure, shared by the Bechamel pass and the
    single-run --fast timings. *)
 let kernels ctx : (string * (unit -> unit)) list =
-  let sub = ctx.Report.Figures.submarine in
+  let sub = Report.Figures.submarine ctx in
   let rng = Rng.create 99 in
-  let per_repeater = Stormsim.Failure_model.compile (Stormsim.Failure_model.uniform 0.01) ~network:sub in
-  let tiered = Stormsim.Failure_model.compile Stormsim.Failure_model.s1 ~network:sub in
+  let uniform_plan =
+    Stormsim.Plan.compile ~network:sub ~model:(Stormsim.Failure_model.uniform 0.01) ()
+  in
+  let tiered_plan = Stormsim.Plan.compile ~network:sub ~model:Stormsim.Failure_model.s1 () in
+  (* Shared buffer so plan.sample vs plan.sample-recompute time pure
+     sampling, not allocation. *)
+  let dead_buf = Array.make (Stormsim.Plan.nb_cables uniform_plan) false in
   let graph, _ = Infra.Network.to_graph sub in
   let storm = Gic.Disturbance.storm_of_dst (-1200.0) in
   (* The longest cable of the dataset (the SEA-ME-WE 3 analogue in the
@@ -42,21 +47,22 @@ let kernels ctx : (string * (unit -> unit)) list =
       fun () ->
         ignore
           (Stormsim.Distribution.fig4a ~submarine:sub
-             ~intertubes:ctx.Report.Figures.intertubes) );
+             ~intertubes:(Report.Figures.intertubes ctx)) );
     ( "fig5-length-cdf",
       fun () ->
         ignore
           (Stormsim.Distribution.fig5 ~submarine:sub
-             ~intertubes:ctx.Report.Figures.intertubes ~itu:ctx.Report.Figures.itu) );
+             ~intertubes:(Report.Figures.intertubes ctx) ~itu:(Report.Figures.itu ctx)) );
+    ( "plan.compile",
+      fun () ->
+        ignore (Stormsim.Plan.compile ~network:sub ~model:Stormsim.Failure_model.s1 ()) );
+    ("plan.sample", fun () -> Stormsim.Plan.sample_into uniform_plan rng dead_buf);
+    ( "plan.sample-recompute",
+      fun () -> Stormsim.Plan.sample_recompute_into uniform_plan rng dead_buf );
     ( "fig6-uniform-trial",
-      fun () ->
-        ignore (Stormsim.Montecarlo.trial rng ~network:sub ~spacing_km:150.0 ~per_repeater) );
-    ( "fig8-tiered-trial",
-      fun () ->
-        ignore
-          (Stormsim.Montecarlo.trial rng ~network:sub ~spacing_km:150.0
-             ~per_repeater:tiered) );
-    ("fig9-as-analysis", fun () -> ignore (Stormsim.Systems.analyze_ases ctx.Report.Figures.ases));
+      fun () -> ignore (Stormsim.Montecarlo.trial rng ~plan:uniform_plan) );
+    ("fig8-tiered-trial", fun () -> ignore (Stormsim.Montecarlo.trial rng ~plan:tiered_plan));
+    ("fig9-as-analysis", fun () -> ignore (Stormsim.Systems.analyze_ases (Report.Figures.ases ctx)));
     ( "country-case-study",
       fun () ->
         ignore
@@ -126,16 +132,20 @@ let run_bechamel ks =
       List.rev !rows)
     ks
 
-(* Cheap --fast timings: one warm-up-free run per kernel against the
-   monotonic clock.  Coarse, but enough to seed a perf trajectory without
-   paying for a Bechamel pass. *)
+(* Cheap --fast timings: best of three runs per kernel against the
+   monotonic clock.  Coarse, but enough to seed a perf trajectory (and to
+   order kernels against each other) without paying for a Bechamel
+   pass. *)
 let run_single ks =
   List.map
     (fun (name, f) ->
-      let t0 = Obs.Clock.monotonic () in
-      f ();
-      let dt = Int64.to_float (Int64.sub (Obs.Clock.monotonic ()) t0) in
-      (name, dt, "single-run"))
+      let once () =
+        let t0 = Obs.Clock.monotonic () in
+        f ();
+        Int64.to_float (Int64.sub (Obs.Clock.monotonic ()) t0)
+      in
+      let dt = Float.min (once ()) (Float.min (once ()) (once ())) in
+      (name, dt, "min-of-3"))
     ks
 
 let write_json ~path ~mode ~kernel_rows ~metrics =

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "== dune build =="
 dune build
 
+echo "== dune build examples =="
+dune build examples
+
 echo "== dune runtest =="
 dune runtest
 
@@ -22,7 +25,8 @@ test -s "$BENCH_JSON" || { echo "check.sh: $BENCH_JSON missing or empty" >&2; ex
 # Structural sanity without assuming a JSON parser is installed: the
 # document must be one object carrying the schema marker, a non-empty
 # kernel list with timings, and a metrics object.
-for needle in '"schema":"solarstorm-bench/1"' '"kernels":[{' '"ns_per_run":' '"metrics":{'; do
+for needle in '"schema":"solarstorm-bench/1"' '"kernels":[{' '"ns_per_run":' '"metrics":{' \
+              '"name":"plan.compile"' '"name":"plan.sample"' '"name":"plan.sample-recompute"'; do
   grep -q -F "$needle" "$BENCH_JSON" \
     || { echo "check.sh: $BENCH_JSON malformed (missing $needle)" >&2; exit 1; }
 done
@@ -39,6 +43,9 @@ doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "solarstorm-bench/1", "bad schema"
 assert doc["kernels"] and all("ns_per_run" in k for k in doc["kernels"]), "bad kernels"
 assert isinstance(doc["metrics"], dict), "bad metrics"
+names = {k["name"] for k in doc["kernels"]}
+for required in ("plan.compile", "plan.sample", "plan.sample-recompute"):
+    assert required in names, f"missing kernel {required}"
 EOF
 fi
 

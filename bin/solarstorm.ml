@@ -105,7 +105,7 @@ let figures_cmd =
     | Some dir ->
         (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
         let series_csv () =
-          let fig3 = Stormsim.Distribution.fig3 ~submarine:ctx.Report.Figures.submarine in
+          let fig3 = Stormsim.Distribution.fig3 ~submarine:(Report.Figures.submarine ctx) in
           List.iter
             (fun (s : Stormsim.Distribution.pdf_series) ->
               Report.Csv.write_file
@@ -113,8 +113,8 @@ let figures_cmd =
                 (Report.Csv.of_series ~header:("latitude", "density_pct") s.points))
             fig3;
           let fig5 =
-            Stormsim.Distribution.fig5 ~submarine:ctx.Report.Figures.submarine
-              ~intertubes:ctx.Report.Figures.intertubes ~itu:ctx.Report.Figures.itu
+            Stormsim.Distribution.fig5 ~submarine:(Report.Figures.submarine ctx)
+              ~intertubes:(Report.Figures.intertubes ctx) ~itu:(Report.Figures.itu ctx)
           in
           List.iter
             (fun (s : Stormsim.Distribution.cdf_series) ->
@@ -145,9 +145,9 @@ let map_cmd =
     with_obs metrics trace @@ fun () ->
     let network =
       match net with
-      | `Submarine -> Datasets.Submarine.build ~seed ()
-      | `Intertubes -> Datasets.Intertubes.build ~seed ()
-      | `Itu -> Datasets.Itu.build ~seed ~scale:0.1 ()
+      | `Submarine -> Datasets.Cache.submarine ~seed ()
+      | `Intertubes -> Datasets.Cache.intertubes ~seed ()
+      | `Itu -> Datasets.Cache.itu ~seed ~scale:0.1 ()
     in
     print_string (Report.Worldmap.render (Report.Worldmap.network_layers network))
   in
@@ -183,9 +183,9 @@ let simulate_cmd =
     with_obs metrics trace @@ fun () ->
     let name, network =
       match net with
-      | `Submarine -> ("submarine", Datasets.Submarine.build ~seed ())
-      | `Intertubes -> ("intertubes", Datasets.Intertubes.build ~seed ())
-      | `Itu -> ("itu", Datasets.Itu.build ~seed ~scale:itu_scale ())
+      | `Submarine -> ("submarine", Datasets.Cache.submarine ~seed ())
+      | `Intertubes -> ("intertubes", Datasets.Cache.intertubes ~seed ())
+      | `Itu -> ("itu", Datasets.Cache.itu ~seed ~scale:itu_scale ())
     in
     let s =
       Stormsim.Montecarlo.run ~trials ~seed ~network ~spacing_km:spacing ~model ()
@@ -217,8 +217,8 @@ let scenario_cmd =
   let run seed trials event speed physical metrics trace =
     with_obs metrics trace @@ fun () ->
     let networks =
-      [ ("submarine", Datasets.Submarine.build ~seed ());
-        ("intertubes", Datasets.Intertubes.build ~seed ()) ]
+      [ ("submarine", Datasets.Cache.submarine ~seed ());
+        ("intertubes", Datasets.Cache.intertubes ~seed ()) ]
     in
     let cme =
       match speed with
@@ -241,7 +241,7 @@ let scenario_cmd =
 let countries_cmd =
   let run seed trials metrics trace =
     with_obs metrics trace @@ fun () ->
-    let net = Datasets.Submarine.build ~seed () in
+    let net = Datasets.Cache.submarine ~seed () in
     let findings = Stormsim.Country.run_all ~trials net in
     List.iter
       (fun (f : Stormsim.Country.finding) ->
@@ -307,7 +307,7 @@ let decision_cmd =
         Printf.eprintf "unknown event %s\n" event;
         exit 1
     | Some e ->
-        let net = Datasets.Submarine.build ~seed () in
+        let net = Datasets.Cache.submarine ~seed () in
         let d =
           Stormsim.Mitigation.shutdown_decision ~cme:e.Spaceweather.Storm_catalog.cme
             ~network:net ()

@@ -6,7 +6,7 @@
 let hr () = print_endline (String.make 72 '-')
 
 let () =
-  let net = Datasets.Submarine.build () in
+  let net = Datasets.Cache.submarine () in
 
   (* 1. Coupled grid + cable darkness (5.5). *)
   print_endline "day 0: coupled power-grid and cable failures (Carrington + S1)";

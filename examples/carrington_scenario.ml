@@ -54,8 +54,8 @@ let () =
   hr ();
   print_endline "network impact:";
   let networks =
-    [ ("submarine", Datasets.Submarine.build ());
-      ("US long-haul", Datasets.Intertubes.build ()) ]
+    [ ("submarine", Datasets.Cache.submarine ());
+      ("US long-haul", Datasets.Cache.intertubes ()) ]
   in
   let s = Stormsim.Scenario.run ~use_physical:true ~cme ~networks () in
   Format.printf "%a" Stormsim.Scenario.pp s;

@@ -4,7 +4,7 @@
      dune exec examples/country_connectivity.exe *)
 
 let () =
-  let net = Datasets.Submarine.build () in
+  let net = Datasets.Cache.submarine () in
 
   (* Cable census for the countries the paper discusses. *)
   print_endline "cable census (direct international cables per country):";

@@ -6,7 +6,7 @@
 let () =
   (* 1. Build the synthetic-but-calibrated submarine cable map:
      470 cables, 1241 landing stations (see DESIGN.md). *)
-  let network = Datasets.Submarine.build () in
+  let network = Datasets.Cache.submarine () in
   Format.printf "dataset: %a@." Infra.Network.pp_summary network;
 
   (* 2. Pick a failure model.  S1 is the paper's high-failure state:
@@ -14,13 +14,13 @@ let () =
      cable's highest-latitude endpoint (>60, 40-60, <40 degrees). *)
   let model = Stormsim.Failure_model.s1 in
 
-  (* 3. Run the Monte-Carlo experiment at the paper's three repeater
-     spacings. *)
+  (* 3. Compile a simulation plan per repeater spacing — the per-cable
+     death probabilities are precomputed once — and run the Monte-Carlo
+     experiment against it. *)
   List.iter
     (fun spacing_km ->
-      let s =
-        Stormsim.Montecarlo.run ~trials:10 ~seed:42 ~network ~spacing_km ~model ()
-      in
+      let plan = Stormsim.Plan.compile ~spacing_km ~network ~model () in
+      let s = Stormsim.Montecarlo.run_plan ~trials:10 ~seed:42 plan in
       Printf.printf
         "S1, repeaters every %3.0f km: %4.1f%% (+-%.1f) cables dead, %4.1f%% (+-%.1f) \
          landing stations cut off\n"
@@ -28,11 +28,12 @@ let () =
         s.Stormsim.Montecarlo.nodes_mean s.Stormsim.Montecarlo.nodes_std)
     Infra.Repeater.paper_spacings_km;
 
-  (* 4. Contrast with the low-failure state S2. *)
-  let s2 =
-    Stormsim.Montecarlo.run ~trials:10 ~seed:42 ~network ~spacing_km:150.0
-      ~model:Stormsim.Failure_model.s2 ()
+  (* 4. Contrast with the low-failure state S2.  A compiled plan also
+     gives the closed-form expectation without sampling. *)
+  let plan_s2 =
+    Stormsim.Plan.compile ~spacing_km:150.0 ~network ~model:Stormsim.Failure_model.s2 ()
   in
+  let s2 = Stormsim.Montecarlo.run_plan ~trials:10 ~seed:42 plan_s2 in
   Printf.printf "S2, repeaters every 150 km: %4.1f%% cables dead\n"
     s2.Stormsim.Montecarlo.cables_mean;
 

@@ -5,7 +5,7 @@
      dune exec examples/topology_planning.exe *)
 
 let () =
-  let net = Datasets.Submarine.build () in
+  let net = Datasets.Cache.submarine () in
   let g, edge_cable = Infra.Network.to_graph net in
 
   (* 1. Structural weak points of the healthy network. *)

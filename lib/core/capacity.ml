@@ -90,15 +90,12 @@ let analyze_corridor ?(trials = 10) ?(seed = 71) ?(spacing_km = 150.0) ~network 
   else begin
     let none = Array.make (Infra.Network.nb_cables network) false in
     let healthy = flow_between network ~dead:none ~sources ~sinks in
-    let per_repeater = Failure_model.compile model ~network in
-    let master = Rng.create seed in
-    let acc = ref 0.0 in
-    for _ = 1 to trials do
-      let rng = Rng.split master in
-      let trial = Montecarlo.trial rng ~network ~spacing_km ~per_repeater in
-      acc := !acc +. flow_between network ~dead:trial.Montecarlo.dead ~sources ~sinks
-    done;
-    let expected = !acc /. float_of_int trials in
+    let p = Plan.compile ~spacing_km ~network ~model () in
+    let acc =
+      Plan.run_trials p ~trials ~seed ~init:0.0 ~f:(fun acc ~rng:_ ~dead ->
+          acc +. flow_between network ~dead ~sources ~sinks)
+    in
+    let expected = acc /. float_of_int trials in
     (* Min-cut cables of the healthy corridor: multi-terminal minimum cut
        between the two shores. *)
     let min_cut_cables =

@@ -320,24 +320,24 @@ let evaluate ?(trials = 50) ?(seed = 23) ?(spacing_km = 150.0) net spec =
     | Long_haul_isolated min_len -> long_haul_cables net group_a min_len
     | Routed_loss -> []
   in
-  let per_repeater = Failure_model.compile spec.state ~network:net in
-  let master = Rng.create (seed + Hashtbl.hash spec.id) in
-  let losses = ref 0 in
-  for _ = 1 to trials do
-    let rng = Rng.split master in
-    let r = Montecarlo.trial rng ~network:net ~spacing_km ~per_repeater in
-    let lost =
-      match spec.metric with
-      | Direct_loss | Long_haul_isolated _ ->
-          watched = []
-          || List.for_all (fun (c : Infra.Cable.t) -> r.Montecarlo.dead.(c.Infra.Cable.id)) watched
-      | Routed_loss -> routed_lost net r.Montecarlo.dead group_a group_b
-    in
-    if lost then incr losses
-  done;
+  let plan = Plan.compile ~spacing_km ~network:net ~model:spec.state () in
+  let losses =
+    Plan.run_trials plan ~trials ~seed:(seed + Hashtbl.hash spec.id) ~init:0
+      ~f:(fun losses ~rng:_ ~dead ->
+        let lost =
+          match spec.metric with
+          | Direct_loss | Long_haul_isolated _ ->
+              watched = []
+              || List.for_all
+                   (fun (c : Infra.Cable.t) -> dead.(c.Infra.Cable.id))
+                   watched
+          | Routed_loss -> routed_lost net dead group_a group_b
+        in
+        if lost then losses + 1 else losses)
+  in
   {
     spec;
-    loss_probability = float_of_int !losses /. float_of_int trials;
+    loss_probability = float_of_int losses /. float_of_int trials;
     direct_cables = List.length watched;
   }
 

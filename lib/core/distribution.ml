@@ -63,6 +63,26 @@ let fig5 ~submarine ~intertubes ~itu =
     cdf_of_network ~label:"Submarine (global)" submarine;
   ]
 
+let mass_above (s : pdf_series) ~threshold =
+  (* Trapezoid-style mass estimate with per-point bin widths derived from
+     the sample grid itself: interior points span half the gap to each
+     neighbour, edge points the single adjacent gap.  On a uniform grid
+     this reduces to (density x bin width) per point. *)
+  let points = Array.of_list s.points in
+  let n = Array.length points in
+  let width i =
+    let x j = fst points.(j) in
+    if n <= 1 then 0.0
+    else if i = 0 then x 1 -. x 0
+    else if i = n - 1 then x (n - 1) -. x (n - 2)
+    else (x (i + 1) -. x (i - 1)) /. 2.0
+  in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i (lat, d) -> if Float.abs lat > threshold then acc := !acc +. (d *. width i))
+    points;
+  !acc
+
 let fraction_above (s : threshold_series) th =
   (* Piecewise-linear interpolation over the threshold curve. *)
   let rec scan = function

@@ -34,6 +34,14 @@ val fig5 :
   cdf_series list
 (** Cable-length CDFs of the three networks. *)
 
+val mass_above : pdf_series -> threshold:float -> float
+(** Probability mass of the PDF beyond |latitude| > [threshold],
+    estimated as Σ density × bin width over qualifying sample points.
+    Bin widths come from consecutive sample abscissae (half the gap to
+    each neighbour for interior points, the adjacent gap at the edges),
+    so the estimate tracks the series' actual grid instead of assuming
+    one. *)
+
 val fraction_above : threshold_series -> float -> float
 (** Interpolated percent-above at an arbitrary threshold (testing
     helper). *)

@@ -122,9 +122,8 @@ let candidate_links =
 let continent_of_node net i =
   Geo.Region.continent_of_nearest (Infra.Network.node_coord net i)
 
-(* Survival probability of a cable under a model at 150 km spacing. *)
-let survival ~per_repeater ~spacing_km c =
-  1.0 -. Failure_model.cable_death_prob ~per_repeater:(per_repeater c) ~spacing_km c
+(* Survival probability of cable [c] under a compiled plan. *)
+let survival plan c = 1.0 -. Plan.death_prob plan c
 
 (* Expected number of ordered-free continent pairs with >= 1 surviving
    direct cable.  Pairs with no cable at all contribute 0. *)
@@ -132,8 +131,8 @@ let pair_key a b =
   let sa = Geo.Region.continent_to_string a and sb = Geo.Region.continent_to_string b in
   if String.compare sa sb <= 0 then (sa, sb) else (sb, sa)
 
-let surviving_pairs_with ~state ~network extra_cables =
-  let per_repeater = Failure_model.compile state ~network in
+let surviving_pairs_with ~plan extra_cables =
+  let network = Plan.network plan in
   let death_products = Hashtbl.create 32 in
   let note a b surv =
     if a <> b then begin
@@ -144,7 +143,7 @@ let surviving_pairs_with ~state ~network extra_cables =
   in
   for c = 0 to Infra.Network.nb_cables network - 1 do
     let cable = Infra.Network.cable network c in
-    let surv = survival ~per_repeater ~spacing_km:150.0 cable in
+    let surv = survival plan c in
     let continents =
       List.sort_uniq compare (List.map (continent_of_node network) cable.Infra.Cable.landings)
     in
@@ -157,7 +156,7 @@ let surviving_pairs_with ~state ~network extra_cables =
   Hashtbl.fold (fun _ death acc -> acc +. (1.0 -. death)) death_products 0.0
 
 let expected_surviving_pairs ?(state = Failure_model.s1) ~network () =
-  surviving_pairs_with ~state ~network []
+  surviving_pairs_with ~plan:(Plan.compile ~network ~model:state ()) []
 
 (* Survival of a hypothetical new low-latitude cable between two cities
    under the tiered model: its tier comes from its endpoint latitudes. *)
@@ -186,7 +185,11 @@ let hypothetical_survival ~state a_city b_city =
 
 let plan_augmentation ?(budget = 3) ?(state = Failure_model.s1) ~network () =
   if budget < 0 then invalid_arg "Mitigation.plan_augmentation: negative budget";
-  let base = surviving_pairs_with ~state ~network [] in
+  (* One compile serves the base score and every candidate × round
+     rescore below — the greedy loop used to recompile the model for
+     each. *)
+  let plan = Plan.compile ~network ~model:state () in
+  let base = surviving_pairs_with ~plan [] in
   let rec pick chosen chosen_extra base_score remaining budget_left =
     if budget_left = 0 then List.rev chosen
     else
@@ -199,7 +202,7 @@ let plan_augmentation ?(budget = 3) ?(state = Failure_model.s1) ~network () =
                 Geo.Region.continent_of_nearest b.Datasets.Cities.pos,
                 surv )
             in
-            let score = surviving_pairs_with ~state ~network (extra :: chosen_extra) in
+            let score = surviving_pairs_with ~plan (extra :: chosen_extra) in
             ((ca, cb), len, extra, score -. base_score))
           remaining
       in
@@ -222,11 +225,10 @@ let plan_augmentation ?(budget = 3) ?(state = Failure_model.s1) ~network () =
 let predicted_partitions ?(state = Failure_model.s1) ?(survival_cutoff = 0.5) ~network () =
   if survival_cutoff < 0.0 || survival_cutoff > 1.0 then
     invalid_arg "Mitigation.predicted_partitions: cutoff outside [0, 1]";
-  let per_repeater = Failure_model.compile state ~network in
+  let plan = Plan.compile ~network ~model:state () in
   let dead =
     Array.init (Infra.Network.nb_cables network) (fun c ->
-        let cable = Infra.Network.cable network c in
-        survival ~per_repeater ~spacing_km:150.0 cable < survival_cutoff)
+        survival plan c < survival_cutoff)
   in
   let g = Infra.Network.graph_without_cables network ~dead in
   Netgraph.Traversal.connected_components g

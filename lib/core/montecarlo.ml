@@ -41,58 +41,45 @@ let nodes_unreachable_pct net dead =
 let trials_total = Obs.Metrics.counter "mc.trials_total"
 let cables_failed_total = Obs.Metrics.counter "mc.cables_failed"
 
-let trial rng ~network ~spacing_km ~per_repeater =
+let observe_trial dead =
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr trials_total;
+    Obs.Metrics.add cables_failed_total
+      (Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 dead)
+  end
+
+let trial rng ~plan =
   Obs.Span.with_ ~name:"mc.trial" (fun () ->
-      let m = Infra.Network.nb_cables network in
-      let dead = Array.make m false in
-      for c = 0 to m - 1 do
-        let cable = Infra.Network.cable network c in
-        let p =
-          Failure_model.cable_death_prob ~per_repeater:(per_repeater cable) ~spacing_km
-            cable
-        in
-        dead.(c) <- Rng.bernoulli rng ~p
-      done;
-      if Obs.Metrics.enabled () then begin
-        Obs.Metrics.incr trials_total;
-        Obs.Metrics.add cables_failed_total
-          (Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 dead)
-      end;
+      let dead = Plan.sample plan rng in
+      observe_trial dead;
+      let network = Plan.network plan in
       {
         dead;
         cables_failed_pct = cables_failed_pct network dead;
         nodes_unreachable_pct = nodes_unreachable_pct network dead;
       })
 
+let run_plan ?(trials = 10) ~seed plan =
+  if trials <= 0 then invalid_arg "Montecarlo.run: trials <= 0";
+  Obs.Span.with_ ~name:"mc.run" @@ fun () ->
+  let network = Plan.network plan in
+  let cables, nodes =
+    Plan.run_trials plan ~trials ~seed ~init:([], [])
+      ~f:(fun (cables, nodes) ~rng:_ ~dead ->
+        Obs.Span.with_ ~name:"mc.trial" @@ fun () ->
+        observe_trial dead;
+        (cables_failed_pct network dead :: cables,
+         nodes_unreachable_pct network dead :: nodes))
+  in
+  let cables_mean, cables_std = Stats.mean_stddev cables in
+  let nodes_mean, nodes_std = Stats.mean_stddev nodes in
+  { cables_mean; cables_std; nodes_mean; nodes_std }
+
 let run ?(trials = 10) ~seed ~network ~spacing_km ~model () =
   if trials <= 0 then invalid_arg "Montecarlo.run: trials <= 0";
   if spacing_km <= 0.0 then invalid_arg "Montecarlo.run: spacing <= 0";
-  Obs.Span.with_ ~name:"mc.run" @@ fun () ->
-  let per_repeater = Failure_model.compile model ~network in
-  let master = Rng.create seed in
-  let cables = ref [] and nodes = ref [] in
-  for _ = 1 to trials do
-    let rng = Rng.split master in
-    let r = trial rng ~network ~spacing_km ~per_repeater in
-    cables := r.cables_failed_pct :: !cables;
-    nodes := r.nodes_unreachable_pct :: !nodes
-  done;
-  let cables_mean, cables_std = Stats.mean_stddev !cables in
-  let nodes_mean, nodes_std = Stats.mean_stddev !nodes in
-  { cables_mean; cables_std; nodes_mean; nodes_std }
+  let plan = Plan.compile ~spacing_km ~network ~model () in
+  run_plan ~trials ~seed plan
 
 let expected_cables_failed_pct ~network ~spacing_km ~model =
-  let per_repeater = Failure_model.compile model ~network in
-  let m = Infra.Network.nb_cables network in
-  if m = 0 then 0.0
-  else begin
-    let sum = ref 0.0 in
-    for c = 0 to m - 1 do
-      let cable = Infra.Network.cable network c in
-      sum :=
-        !sum
-        +. Failure_model.cable_death_prob ~per_repeater:(per_repeater cable)
-             ~spacing_km cable
-    done;
-    100.0 *. !sum /. float_of_int m
-  end
+  Plan.expected_cables_failed_pct (Plan.compile ~spacing_km ~network ~model ())

@@ -4,7 +4,12 @@
     its death probability (≥ 1 repeater failing), then measure the
     fraction of cables failed and of nodes unreachable.  Following §4.3.1
     of the paper, a node is unreachable when {e all} cables landing at it
-    have failed. *)
+    have failed.
+
+    Trial sampling lives in {!Plan}: callers that run many analyses over
+    the same [(network, model, spacing)] triple should {!Plan.compile}
+    once and pass the plan around; {!run} is the convenience wrapper that
+    compiles and immediately runs. *)
 
 type trial_result = {
   dead : bool array;  (** per-cable death flags, indexed by cable id *)
@@ -20,19 +25,19 @@ type series = {
 }
 (** Mean ± stddev over the trials, in percent. *)
 
-val trial :
-  Rng.t ->
-  network:Infra.Network.t ->
-  spacing_km:float ->
-  per_repeater:(Infra.Cable.t -> float) ->
-  trial_result
-(** One trial. *)
+val trial : Rng.t -> plan:Plan.t -> trial_result
+(** One trial against a compiled plan. *)
 
 val cables_failed_pct : Infra.Network.t -> bool array -> float
 
 val nodes_unreachable_pct : Infra.Network.t -> bool array -> float
 (** Percentage of {e cable-bearing} nodes whose every incident cable is
     dead (nodes without any cable are excluded from the denominator). *)
+
+val run_plan : ?trials:int -> seed:int -> Plan.t -> series
+(** [run_plan plan] aggregates [trials] (default 10) independent trials
+    of an already-compiled plan.  Deterministic in [seed].
+    @raise Invalid_argument if [trials <= 0]. *)
 
 val run :
   ?trials:int ->
@@ -43,11 +48,13 @@ val run :
   unit ->
   series
 (** [run] aggregates [trials] (default 10, as in the paper) independent
-    trials.  Deterministic in [seed].  @raise Invalid_argument if
-    [trials <= 0] or [spacing_km <= 0.]. *)
+    trials: [Plan.compile] followed by {!run_plan}.  Deterministic in
+    [seed].  @raise Invalid_argument if [trials <= 0] or
+    [spacing_km <= 0.]. *)
 
 val expected_cables_failed_pct :
   network:Infra.Network.t -> spacing_km:float -> model:Failure_model.t -> float
 (** Closed-form expectation (no sampling): mean of the per-cable death
     probabilities, in percent.  Used by tests to validate the Monte-Carlo
-    engine and by the mitigation planner. *)
+    engine and by the mitigation planner.  Equivalent to compiling a plan
+    and reading {!Plan.expected_cables_failed_pct}. *)

@@ -1,0 +1,84 @@
+type t = {
+  network : Infra.Network.t;
+  model : Failure_model.t;
+  spacing_km : float;
+  per_repeater : float array;
+  death : float array;
+  per_repeater_fn : Infra.Cable.t -> float;
+      (* kept for [sample_recompute_into], the legacy reference path *)
+}
+
+let compiles = Obs.Metrics.counter "plan.compiles"
+let trials_total = Obs.Metrics.counter "plan.trials"
+
+let compile ?(spacing_km = 150.0) ~network ~model () =
+  if spacing_km <= 0.0 then invalid_arg "Plan.compile: spacing_km <= 0";
+  Obs.Metrics.incr compiles;
+  Obs.Span.with_ ~name:"plan.compile" @@ fun () ->
+  let per_repeater_fn = Failure_model.compile model ~network in
+  let m = Infra.Network.nb_cables network in
+  let per_repeater = Array.make m 0.0 in
+  let death = Array.make m 0.0 in
+  for c = 0 to m - 1 do
+    let cable = Infra.Network.cable network c in
+    let p = per_repeater_fn cable in
+    per_repeater.(c) <- p;
+    death.(c) <- Failure_model.cable_death_prob ~per_repeater:p ~spacing_km cable
+  done;
+  { network; model; spacing_km; per_repeater; death; per_repeater_fn }
+
+let network t = t.network
+let model t = t.model
+let spacing_km t = t.spacing_km
+let nb_cables t = Array.length t.death
+let death_prob t c = t.death.(c)
+let per_repeater_prob t c = t.per_repeater.(c)
+
+let sample_into t rng dead =
+  let m = Array.length t.death in
+  if Array.length dead <> m then invalid_arg "Plan.sample_into: buffer size mismatch";
+  Obs.Metrics.incr trials_total;
+  for c = 0 to m - 1 do
+    dead.(c) <- Rng.bernoulli rng ~p:t.death.(c)
+  done
+
+let sample t rng =
+  let dead = Array.make (Array.length t.death) false in
+  sample_into t rng dead;
+  dead
+
+let sample_recompute_into t rng dead =
+  let m = Infra.Network.nb_cables t.network in
+  if Array.length dead <> m then
+    invalid_arg "Plan.sample_recompute_into: buffer size mismatch";
+  for c = 0 to m - 1 do
+    let cable = Infra.Network.cable t.network c in
+    let p =
+      Failure_model.cable_death_prob ~per_repeater:(t.per_repeater_fn cable)
+        ~spacing_km:t.spacing_km cable
+    in
+    dead.(c) <- Rng.bernoulli rng ~p
+  done
+
+let expected_cables_failed_pct t =
+  let m = Array.length t.death in
+  if m = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for c = 0 to m - 1 do
+      sum := !sum +. t.death.(c)
+    done;
+    100.0 *. !sum /. float_of_int m
+  end
+
+let run_trials t ~trials ~seed ~init ~f =
+  if trials <= 0 then invalid_arg "Plan.run_trials: trials <= 0";
+  let master = Rng.create seed in
+  let dead = Array.make (Array.length t.death) false in
+  let acc = ref init in
+  for _ = 1 to trials do
+    let rng = Rng.split master in
+    sample_into t rng dead;
+    acc := f !acc ~rng ~dead
+  done;
+  !acc

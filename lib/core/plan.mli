@@ -1,0 +1,86 @@
+(** Compiled simulation plans: the one storm-trial engine.
+
+    Every Monte-Carlo analysis in the repository reduces to the same
+    kernel — kill each cable of a network independently with its death
+    probability under a failure model, then measure something on the
+    surviving topology.  A {!t} compiles the [(network, model,
+    repeater-spacing)] triple once: the per-repeater and per-cable death
+    probabilities become flat [float array]s indexed by cable id, so the
+    hot loop of a trial is an array read and one Bernoulli draw per cable
+    instead of a closure application and a [**] per cable per trial.
+
+    Draw-order contract: {!sample} performs exactly one Bernoulli draw
+    per cable, in cable-index order — byte-identical to the historical
+    [Failure_model.compile]-per-consumer loops, so seeds reproduce the
+    published numbers unchanged.  {!run_trials} reproduces the historical
+    master-RNG pattern: [Rng.create seed], then one [Rng.split] per trial.
+
+    Observability: compiles and trials are counted on the [plan.compiles]
+    and [plan.trials] metrics, and compilation runs under a
+    ["plan.compile"] span (all off-by-default, see DESIGN.md). *)
+
+type t
+
+val compile :
+  ?spacing_km:float ->
+  network:Infra.Network.t ->
+  model:Failure_model.t ->
+  unit ->
+  t
+(** Precompute per-cable probabilities (default spacing 150 km, the
+    paper's baseline).  For {!Failure_model.Gic_physical} this runs the
+    full GIC exposure pipeline once.  @raise Invalid_argument if
+    [spacing_km <= 0.]. *)
+
+val network : t -> Infra.Network.t
+val model : t -> Failure_model.t
+val spacing_km : t -> float
+
+val nb_cables : t -> int
+(** Number of cables, i.e. the length of every sampled [dead] array. *)
+
+val death_prob : t -> int -> float
+(** [death_prob t c] — probability that cable [c] dies (≥ 1 repeater
+    fails): [1 - (1-p)^n] precomputed at compile time. *)
+
+val per_repeater_prob : t -> int -> float
+(** The model's per-repeater failure probability for cable [c] (the
+    value the historical [Failure_model.compile model ~network] closure
+    returned). *)
+
+val sample : t -> Rng.t -> bool array
+(** One storm trial: a fresh per-cable death array.  Exactly one
+    Bernoulli draw per cable, in cable-index order. *)
+
+val sample_into : t -> Rng.t -> bool array -> unit
+(** {!sample} into a caller-owned buffer of length {!nb_cables} — the
+    zero-allocation per-trial path.  @raise Invalid_argument on size
+    mismatch. *)
+
+val sample_recompute_into : t -> Rng.t -> bool array -> unit
+(** Reference implementation of the pre-plan hot loop: re-applies the
+    model closure and recomputes [1 - (1-p)^n] for every cable on every
+    call.  Draw-for-draw identical to {!sample_into}; it exists so the
+    bench can quantify the compiled plan's win and tests can assert
+    equivalence.  Not for production use. *)
+
+val expected_cables_failed_pct : t -> float
+(** Closed-form expectation (no sampling): mean of the per-cable death
+    probabilities, in percent.  Matches the historical
+    [Montecarlo.expected_cables_failed_pct] bit-for-bit. *)
+
+val run_trials :
+  t ->
+  trials:int ->
+  seed:int ->
+  init:'acc ->
+  f:('acc -> rng:Rng.t -> dead:bool array -> 'acc) ->
+  'acc
+(** The shared trial driver: fold [f] over [trials] independent storm
+    trials.  Reproduces the historical pattern exactly — a master
+    generator [Rng.create seed] split once per trial; [dead] is sampled
+    before [f] runs, so [f] may keep drawing from [rng] for its own
+    per-trial randomness (grid outages, repair jitter, ...).
+
+    [dead] is a single buffer reused across trials: copy it if it must
+    outlive the callback.  @raise Invalid_argument if [trials <= 0]. *)

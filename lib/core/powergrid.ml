@@ -113,8 +113,7 @@ type coupled_result = {
 let simulate ?(trials = 30) ?(seed = 31) ?(backup_days = 3.0) ?(spacing_km = 150.0)
     ~network ~model ~dst_nt () =
   Obs.Span.with_ ~name:"powergrid.simulate" @@ fun () ->
-  let per_repeater = Failure_model.compile model ~network in
-  let master = Rng.create seed in
+  let p = Plan.compile ~spacing_km ~network ~model () in
   let n = Infra.Network.nb_nodes network in
   let node_region =
     Array.init n (fun i -> region_of_node (Infra.Network.node network i))
@@ -122,10 +121,8 @@ let simulate ?(trials = 30) ?(seed = 31) ?(backup_days = 3.0) ?(spacing_km = 150
   let cables_acc = ref 0.0 in
   let cable_dark = ref 0.0 and grid_dark = ref 0.0 and dark = ref 0.0 in
   let region_down_count = Hashtbl.create 16 in
-  for _ = 1 to trials do
-    let rng = Rng.split master in
-    let trial = Montecarlo.trial rng ~network ~spacing_km ~per_repeater in
-    cables_acc := !cables_acc +. trial.Montecarlo.cables_failed_pct;
+  Plan.run_trials p ~trials ~seed ~init:() ~f:(fun () ~rng ~dead ->
+    cables_acc := !cables_acc +. Montecarlo.cables_failed_pct network dead;
     (* Grid outcomes for this trial. *)
     let grid_out = Hashtbl.create 16 in
     List.iter
@@ -147,7 +144,7 @@ let simulate ?(trials = 30) ?(seed = 31) ?(backup_days = 3.0) ?(spacing_km = 150
       List.iter
         (fun l ->
           has_cable.(l) <- true;
-          if not trial.Montecarlo.dead.(c) then has_live.(l) <- true)
+          if not dead.(c) then has_live.(l) <- true)
         cable.Infra.Cable.landings
     done;
     let total = ref 0 and cdark = ref 0 and gdark = ref 0 and either = ref 0 in
@@ -168,8 +165,7 @@ let simulate ?(trials = 30) ?(seed = 31) ?(backup_days = 3.0) ?(spacing_km = 150
     let pct x = 100.0 *. float_of_int x /. float_of_int (Int.max 1 !total) in
     cable_dark := !cable_dark +. pct !cdark;
     grid_dark := !grid_dark +. pct !gdark;
-    dark := !dark +. pct !either
-  done;
+    dark := !dark +. pct !either);
   let t = float_of_int trials in
   let cable_dark = !cable_dark /. t and grid_dark = !grid_dark /. t and dark = !dark /. t in
   {

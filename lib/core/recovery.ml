@@ -76,27 +76,41 @@ let plan ?(params = default_params) ?(seed = 3) ~network ~dead () =
 
 let us_outage_cost_usd ~dark_fraction ~days = 7e9 *. dark_fraction *. days
 
+(* The representative restoration curve: the trial whose days_to_90_pct
+   is the (lower) median, ties broken by trial order.  Averaging the
+   scalar fields while returning an arbitrary trial's curve — as an
+   earlier version did with the last trial — made the curve disagree
+   with the summary numbers printed next to it. *)
+let median_series tls =
+  let indexed = List.mapi (fun i t -> (t.days_to_90_pct, i, t)) tls in
+  let sorted =
+    List.sort
+      (fun (a, i, _) (b, j, _) ->
+        match Float.compare a b with 0 -> Int.compare i j | c -> c)
+      indexed
+  in
+  match List.nth_opt sorted ((List.length sorted - 1) / 2) with
+  | Some (_, _, t) -> t.series
+  | None -> []
+
 let storm_recovery ?(trials = 10) ?(seed = 53) ?(spacing_km = 150.0) ~network ~model () =
-  let per_repeater = Failure_model.compile model ~network in
-  let master = Rng.create seed in
-  let tls = ref [] and deads = ref [] in
-  for _ = 1 to trials do
-    let rng = Rng.split master in
-    let trial = Montecarlo.trial rng ~network ~spacing_km ~per_repeater in
-    deads :=
-      float_of_int
-        (Array.fold_left (fun a d -> if d then a + 1 else a) 0 trial.Montecarlo.dead)
-      :: !deads;
-    tls := plan ~network ~dead:trial.Montecarlo.dead () :: !tls
-  done;
-  let avg f = Stats.mean (List.map f !tls) in
+  let p = Plan.compile ~spacing_km ~network ~model () in
+  let tls, deads =
+    Plan.run_trials p ~trials ~seed ~init:([], [])
+      ~f:(fun (tls, deads) ~rng:_ ~dead ->
+        let failed =
+          float_of_int (Array.fold_left (fun a d -> if d then a + 1 else a) 0 dead)
+        in
+        (plan ~network ~dead () :: tls, failed :: deads))
+  in
+  let avg f = Stats.mean (List.map f tls) in
   let combined =
     {
       days_to_50_pct = avg (fun t -> t.days_to_50_pct);
       days_to_90_pct = avg (fun t -> t.days_to_90_pct);
       days_to_full = avg (fun t -> t.days_to_full);
-      series = (match !tls with t :: _ -> t.series | [] -> []);
+      series = median_series (List.rev tls);
       total_ship_days = avg (fun t -> t.total_ship_days);
     }
   in
-  (combined, Stats.mean !deads)
+  (combined, Stats.mean deads)

@@ -23,7 +23,8 @@ let model_for_severity sev =
       Failure_model.tiered ~high:0.001 ~mid:0.0001 ~low:0.00001
 
 let impact_of ?(trials = 10) ~seed ~spacing_km ~model (name, net) =
-  let series = Montecarlo.run ~trials ~seed ~network:net ~spacing_km ~model () in
+  let plan = Plan.compile ~spacing_km ~network:net ~model () in
+  let series = Montecarlo.run_plan ~trials ~seed plan in
   {
     network = name;
     model;

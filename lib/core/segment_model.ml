@@ -13,11 +13,13 @@ let hop_lengths network (cable : Infra.Cable.t) =
   in
   Infra.Cable.segment_lengths landings ~length_km:cable.Infra.Cable.length_km
 
-let trial_segments rng ~network ~spacing_km ~per_repeater =
+let trial_segments rng ~plan =
+  let network = Plan.network plan in
+  let spacing_km = Plan.spacing_km plan in
   let hops = ref [] in
   for c = 0 to Infra.Network.nb_cables network - 1 do
     let cable = Infra.Network.cable network c in
-    let p = per_repeater cable in
+    let p = Plan.per_repeater_prob plan c in
     List.iter
       (fun len ->
         let n = Infra.Repeater.count_for_length ~spacing_km ~length_km:len in
@@ -57,17 +59,21 @@ let nodes_unreachable_pct_segments network dead_hops =
   done;
   if !total = 0 then 0.0 else 100.0 *. float_of_int !unreachable /. float_of_int !total
 
+(* Not Plan.run_trials: the segment comparison consumes TWO master splits
+   per trial (one for the cable-level trial, one for the segment-level
+   re-roll), which the shared driver's one-split-per-trial contract can't
+   express without changing the historical draw sequence. *)
 let compare_models ?(trials = 10) ?(seed = 83) ?(spacing_km = 150.0) ~network ~model () =
-  let per_repeater = Failure_model.compile model ~network in
+  let plan = Plan.compile ~spacing_km ~network ~model () in
   let master = Rng.create seed in
   let cn = ref 0.0 and sn = ref 0.0 and cc = ref 0.0 and ss = ref 0.0 in
   for _ = 1 to trials do
     let rng = Rng.split master in
-    let cable_trial = Montecarlo.trial rng ~network ~spacing_km ~per_repeater in
+    let cable_trial = Montecarlo.trial rng ~plan in
     cn := !cn +. cable_trial.Montecarlo.nodes_unreachable_pct;
     cc := !cc +. cable_trial.Montecarlo.cables_failed_pct;
     let rng2 = Rng.split master in
-    let hops = trial_segments rng2 ~network ~spacing_km ~per_repeater in
+    let hops = trial_segments rng2 ~plan in
     sn := !sn +. nodes_unreachable_pct_segments network hops;
     let failed = Array.fold_left (fun a d -> if d then a + 1 else a) 0 hops in
     ss := !ss +. (100.0 *. float_of_int failed /. float_of_int (Int.max 1 (Array.length hops)))

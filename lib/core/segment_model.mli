@@ -16,15 +16,12 @@ type comparison = {
   segment_level_segments_pct : float;  (** hops failed, hop-level model *)
 }
 
-val trial_segments :
-  Rng.t ->
-  network:Infra.Network.t ->
-  spacing_km:float ->
-  per_repeater:(Infra.Cable.t -> float) ->
-  bool array
-(** One hop-level trial: element [i] is the death flag of the [i]-th hop
-    in cable-major order (the edge order of
-    {!Infra.Network.to_graph}). *)
+val trial_segments : Rng.t -> plan:Plan.t -> bool array
+(** One hop-level trial against a compiled plan: element [i] is the death
+    flag of the [i]-th hop in cable-major order (the edge order of
+    {!Infra.Network.to_graph}).  Per-hop death probabilities are derived
+    from the plan's per-repeater probabilities and the hop lengths, so
+    this does {e not} consume the plan's per-cable draw sequence. *)
 
 val nodes_unreachable_pct_segments : Infra.Network.t -> bool array -> float
 (** A node is unreachable when every incident {e hop} is dead. *)

@@ -1,7 +1,8 @@
 (** The paper's primary contribution: quantifying solar-superstorm impact
     on Internet infrastructure.
 
-    - {!Failure_model}, {!Montecarlo}: §4.3's repeater-failure machinery;
+    - {!Failure_model}, {!Plan}, {!Montecarlo}: §4.3's repeater-failure
+      machinery — models compile into plans, plans drive every trial;
     - {!Distribution}: Figs 3–5 (infrastructure vs population, lengths);
     - {!Resilience}: Figs 6–8 (uniform and latitude-tiered sweeps);
     - {!Country}: §4.3.4 country-scale case studies;
@@ -12,6 +13,7 @@
 
 module Stats = Stats
 module Failure_model = Failure_model
+module Plan = Plan
 module Montecarlo = Montecarlo
 module Distribution = Distribution
 module Resilience = Resilience

@@ -48,9 +48,7 @@ let gateways network ~alive_graph =
   done;
   best
 
-let baseline_max = ref None
-
-let route_internal ?dead ~network ~demands () =
+let route_internal ?dead ?baseline_max ~network ~demands () =
   let dead =
     match dead with
     | Some d -> d
@@ -121,13 +119,10 @@ let route_internal ?dead ~network ~demands () =
   let loaded = Array.to_list cable_load |> List.filter (fun l -> l > 0.0) in
   let max_load = List.fold_left Float.max 0.0 loaded in
   let mean_load = Stats.mean loaded in
-  let base =
-    match !baseline_max with
-    | Some b -> b
-    | None ->
-        baseline_max := Some max_load;
-        max_load
-  in
+  (* The overload threshold compares against the healthy network's peak
+     load; when the caller didn't supply one (healthy routing), this run
+     is its own baseline. *)
+  let base = Option.value ~default:max_load baseline_max in
   {
     delivered_pct = (if !total <= 0.0 then 0.0 else 100.0 *. !delivered /. !total);
     max_cable_load = max_load;
@@ -138,28 +133,32 @@ let route_internal ?dead ~network ~demands () =
 
 let routes = Obs.Metrics.counter "traffic.routes"
 
-let route ?dead ~network ~demands () =
+let route ?dead ?baseline_max ~network ~demands () =
   Obs.Metrics.incr routes;
   Obs.Span.with_ ~name:"traffic.route" @@ fun () ->
-  (* Reset the baseline memo when called on a healthy network so repeated
-     use stays self-consistent. *)
-  (match dead with
-  | None -> baseline_max := None
-  | Some d -> if Array.for_all not d then baseline_max := None);
-  route_internal ?dead ~network ~demands ()
+  (* A damaged-network call without an explicit baseline routes the
+     healthy network first: the overload threshold must come from *this*
+     network, never from whatever network a previous call happened to
+     route (the old global memo went stale exactly that way). *)
+  let baseline_max =
+    match (baseline_max, dead) with
+    | (Some _ as b), _ -> b
+    | None, Some d when not (Array.for_all not d) ->
+        Some (route_internal ~network ~demands ()).max_cable_load
+    | None, _ -> None
+  in
+  route_internal ?dead ?baseline_max ~network ~demands ()
 
 let storm_shift ?(trials = 10) ?(seed = 47) ?(spacing_km = 150.0) ~network ~model () =
   let demands = gravity_demands () in
   let baseline = route ~network ~demands () in
-  let per_repeater = Failure_model.compile model ~network in
-  let master = Rng.create seed in
-  let acc = ref [] in
-  for _ = 1 to trials do
-    let rng = Rng.split master in
-    let trial = Montecarlo.trial rng ~network ~spacing_km ~per_repeater in
-    acc := route_internal ~dead:trial.Montecarlo.dead ~network ~demands () :: !acc
-  done;
-  let avg f = Stats.mean (List.map f !acc) in
+  let p = Plan.compile ~spacing_km ~network ~model () in
+  let acc =
+    Plan.run_trials p ~trials ~seed ~init:[] ~f:(fun acc ~rng:_ ~dead ->
+        route_internal ~dead ~baseline_max:baseline.max_cable_load ~network ~demands ()
+        :: acc)
+  in
+  let avg f = Stats.mean (List.map f acc) in
   let after =
     {
       delivered_pct = avg (fun r -> r.delivered_pct);

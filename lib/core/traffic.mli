@@ -26,6 +26,7 @@ type routing = {
 
 val route :
   ?dead:bool array ->
+  ?baseline_max:float ->
   network:Infra.Network.t ->
   demands:demand list ->
   unit ->
@@ -33,7 +34,12 @@ val route :
 (** Route each continent-pair demand along one shortest (by length) path
     between the continents' highest-degree surviving landing stations.
     [dead] marks failed cables (default: none).  Overload counts cables
-    whose load exceeds twice the healthy-network maximum. *)
+    whose load exceeds twice [baseline_max], the healthy network's peak
+    load; when absent it is computed by routing the healthy network first
+    ([dead] with failures) or taken from this very run (healthy call).
+    Callers looping over many failure samples should pass the healthy
+    [max_cable_load] explicitly to avoid re-routing the baseline each
+    time — {!storm_shift} does. *)
 
 val storm_shift :
   ?trials:int ->

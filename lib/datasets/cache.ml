@@ -1,0 +1,48 @@
+let builds = ref 0
+
+let memo tbl key build =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      incr builds;
+      let v = build () in
+      Hashtbl.replace tbl key v;
+      v
+
+let submarine_tbl : (int, Infra.Network.t) Hashtbl.t = Hashtbl.create 4
+let intertubes_tbl : (int, Infra.Network.t) Hashtbl.t = Hashtbl.create 4
+let itu_tbl : (int * float, Infra.Network.t) Hashtbl.t = Hashtbl.create 4
+let caida_tbl : (int * int, Caida.asys array) Hashtbl.t = Hashtbl.create 4
+let dns_tbl : (int, Dns_roots.instance array) Hashtbl.t = Hashtbl.create 4
+let ixp_tbl : (int, Ixp.t array) Hashtbl.t = Hashtbl.create 4
+
+(* Defaults mirror the builders' own, so [Cache.submarine ()] and
+   [Submarine.build ()] describe the same dataset. *)
+
+let submarine ?(seed = 42) () =
+  memo submarine_tbl seed (fun () -> Submarine.build ~seed ())
+
+let intertubes ?(seed = 42) () =
+  memo intertubes_tbl seed (fun () -> Intertubes.build ~seed ())
+
+let itu ?(seed = 42) ?(scale = 1.0) () =
+  memo itu_tbl (seed, scale) (fun () -> Itu.build ~seed ~scale ())
+
+let caida ?(seed = 42) ?(ases = Caida.target_ases) () =
+  memo caida_tbl (seed, ases) (fun () -> Caida.build ~seed ~ases ())
+
+let dns_roots ?(seed = 42) () =
+  memo dns_tbl seed (fun () -> Dns_roots.build ~seed ())
+
+let ixp ?(seed = 42) () = memo ixp_tbl seed (fun () -> Ixp.build ~seed ())
+
+let build_count () = !builds
+
+let clear () =
+  builds := 0;
+  Hashtbl.reset submarine_tbl;
+  Hashtbl.reset intertubes_tbl;
+  Hashtbl.reset itu_tbl;
+  Hashtbl.reset caida_tbl;
+  Hashtbl.reset dns_tbl;
+  Hashtbl.reset ixp_tbl

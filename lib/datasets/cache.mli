@@ -1,0 +1,25 @@
+(** Memoized dataset builds.
+
+    The generators are deterministic in their parameters, so building the
+    same dataset twice is pure waste — yet the CLI subcommands and the
+    examples historically called [Submarine.build] independently up to six
+    times per process.  Each function here returns the same physical value
+    for the same parameters, building at most once per [(params)] key.
+
+    The cache is per-process and unbounded; keys are the full parameter
+    tuples, so differently-parameterized builds never collide.  Not
+    thread-safe (nothing in this repository is). *)
+
+val submarine : ?seed:int -> unit -> Infra.Network.t
+val intertubes : ?seed:int -> unit -> Infra.Network.t
+val itu : ?seed:int -> ?scale:float -> unit -> Infra.Network.t
+val caida : ?seed:int -> ?ases:int -> unit -> Caida.asys array
+val dns_roots : ?seed:int -> unit -> Dns_roots.instance array
+val ixp : ?seed:int -> unit -> Ixp.t array
+
+val build_count : unit -> int
+(** Number of underlying builds performed so far (cache misses) — a test
+    hook for asserting the memoization actually memoizes. *)
+
+val clear : unit -> unit
+(** Drop every cached dataset (and zero {!build_count}).  Tests only. *)

@@ -14,5 +14,6 @@ module Caida = Caida
 module Dns_roots = Dns_roots
 module Ixp = Ixp
 module Datacenters = Datacenters
+module Cache = Cache
 
 let default_seed = 42

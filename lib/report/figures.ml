@@ -1,30 +1,41 @@
+(* Datasets are memoized lazies: a context costs nothing to make, each
+   dataset is built on the first figure that needs it (through the
+   process-wide Datasets.Cache, so contexts with the same parameters
+   share the builds too). *)
 type context = {
-  submarine : Infra.Network.t;
-  intertubes : Infra.Network.t;
-  itu : Infra.Network.t;
-  ases : Datasets.Caida.asys array;
-  dns : Datasets.Dns_roots.instance array;
-  ixps : Datasets.Ixp.t array;
+  submarine : Infra.Network.t Lazy.t;
+  intertubes : Infra.Network.t Lazy.t;
+  itu : Infra.Network.t Lazy.t;
+  ases : Datasets.Caida.asys array Lazy.t;
+  dns : Datasets.Dns_roots.instance array Lazy.t;
+  ixps : Datasets.Ixp.t array Lazy.t;
 }
 
 let make_context ?(seed = Datasets.default_seed) ?(itu_scale = 0.3) ?(caida_ases = 8000)
     () =
   {
-    submarine = Datasets.Submarine.build ~seed ();
-    intertubes = Datasets.Intertubes.build ~seed ();
-    itu = Datasets.Itu.build ~seed ~scale:itu_scale ();
-    ases = Datasets.Caida.build ~seed ~ases:caida_ases ();
-    dns = Datasets.Dns_roots.build ~seed ();
-    ixps = Datasets.Ixp.build ~seed ();
+    submarine = lazy (Datasets.Cache.submarine ~seed ());
+    intertubes = lazy (Datasets.Cache.intertubes ~seed ());
+    itu = lazy (Datasets.Cache.itu ~seed ~scale:itu_scale ());
+    ases = lazy (Datasets.Cache.caida ~seed ~ases:caida_ases ());
+    dns = lazy (Datasets.Cache.dns_roots ~seed ());
+    ixps = lazy (Datasets.Cache.ixp ~seed ());
   }
 
+let submarine ctx = Lazy.force ctx.submarine
+let intertubes ctx = Lazy.force ctx.intertubes
+let itu ctx = Lazy.force ctx.itu
+let ases ctx = Lazy.force ctx.ases
+let dns ctx = Lazy.force ctx.dns
+let ixps ctx = Lazy.force ctx.ixps
+
 let networks ctx =
-  [ ("Submarine", ctx.submarine); ("Intertubes", ctx.intertubes); ("ITU", ctx.itu) ]
+  [ ("Submarine", submarine ctx); ("Intertubes", intertubes ctx); ("ITU", itu ctx) ]
 
 let fig1 ctx =
-  let ixp_points = Array.to_list (Array.map (fun i -> i.Datasets.Ixp.pos) ctx.ixps) in
+  let ixp_points = Array.to_list (Array.map (fun i -> i.Datasets.Ixp.pos) (ixps ctx)) in
   let layers =
-    Worldmap.network_layers ~cable_glyph:'-' ~node_glyph:'o' ctx.submarine
+    Worldmap.network_layers ~cable_glyph:'-' ~node_glyph:'o' (submarine ctx)
     @ [ Worldmap.Points ('X', ixp_points) ]
   in
   "Figure 1: submarine cables (-), landing stations (o) and IXPs (X)\n"
@@ -42,7 +53,7 @@ let to_plot_series (l : (string * (float * float) list) list) =
   List.map (fun (label, points) -> { Ascii_plot.label; points }) l
 
 let fig3 ctx =
-  let series = Stormsim.Distribution.fig3 ~submarine:ctx.submarine in
+  let series = Stormsim.Distribution.fig3 ~submarine:(submarine ctx) in
   let plot =
     Ascii_plot.plot ~x_label:"latitude (deg)" ~y_label:"probability density (%)"
       ~title:"Figure 3: PDF of population and submarine endpoints vs latitude"
@@ -50,9 +61,7 @@ let fig3 ctx =
          (List.map (fun (s : Stormsim.Distribution.pdf_series) -> (s.label, s.points)) series))
   in
   let above40 (s : Stormsim.Distribution.pdf_series) =
-    List.fold_left
-      (fun acc (lat, d) -> if Float.abs lat > 40.0 then acc +. (d *. 2.0) else acc)
-      0.0 s.points
+    Stormsim.Distribution.mass_above s ~threshold:40.0
   in
   plot
   ^ String.concat ""
@@ -86,17 +95,17 @@ let threshold_figure ~title series =
 let fig4a ctx =
   threshold_figure
     ~title:"Figure 4a: long-distance cable endpoints above latitude thresholds"
-    (Stormsim.Distribution.fig4a ~submarine:ctx.submarine ~intertubes:ctx.intertubes)
+    (Stormsim.Distribution.fig4a ~submarine:(submarine ctx) ~intertubes:(intertubes ctx))
 
 let fig4b ctx =
-  let routers = Datasets.Caida.router_latitudes ctx.ases in
+  let routers = Datasets.Caida.router_latitudes (ases ctx) in
   threshold_figure ~title:"Figure 4b: other infrastructure above latitude thresholds"
-    (Stormsim.Distribution.fig4b ~routers ~ixps:ctx.ixps ~dns:ctx.dns)
+    (Stormsim.Distribution.fig4b ~routers ~ixps:(ixps ctx) ~dns:(dns ctx))
 
 let fig5 ctx =
   let series =
-    Stormsim.Distribution.fig5 ~submarine:ctx.submarine ~intertubes:ctx.intertubes
-      ~itu:ctx.itu
+    Stormsim.Distribution.fig5 ~submarine:(submarine ctx) ~intertubes:(intertubes ctx)
+      ~itu:(itu ctx)
   in
   let plot =
     Ascii_plot.plot ~log_x:true ~x_label:"length (km)" ~y_label:"CDF"
@@ -171,7 +180,7 @@ let fig7 ?(trials = 10) ctx =
     points
 
 let fig8 ?(trials = 10) ctx =
-  let nets = [ ("Submarine", ctx.submarine); ("Intertubes", ctx.intertubes) ] in
+  let nets = [ ("Submarine", (submarine ctx)); ("Intertubes", (intertubes ctx)) ] in
   let points = Stormsim.Resilience.fig8 ~trials ~networks:nets () in
   let rows =
     List.map
@@ -192,7 +201,7 @@ let fig8 ?(trials = 10) ctx =
       rows
 
 let fig9a ctx =
-  let summary = Stormsim.Systems.analyze_ases ctx.ases in
+  let summary = Stormsim.Systems.analyze_ases (ases ctx) in
   Ascii_plot.plot ~x_label:"|latitude| threshold (deg)" ~y_label:"ASes with presence (%)"
     ~title:"Figure 9a: reach of ASes above latitude thresholds"
     [ { Ascii_plot.label = "ASes"; points = summary.Stormsim.Systems.reach_curve } ]
@@ -200,7 +209,7 @@ let fig9a ctx =
       summary.Stormsim.Systems.reach_above_40_pct
 
 let fig9b ctx =
-  let summary = Stormsim.Systems.analyze_ases ctx.ases in
+  let summary = Stormsim.Systems.analyze_ases (ases ctx) in
   (* Subsample the CDF for plotting. *)
   let cdf = summary.Stormsim.Systems.spread_cdf in
   let n = List.length cdf in
@@ -212,7 +221,7 @@ let fig9b ctx =
       summary.Stormsim.Systems.median_spread_deg summary.Stormsim.Systems.p90_spread_deg
 
 let countries ?(trials = 50) ctx =
-  let findings = Stormsim.Country.run_all ~trials ctx.submarine in
+  let findings = Stormsim.Country.run_all ~trials (submarine ctx) in
   let rows =
     List.map
       (fun (f : Stormsim.Country.finding) ->
@@ -227,9 +236,9 @@ let countries ?(trials = 50) ctx =
   ^ Table.render ~header:[ "case"; "state"; "cables"; "P(loss)"; "paper expectation" ] rows
 
 let systems ctx =
-  let asys = Stormsim.Systems.analyze_ases ctx.ases in
+  let asys = Stormsim.Systems.analyze_ases (ases ctx) in
   let dcs = Stormsim.Systems.analyze_datacenters () in
-  let dns = Stormsim.Systems.analyze_dns ctx.dns in
+  let dns = Stormsim.Systems.analyze_dns (dns ctx) in
   let buf = Buffer.create 512 in
   Buffer.add_string buf "Systems resilience (4.4)\n";
   Buffer.add_string buf
@@ -279,7 +288,7 @@ let probability () =
 let mitigation ctx =
   let open Stormsim in
   let plan =
-    Mitigation.shutdown_plan ~cme:Spaceweather.Cme.carrington_1859 ~network:ctx.submarine ()
+    Mitigation.shutdown_plan ~cme:Spaceweather.Cme.carrington_1859 ~network:(submarine ctx) ()
   in
   let buf = Buffer.create 512 in
   Buffer.add_string buf "Mitigation planning (5)\n";
@@ -288,7 +297,7 @@ let mitigation ctx =
        "Shutdown: lead %.1f h; expected cable failures %.1f%% powered vs %.1f%% off (benefit %.1f pts)\n"
        plan.Mitigation.actionable_lead_h plan.Mitigation.cables_failed_on_pct
        plan.Mitigation.cables_failed_off_pct plan.Mitigation.benefit_pct);
-  let augs = Mitigation.plan_augmentation ~network:ctx.submarine () in
+  let augs = Mitigation.plan_augmentation ~network:(submarine ctx) () in
   Buffer.add_string buf "Augmentation plan (greedy, S1 objective):\n";
   List.iter
     (fun (a : Mitigation.augmentation) ->
@@ -297,7 +306,7 @@ let mitigation ctx =
            a.Mitigation.from_city a.Mitigation.to_city a.Mitigation.length_km
            a.Mitigation.gain))
     augs;
-  let parts = Mitigation.predicted_partitions ~network:ctx.submarine () in
+  let parts = Mitigation.predicted_partitions ~network:(submarine ctx) () in
   Buffer.add_string buf
     (Printf.sprintf "Predicted partitions under S1 (cables with <50%% survival removed): %d components; largest sizes %s\n"
        (List.length parts)
@@ -327,7 +336,7 @@ let leo () =
 
 let grid_coupling ?(trials = 10) ctx =
   let r =
-    Stormsim.Powergrid.simulate ~trials ~network:ctx.submarine
+    Stormsim.Powergrid.simulate ~trials ~network:(submarine ctx)
       ~model:Stormsim.Failure_model.s1 ~dst_nt:(-1200.0) ()
   in
   Printf.sprintf
@@ -343,7 +352,7 @@ let grid_coupling ?(trials = 10) ctx =
 let aftermath ?(trials = 5) ctx =
   let buf = Buffer.create 512 in
   let tl, dead =
-    Stormsim.Recovery.storm_recovery ~trials ~network:ctx.submarine
+    Stormsim.Recovery.storm_recovery ~trials ~network:(submarine ctx)
       ~model:Stormsim.Failure_model.s1 ()
   in
   Buffer.add_string buf
@@ -359,7 +368,7 @@ let aftermath ?(trials = 5) ctx =
           ~days:tl.Stormsim.Recovery.days_to_90_pct
        /. 1e9));
   let base, after =
-    Stormsim.Traffic.storm_shift ~trials ~network:ctx.submarine
+    Stormsim.Traffic.storm_shift ~trials ~network:(submarine ctx)
       ~model:Stormsim.Failure_model.s2 ()
   in
   Buffer.add_string buf
@@ -371,7 +380,7 @@ let aftermath ?(trials = 5) ctx =
   Buffer.contents buf
 
 let service_resilience ctx =
-  let results = Stormsim.Resilience_test.run_suite ~network:ctx.submarine () in
+  let results = Stormsim.Resilience_test.run_suite ~network:(submarine ctx) () in
   let rows =
     List.map
       (fun (a : Stormsim.Resilience_test.availability) ->
@@ -392,25 +401,25 @@ let ablations ?(trials = 10) ctx =
   Buffer.add_string buf "1. Vulnerable-latitude threshold (S1 submarine cables failed %):\n";
   List.iter
     (fun (th, v) -> Buffer.add_string buf (Printf.sprintf "   mid=%2.0f deg  %.1f%%\n" th v))
-    (Stormsim.Sensitivity.threshold_sweep ~trials ~network:ctx.submarine ());
+    (Stormsim.Sensitivity.threshold_sweep ~trials ~network:(submarine ctx) ());
   Buffer.add_string buf "2. Geographic vs geomagnetic tiers (cables failed %):\n";
   List.iter
     (fun (state, geo, gm) ->
       Buffer.add_string buf (Printf.sprintf "   %s: %.1f%% -> %.1f%%\n" state geo gm))
-    (Stormsim.Sensitivity.geographic_vs_geomagnetic ~trials ~network:ctx.submarine ());
+    (Stormsim.Sensitivity.geographic_vs_geomagnetic ~trials ~network:(submarine ctx) ());
   Buffer.add_string buf "3. Repeater spacing sweep (uniform p=0.01):\n";
   List.iter
     (fun (s, v) -> Buffer.add_string buf (Printf.sprintf "   %3.0f km  %.1f%%\n" s v))
-    (Stormsim.Sensitivity.spacing_sweep ~trials ~network:ctx.submarine
+    (Stormsim.Sensitivity.spacing_sweep ~trials ~network:(submarine ctx)
        ~model:(Stormsim.Failure_model.uniform 0.01) ());
   Buffer.add_string buf "4. GIC damage scale (Carrington physical, expected cables failed %):\n";
   List.iter
     (fun (s, v) -> Buffer.add_string buf (Printf.sprintf "   %4.0f A  %.1f%%\n" s v))
-    (Stormsim.Sensitivity.scale_a_sweep ~network:ctx.submarine ~dst_nt:(-1200.0) ());
+    (Stormsim.Sensitivity.scale_a_sweep ~network:(submarine ctx) ~dst_nt:(-1200.0) ());
   Buffer.add_string buf
     "5. Whole-cable vs segment-level failure (S1; the paper's single-repeater-kills-cable assumption):\n";
   let seg =
-    Stormsim.Segment_model.compare_models ~trials ~network:ctx.submarine
+    Stormsim.Segment_model.compare_models ~trials ~network:(submarine ctx)
       ~model:Stormsim.Failure_model.s1 ()
   in
   Buffer.add_string buf
@@ -450,10 +459,10 @@ let capacity ?(trials = 5) ctx =
           Printf.sprintf "%.0f" r.Stormsim.Capacity.surviving_pct;
           String.concat "/"
             (List.filteri (fun i _ -> i < 3) r.Stormsim.Capacity.min_cut_cables) ])
-      (Stormsim.Capacity.standard_report ~trials ~network:ctx.submarine ~model ())
+      (Stormsim.Capacity.standard_report ~trials ~network:(submarine ctx) ~model ())
   in
   Printf.sprintf "Corridor capacity (max-flow, Tbps); installed total %.0f Tbps\n"
-    (Stormsim.Capacity.network_capacity_tbps ctx.submarine)
+    (Stormsim.Capacity.network_capacity_tbps (submarine ctx))
   ^ Table.render
       ~header:[ "corridor"; "state"; "healthy"; "expected"; "surv%"; "min-cut (top 3)" ]
       (rows "S1" Stormsim.Failure_model.s1 @ rows "S2" Stormsim.Failure_model.s2)

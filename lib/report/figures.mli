@@ -3,19 +3,25 @@
     an ASCII plot where the paper has a plot); the bench executable and
     the CLI print them. *)
 
-type context = {
-  submarine : Infra.Network.t;
-  intertubes : Infra.Network.t;
-  itu : Infra.Network.t;
-  ases : Datasets.Caida.asys array;
-  dns : Datasets.Dns_roots.instance array;
-  ixps : Datasets.Ixp.t array;
-}
+type context
+(** Lazy handle on the figure datasets.  Construction is free; each
+    dataset is built on first use (via [Datasets.Cache], shared
+    process-wide), so rendering one figure builds only what that figure
+    reads. *)
 
 val make_context : ?seed:int -> ?itu_scale:float -> ?caida_ases:int -> unit -> context
-(** Builds every dataset once.  [itu_scale] (default 0.3) and
-    [caida_ases] (default 8000) trade fidelity for run time; the defaults
-    keep [dune exec bench/main.exe] under a few minutes. *)
+(** [itu_scale] (default 0.3) and [caida_ases] (default 8000) trade
+    fidelity for run time; the defaults keep [dune exec bench/main.exe]
+    under a few minutes. *)
+
+val submarine : context -> Infra.Network.t
+val intertubes : context -> Infra.Network.t
+val itu : context -> Infra.Network.t
+val ases : context -> Datasets.Caida.asys array
+val dns : context -> Datasets.Dns_roots.instance array
+val ixps : context -> Datasets.Ixp.t array
+(** Dataset accessors; each forces (and caches) its dataset on first
+    call. *)
 
 val fig1 : context -> string
 (** World map of submarine cables + landing stations + IXPs. *)

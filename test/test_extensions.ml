@@ -275,9 +275,9 @@ let test_scale_a_sweep_monotone () =
 
 let test_segment_trial_shape () =
   let net = Lazy.force submarine in
-  let per_repeater = Failure_model.compile (Failure_model.uniform 0.01) ~network:net in
+  let plan = Plan.compile ~network:net ~model:(Failure_model.uniform 0.01) () in
   let rng = Rng.create 3 in
-  let hops = Segment_model.trial_segments rng ~network:net ~spacing_km:150.0 ~per_repeater in
+  let hops = Segment_model.trial_segments rng ~plan in
   let expected_hops = ref 0 in
   for c = 0 to Infra.Network.nb_cables net - 1 do
     expected_hops := !expected_hops + Infra.Cable.hop_count (Infra.Network.cable net c)
@@ -288,8 +288,8 @@ let test_segment_p0_p1 () =
   let net = Lazy.force submarine in
   let rng = Rng.create 4 in
   let all_alive =
-    Segment_model.trial_segments rng ~network:net ~spacing_km:150.0
-      ~per_repeater:(Failure_model.compile (Failure_model.uniform 0.0) ~network:net)
+    Segment_model.trial_segments rng
+      ~plan:(Plan.compile ~network:net ~model:(Failure_model.uniform 0.0) ())
   in
   Alcotest.(check bool) "p=0 kills nothing" true (Array.for_all not all_alive);
   Alcotest.(check (float 1e-9)) "no unreachable" 0.0

@@ -1,0 +1,299 @@
+(* Plan/legacy equivalence suite plus the regression tests that rode
+   along with the Plan refactor.
+
+   The golden values below were captured from the pre-Plan per-trial
+   [Failure_model.compile] loops (same seeds, same draw order), so any
+   drift in the compiled-plan sampling path — an extra RNG draw, a
+   reordered summation, a changed FP expression — fails these tests. *)
+
+open Stormsim
+
+let network = lazy (Datasets.Cache.submarine ())
+
+(* Polynomial hash over the dead flags: order-sensitive, so it pins the
+   exact per-cable outcome, not just the count. *)
+let hash_dead dead =
+  Array.fold_left
+    (fun acc d -> Int64.add (Int64.mul acc 1000003L) (if d then 1L else 0L))
+    0L dead
+
+let dead_count dead = Array.fold_left (fun a d -> if d then a + 1 else a) 0 dead
+
+let check_f name expected actual = Alcotest.(check (float 1e-9)) name expected actual
+
+type golden = {
+  gname : string;
+  model : Failure_model.t;
+  (* one trial: master = Rng.create 1234, rng = split master, spacing 150 *)
+  g_dead : int;
+  g_hash : int64;
+  g_cables : float;
+  g_nodes : float;
+  (* Montecarlo.run ~trials:7 ~seed:99, spacing 150 *)
+  g_cm : float;
+  g_cs : float;
+  g_nm : float;
+  g_ns : float;
+  g_expected : float;
+}
+
+let goldens =
+  [
+    { gname = "uniform-0.01"; model = Failure_model.uniform 0.01;
+      g_dead = 77; g_hash = 6565577062320977507L;
+      g_cables = 16.382978723404257; g_nodes = 10.797743755036262;
+      g_cm = 14.072948328267477; g_cs = 1.6653650494592973;
+      g_nm = 7.724185564636814; g_ns = 1.590414738268267;
+      g_expected = 14.199107075296238 };
+    { gname = "s1"; model = Failure_model.s1;
+      g_dead = 149; g_hash = -8462356478488360431L;
+      g_cables = 31.702127659574469; g_nodes = 27.880741337630944;
+      g_cm = 28.267477203647417; g_cs = 0.92692709312929467;
+      g_nm = 22.60849545297571; g_ns = 0.9571827561177576;
+      g_expected = 29.357093361245589 };
+    { gname = "s2"; model = Failure_model.s2;
+      g_dead = 49; g_hash = -6017019299559190757L;
+      g_cables = 10.425531914893616; g_nodes = 7.3327961321514907;
+      g_cm = 9.2401215805471111; g_cs = 0.95732618529018976;
+      g_nm = 5.5830551398641646; g_ns = 1.1746196402738898;
+      g_expected = 9.4243968085214931 };
+    { gname = "s1-geomag"; model = Failure_model.s1_geomag;
+      g_dead = 160; g_hash = -5830886797912768062L;
+      g_cables = 34.042553191489361; g_nodes = 28.847703464947624;
+      g_cm = 31.09422492401216; g_cs = 1.2324094184020238;
+      g_nm = 23.644526303672155; g_ns = 1.6366518629316618;
+      g_expected = 32.155066669608608 };
+    (* The smart constructor for geomag tiers is not exported; build the
+       variant directly with the paper's 40/60 thresholds. *)
+    { gname = "geomag-tiered-custom";
+      model =
+        Failure_model.Geomag_tiered
+          { high = 0.5; mid = 0.05; low = 0.005;
+            mid_threshold = 40.0; high_threshold = 60.0 };
+      g_dead = 122; g_hash = 3832297744559751336L;
+      g_cables = 25.957446808510639; g_nodes = 19.661563255439162;
+      g_cm = 24.498480243161094; g_cs = 1.0754897272312538;
+      g_nm = 16.749165419592494; g_ns = 1.3893137415570442;
+      g_expected = 24.792552546225586 };
+    { gname = "carrington-physical"; model = Failure_model.carrington_physical;
+      g_dead = 212; g_hash = -111982140042745036L;
+      g_cables = 45.106382978723403; g_nodes = 41.176470588235297;
+      g_cm = 45.471124620060792; g_cs = 2.027152826812531;
+      g_nm = 40.957752964199372; g_ns = 2.5777432949977492;
+      g_expected = 45.777059970156522 };
+  ]
+
+(* --- golden single trial: exact dead array, derived percentages --- *)
+
+let test_golden_trial g () =
+  let network = Lazy.force network in
+  let plan = Plan.compile ~network ~model:g.model () in
+  let master = Rng.create 1234 in
+  let rng = Rng.split master in
+  let dead = Plan.sample plan rng in
+  Alcotest.(check int) "dead count" g.g_dead (dead_count dead);
+  Alcotest.(check int64) "dead hash" g.g_hash (hash_dead dead);
+  check_f "cables pct" g.g_cables (Montecarlo.cables_failed_pct network dead);
+  check_f "nodes pct" g.g_nodes (Montecarlo.nodes_unreachable_pct network dead)
+
+(* --- golden series: Montecarlo.run (compile+run_plan) vs history --- *)
+
+let test_golden_series g () =
+  let network = Lazy.force network in
+  let s = Montecarlo.run ~trials:7 ~seed:99 ~network ~spacing_km:150.0 ~model:g.model () in
+  check_f "cables mean" g.g_cm s.Montecarlo.cables_mean;
+  check_f "cables std" g.g_cs s.Montecarlo.cables_std;
+  check_f "nodes mean" g.g_nm s.Montecarlo.nodes_mean;
+  check_f "nodes std" g.g_ns s.Montecarlo.nodes_std;
+  (* run_plan on a pre-compiled plan is the same computation. *)
+  let plan = Plan.compile ~network ~model:g.model () in
+  let s' = Montecarlo.run_plan ~trials:7 ~seed:99 plan in
+  Alcotest.(check bool) "run = run_plan" true (s = s')
+
+(* --- closed-form expectation: plan vs wrapper vs golden, to 1e-12 --- *)
+
+let test_golden_expected g () =
+  let network = Lazy.force network in
+  let plan = Plan.compile ~network ~model:g.model () in
+  let e = Plan.expected_cables_failed_pct plan in
+  Alcotest.(check (float 1e-12)) "expected pct" g.g_expected e;
+  Alcotest.(check (float 1e-12)) "wrapper agrees" e
+    (Montecarlo.expected_cables_failed_pct ~network ~spacing_km:150.0 ~model:g.model)
+
+(* --- sample vs the reference recompute path: draw-for-draw equal --- *)
+
+let test_sample_matches_recompute () =
+  let network = Lazy.force network in
+  let plan = Plan.compile ~network ~model:Failure_model.s1 () in
+  let n = Plan.nb_cables plan in
+  let rng_a = Rng.create 5 and rng_b = Rng.create 5 in
+  let a = Array.make n false and b = Array.make n false in
+  for trial = 1 to 5 do
+    Plan.sample_into plan rng_a a;
+    Plan.sample_recompute_into plan rng_b b;
+    Alcotest.(check int64)
+      (Printf.sprintf "trial %d identical" trial)
+      (hash_dead a) (hash_dead b)
+  done
+
+let test_compile_validates () =
+  let network = Lazy.force network in
+  Alcotest.check_raises "spacing <= 0"
+    (Invalid_argument "Plan.compile: spacing_km <= 0")
+    (fun () -> ignore (Plan.compile ~spacing_km:0.0 ~network ~model:Failure_model.s1 ()));
+  let plan = Plan.compile ~network ~model:Failure_model.s1 () in
+  Alcotest.check_raises "trials <= 0"
+    (Invalid_argument "Plan.run_trials: trials <= 0")
+    (fun () ->
+      ignore (Plan.run_trials plan ~trials:0 ~seed:1 ~init:() ~f:(fun () ~rng:_ ~dead:_ -> ())))
+
+(* --- Recovery.storm_recovery returns the median trial's curve --- *)
+
+let test_recovery_median_series () =
+  let network = Lazy.force network in
+  let model = Failure_model.s2 in
+  let trials = 5 and seed = 7 in
+  let combined, _ = Recovery.storm_recovery ~trials ~seed ~network ~model () in
+  (* Replay the same trials and pick the median-by-days_to_90_pct curve
+     ourselves (lower median, ties by trial order). *)
+  let p = Plan.compile ~network ~model () in
+  let tls =
+    List.rev
+      (Plan.run_trials p ~trials ~seed ~init:[] ~f:(fun acc ~rng:_ ~dead ->
+           Recovery.plan ~network ~dead () :: acc))
+  in
+  let sorted =
+    List.sort compare
+      (List.mapi (fun i t -> (t.Recovery.days_to_90_pct, i)) tls)
+  in
+  let _, median_idx = List.nth sorted ((trials - 1) / 2) in
+  let median = List.nth tls median_idx in
+  Alcotest.(check bool) "series is the median trial's" true
+    (combined.Recovery.series = median.Recovery.series);
+  (* The scalar summary is still the mean over trials, not the median's. *)
+  check_f "days_to_90 is the mean"
+    (Stats.mean (List.map (fun t -> t.Recovery.days_to_90_pct) tls))
+    combined.Recovery.days_to_90_pct
+
+(* --- Traffic.route: the overload baseline belongs to *this* network --- *)
+
+let node id name country ~lat ~lon =
+  { Infra.Network.id; name; country; pos = Geo.Coord.make ~lat ~lon }
+
+let cable id name a pa b pb =
+  Infra.Cable.make ~id ~name ~kind:Infra.Cable.Submarine ~landings:[ (a, pa); (b, pb) ] ()
+
+(* One landing station per continent, addressed by representative
+   coordinates so [continent_of_nearest] resolves them. *)
+let paris = Geo.Coord.make ~lat:48.86 ~lon:2.35 (* Europe *)
+let lagos = Geo.Coord.make ~lat:6.5 ~lon:3.4 (* Africa *)
+let new_york = Geo.Coord.make ~lat:40.7 ~lon:(-74.0) (* North America *)
+let sao_paulo = Geo.Coord.make ~lat:(-23.5) ~lon:(-46.6) (* South America *)
+let mumbai = Geo.Coord.make ~lat:19.0 ~lon:72.8 (* Asia *)
+
+(* Big network: one fat Asia-Europe trunk; its healthy peak load (the
+   Asia-Europe demand) dwarfs anything the small network below carries. *)
+let big_network =
+  Infra.Network.create ~name:"big"
+    ~nodes:[ node 0 "mumbai" "IN" ~lat:19.0 ~lon:72.8;
+             node 1 "paris" "FR" ~lat:48.86 ~lon:2.35 ]
+    ~cables:[ cable 0 "asia-europe" 0 mumbai 1 paris ]
+
+(* Small network: a 4-clique over Europe/Africa/NA/SA.  Killing the two
+   Europe spokes to NA and SA reroutes their demand through Africa, and
+   the Europe-Africa cable ends up above twice its own healthy peak. *)
+let small_network =
+  Infra.Network.create ~name:"small"
+    ~nodes:[ node 0 "paris" "FR" ~lat:48.86 ~lon:2.35;
+             node 1 "lagos" "NG" ~lat:6.5 ~lon:3.4;
+             node 2 "new-york" "US" ~lat:40.7 ~lon:(-74.0);
+             node 3 "sao-paulo" "BR" ~lat:(-23.5) ~lon:(-46.6) ]
+    ~cables:[ cable 0 "eu-af" 0 paris 1 lagos;
+              cable 1 "eu-na" 0 paris 2 new_york;
+              cable 2 "eu-sa" 0 paris 3 sao_paulo;
+              cable 3 "af-na" 1 lagos 2 new_york;
+              cable 4 "af-sa" 1 lagos 3 sao_paulo;
+              cable 5 "na-sa" 2 new_york 3 sao_paulo ]
+
+let test_traffic_baseline_per_network () =
+  let demands = Traffic.gravity_demands () in
+  (* Route the big network first: under the old global memo this planted
+     a stale, oversized baseline for every later call. *)
+  let big = Traffic.route ~network:big_network ~demands () in
+  Alcotest.(check bool) "big network carries load" true (big.Traffic.max_cable_load > 0.0);
+  let dead = Array.make 6 false in
+  dead.(1) <- true;
+  dead.(2) <- true;
+  let storm = Traffic.route ~dead ~network:small_network ~demands () in
+  (* Europe-Africa now carries EU-AF + EU-NA + EU-SA demand — more than
+     twice the small network's own healthy peak (the EU-AF demand), but
+     far below twice the big network's peak.  The stale-memo bug reported
+     0 here. *)
+  Alcotest.(check int) "overload vs own baseline" 1 storm.Traffic.overloaded_cables;
+  (* An explicit oversized baseline still suppresses the overload count. *)
+  let suppressed =
+    Traffic.route ~dead ~baseline_max:big.Traffic.max_cable_load ~network:small_network
+      ~demands ()
+  in
+  Alcotest.(check int) "explicit baseline wins" 0 suppressed.Traffic.overloaded_cables;
+  (* Order independence: a fresh healthy small-network routing reports the
+     same peak the storm call derived its baseline from. *)
+  let healthy = Traffic.route ~network:small_network ~demands () in
+  Alcotest.(check bool) "healthy small peak < storm load" true
+    (2.0 *. healthy.Traffic.max_cable_load < storm.Traffic.max_cable_load)
+
+(* --- Distribution.mass_above derives bin widths from the grid --- *)
+
+let test_mass_above_nonuniform_grid () =
+  let s : Distribution.pdf_series =
+    { label = "synthetic"; points = [ (0.0, 1.0); (10.0, 2.0); (30.0, 0.5); (50.0, 0.25) ] }
+  in
+  (* Widths: 10 (edge), (30-0)/2 = 15, (50-10)/2 = 20, 20 (edge).
+     Above 20: 0.5*20 + 0.25*20 = 15. *)
+  check_f "non-uniform widths" 15.0 (Distribution.mass_above s ~threshold:20.0);
+  (* On a uniform 2-degree grid the estimate reduces to density * 2. *)
+  let uniform : Distribution.pdf_series =
+    { label = "uniform"; points = [ (37.0, 0.1); (39.0, 0.2); (41.0, 0.4); (43.0, 0.8) ] }
+  in
+  check_f "uniform 2-degree grid" ((0.4 +. 0.8) *. 2.0)
+    (Distribution.mass_above uniform ~threshold:40.0);
+  let empty : Distribution.pdf_series = { label = "empty"; points = [] } in
+  check_f "empty series" 0.0 (Distribution.mass_above empty ~threshold:0.0)
+
+(* --- Datasets.Cache memoizes per parameter tuple --- *)
+
+let test_cache_memoizes () =
+  Datasets.Cache.clear ();
+  Alcotest.(check int) "cleared" 0 (Datasets.Cache.build_count ());
+  let a = Datasets.Cache.submarine () in
+  Alcotest.(check int) "first build" 1 (Datasets.Cache.build_count ());
+  let b = Datasets.Cache.submarine () in
+  Alcotest.(check int) "hit, no rebuild" 1 (Datasets.Cache.build_count ());
+  Alcotest.(check bool) "same physical value" true (a == b);
+  let c = Datasets.Cache.submarine ~seed:43 () in
+  Alcotest.(check int) "different seed misses" 2 (Datasets.Cache.build_count ());
+  Alcotest.(check bool) "different value" true (c != a);
+  ignore (Datasets.Cache.intertubes ());
+  Alcotest.(check int) "other dataset misses" 3 (Datasets.Cache.build_count ());
+  ignore (Datasets.Cache.intertubes ());
+  Alcotest.(check int) "other dataset hits" 3 (Datasets.Cache.build_count ())
+
+let () =
+  let per_model mk =
+    List.map (fun g -> Alcotest.test_case g.gname `Quick (mk g)) goldens
+  in
+  Alcotest.run "plan"
+    [
+      ("golden trial", per_model test_golden_trial);
+      ("golden series", per_model test_golden_series);
+      ("golden expected", per_model test_golden_expected);
+      ( "engine",
+        [ Alcotest.test_case "sample = recompute" `Quick test_sample_matches_recompute;
+          Alcotest.test_case "validation" `Quick test_compile_validates ] );
+      ( "satellites",
+        [ Alcotest.test_case "recovery median series" `Quick test_recovery_median_series;
+          Alcotest.test_case "traffic per-network baseline" `Quick
+            test_traffic_baseline_per_network;
+          Alcotest.test_case "mass_above grids" `Quick test_mass_above_nonuniform_grid;
+          Alcotest.test_case "dataset cache" `Quick test_cache_memoizes ] );
+    ]

@@ -89,7 +89,7 @@ let test_worldmap_plots_points () =
 
 let test_worldmap_network_layers () =
   let ctx = Lazy.force ctx in
-  let layers = Report.Worldmap.network_layers ctx.Report.Figures.intertubes in
+  let layers = Report.Worldmap.network_layers (Report.Figures.intertubes ctx) in
   Alcotest.(check int) "two layers" 2 (List.length layers)
 
 (* --- Csv --- *)
