@@ -61,6 +61,19 @@ let kernels ctx : (string * (unit -> unit)) list =
       fun () -> Stormsim.Plan.sample_recompute_into uniform_plan rng dead_buf );
     ( "fig6-uniform-trial",
       fun () -> ignore (Stormsim.Montecarlo.trial rng ~plan:uniform_plan) );
+    (* The same 200-trial Monte-Carlo workload three ways: a plain
+       sequential loop, the Domain engine at one job (its overhead over
+       the loop), and at four jobs (scaling, bounded by the machine's
+       core count). *)
+    ( "plan.trials-seq",
+      fun () ->
+        for _ = 1 to 200 do
+          ignore (Stormsim.Montecarlo.trial rng ~plan:tiered_plan)
+        done );
+    ( "plan.trials-par1",
+      fun () -> ignore (Stormsim.Montecarlo.run_plan ~trials:200 ~jobs:1 ~seed:13 tiered_plan) );
+    ( "plan.trials-par4",
+      fun () -> ignore (Stormsim.Montecarlo.run_plan ~trials:200 ~jobs:4 ~seed:13 tiered_plan) );
     ("fig8-tiered-trial", fun () -> ignore (Stormsim.Montecarlo.trial rng ~plan:tiered_plan));
     ("fig9-as-analysis", fun () -> ignore (Stormsim.Systems.analyze_ases (Report.Figures.ases ctx)));
     ( "country-case-study",

@@ -11,8 +11,11 @@ dune build
 echo "== dune build examples =="
 dune build examples
 
-echo "== dune runtest =="
-dune runtest
+echo "== dune runtest (SOLARSTORM_JOBS=2) =="
+# Two worker domains for every Monte-Carlo consumer that doesn't pin
+# ~jobs: the golden suites then prove the parallel engine reproduces the
+# sequential byte-for-byte, on every CI run.
+SOLARSTORM_JOBS=2 dune runtest --force
 
 BENCH_JSON="${BENCH_JSON:-/tmp/bench.json}"
 rm -f "$BENCH_JSON"
@@ -26,7 +29,8 @@ test -s "$BENCH_JSON" || { echo "check.sh: $BENCH_JSON missing or empty" >&2; ex
 # document must be one object carrying the schema marker, a non-empty
 # kernel list with timings, and a metrics object.
 for needle in '"schema":"solarstorm-bench/1"' '"kernels":[{' '"ns_per_run":' '"metrics":{' \
-              '"name":"plan.compile"' '"name":"plan.sample"' '"name":"plan.sample-recompute"'; do
+              '"name":"plan.compile"' '"name":"plan.sample"' '"name":"plan.sample-recompute"' \
+              '"name":"plan.trials-seq"' '"name":"plan.trials-par1"' '"name":"plan.trials-par4"'; do
   grep -q -F "$needle" "$BENCH_JSON" \
     || { echo "check.sh: $BENCH_JSON malformed (missing $needle)" >&2; exit 1; }
 done
@@ -44,7 +48,8 @@ assert doc["schema"] == "solarstorm-bench/1", "bad schema"
 assert doc["kernels"] and all("ns_per_run" in k for k in doc["kernels"]), "bad kernels"
 assert isinstance(doc["metrics"], dict), "bad metrics"
 names = {k["name"] for k in doc["kernels"]}
-for required in ("plan.compile", "plan.sample", "plan.sample-recompute"):
+for required in ("plan.compile", "plan.sample", "plan.sample-recompute",
+                 "plan.trials-seq", "plan.trials-par1", "plan.trials-par4"):
     assert required in names, f"missing kernel {required}"
 EOF
 fi

@@ -35,6 +35,18 @@ let markdown_t =
   Arg.(value & opt (some string) None & info [ "markdown" ] ~docv:"FILE"
          ~doc:"Also write all rendered figures to $(docv) as markdown.")
 
+(* Parallelism: --jobs lands in Exec's process-wide default once at
+   startup, so every Monte-Carlo consumer deep in the figure pipeline
+   picks it up without threading a parameter through each call.  Output
+   is byte-identical for any job count (Plan.run_trials_par pre-splits
+   trial RNGs and merges in trial order). *)
+let jobs_t =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for Monte-Carlo trials (default: \
+                 $(b,SOLARSTORM_JOBS) when set, else 1).  Results are \
+                 byte-identical for any $(docv).")
+
 (* Observability plumbing, shared by every subcommand: --metrics/--trace
    switch the Obs layer on for the duration of the command and dump the
    collected data afterwards.  Without either flag the layer stays off and
@@ -59,7 +71,8 @@ let write_dump dst content =
       output_string oc content;
       close_out oc
 
-let with_obs metrics trace run =
+let with_obs jobs metrics trace run =
+  Option.iter Exec.set_default_jobs jobs;
   if metrics = None && trace = None then run ()
   else begin
     Obs.enable ();
@@ -72,15 +85,15 @@ let with_obs metrics trace run =
     Option.iter (fun dst -> write_dump dst (Obs.Export.jsonl (Obs.Span.events ()))) trace
   end
 
-let obs_args term = Cmdliner.Term.(term $ metrics_t $ trace_t)
+let obs_args term = Cmdliner.Term.(term $ jobs_t $ metrics_t $ trace_t)
 
 (* figures *)
 let figures_cmd =
   let id_t =
     Arg.(value & opt (some string) None & info [ "id" ] ~doc:"Only this figure id.")
   in
-  let run seed trials itu_scale caida_ases id out_dir markdown metrics trace =
-    with_obs metrics trace @@ fun () ->
+  let run seed trials itu_scale caida_ases id out_dir markdown jobs metrics trace =
+    with_obs jobs metrics trace @@ fun () ->
     let ctx = ctx_of ~seed ~itu_scale ~caida_ases in
     let all = Report.Figures.all ~trials ctx in
     (* Validate the id before any side effect: a failed invocation must not
@@ -141,8 +154,8 @@ let map_cmd =
   let net_t =
     Arg.(value & opt network_conv `Submarine & info [ "network" ] ~doc:"Network to draw.")
   in
-  let run seed net metrics trace =
-    with_obs metrics trace @@ fun () ->
+  let run seed net jobs metrics trace =
+    with_obs jobs metrics trace @@ fun () ->
     let network =
       match net with
       | `Submarine -> Datasets.Cache.submarine ~seed ()
@@ -179,8 +192,8 @@ let simulate_cmd =
   let net_t =
     Arg.(value & opt network_conv `Submarine & info [ "network" ] ~doc:"Network.")
   in
-  let run seed trials itu_scale model spacing net metrics trace =
-    with_obs metrics trace @@ fun () ->
+  let run seed trials itu_scale model spacing net jobs metrics trace =
+    with_obs jobs metrics trace @@ fun () ->
     let name, network =
       match net with
       | `Submarine -> ("submarine", Datasets.Cache.submarine ~seed ())
@@ -214,8 +227,8 @@ let scenario_cmd =
   let physical_t =
     Arg.(value & flag & info [ "physical" ] ~doc:"Also run the GIC-physical model.")
   in
-  let run seed trials event speed physical metrics trace =
-    with_obs metrics trace @@ fun () ->
+  let run seed trials event speed physical jobs metrics trace =
+    with_obs jobs metrics trace @@ fun () ->
     let networks =
       [ ("submarine", Datasets.Cache.submarine ~seed ());
         ("intertubes", Datasets.Cache.intertubes ~seed ()) ]
@@ -239,8 +252,8 @@ let scenario_cmd =
 
 (* countries *)
 let countries_cmd =
-  let run seed trials metrics trace =
-    with_obs metrics trace @@ fun () ->
+  let run seed trials jobs metrics trace =
+    with_obs jobs metrics trace @@ fun () ->
     let net = Datasets.Cache.submarine ~seed () in
     let findings = Stormsim.Country.run_all ~trials net in
     List.iter
@@ -257,8 +270,8 @@ let countries_cmd =
 
 (* systems *)
 let systems_cmd =
-  let run seed caida_ases metrics trace =
-    with_obs metrics trace @@ fun () ->
+  let run seed caida_ases jobs metrics trace =
+    with_obs jobs metrics trace @@ fun () ->
     let ctx = ctx_of ~seed ~itu_scale:0.05 ~caida_ases in
     print_string (Report.Figures.systems ctx)
   in
@@ -267,8 +280,8 @@ let systems_cmd =
 
 (* mitigate *)
 let mitigate_cmd =
-  let run seed metrics trace =
-    with_obs metrics trace @@ fun () ->
+  let run seed jobs metrics trace =
+    with_obs jobs metrics trace @@ fun () ->
     let ctx = ctx_of ~seed ~itu_scale:0.05 ~caida_ases:1000 in
     print_string (Report.Figures.mitigation ctx)
   in
@@ -284,8 +297,8 @@ let leo_cmd =
     Arg.(value & opt (some float) None
          & info [ "batch" ] ~docv:"ALT" ~doc:"Also assess an injection batch parked at ALT km.")
   in
-  let run dst batch metrics trace =
-    with_obs metrics trace @@ fun () ->
+  let run dst batch jobs metrics trace =
+    with_obs jobs metrics trace @@ fun () ->
     let r =
       Leo.Storm_impact.assess ?injection_batch:batch ~dst_nt:dst
         Leo.Constellation.starlink_phase1
@@ -300,8 +313,8 @@ let decision_cmd =
   let event_t =
     Arg.(value & opt string "carrington" & info [ "event" ] ~doc:"Historical event name.")
   in
-  let run seed event metrics trace =
-    with_obs metrics trace @@ fun () ->
+  let run seed event jobs metrics trace =
+    with_obs jobs metrics trace @@ fun () ->
     match Spaceweather.Storm_catalog.find event with
     | None ->
         Printf.eprintf "unknown event %s\n" event;
@@ -324,8 +337,8 @@ let decision_cmd =
 
 (* probability *)
 let probability_cmd =
-  let run () metrics trace =
-    with_obs metrics trace @@ fun () -> print_string (Report.Figures.probability ())
+  let run () jobs metrics trace =
+    with_obs jobs metrics trace @@ fun () -> print_string (Report.Figures.probability ())
   in
   Cmd.v (Cmd.info "probability" ~doc:"Occurrence-probability table")
     (obs_args Term.(const run $ const ()))

@@ -74,8 +74,8 @@ let flow_between net ~dead ~sources ~sinks =
   in
   Netgraph.Flow.max_flow_multi g ~capacity ~sources ~sinks
 
-let analyze_corridor ?(trials = 10) ?(seed = 71) ?(spacing_km = 150.0) ~network ~model
-    corridor =
+let analyze_corridor ?(trials = 10) ?(seed = 71) ?(spacing_km = 150.0) ?jobs ~network
+    ~model corridor =
   let sources = group_nodes network corridor.from_countries in
   let sinks =
     (* A node can belong to both shores only through data errors; drop
@@ -92,8 +92,9 @@ let analyze_corridor ?(trials = 10) ?(seed = 71) ?(spacing_km = 150.0) ~network 
     let healthy = flow_between network ~dead:none ~sources ~sinks in
     let p = Plan.compile ~spacing_km ~network ~model () in
     let acc =
-      Plan.run_trials p ~trials ~seed ~init:0.0 ~f:(fun acc ~rng:_ ~dead ->
-          acc +. flow_between network ~dead ~sources ~sinks)
+      Plan.run_trials_par p ?jobs ~trials ~seed ~init:0.0
+        ~map:(fun ~rng:_ ~dead -> flow_between network ~dead ~sources ~sinks)
+        ~merge:( +. )
     in
     let expected = acc /. float_of_int trials in
     (* Min-cut cables of the healthy corridor: multi-terminal minimum cut
@@ -117,7 +118,7 @@ let analyze_corridor ?(trials = 10) ?(seed = 71) ?(spacing_km = 150.0) ~network 
     }
   end
 
-let standard_report ?trials ~network ~model () =
+let standard_report ?trials ?jobs ~network ~model () =
   List.map
-    (analyze_corridor ?trials ~network ~model)
+    (analyze_corridor ?trials ?jobs ~network ~model)
     [ atlantic; brazil_europe; pacific; asia_europe ]

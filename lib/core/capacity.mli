@@ -41,15 +41,17 @@ val analyze_corridor :
   ?trials:int ->
   ?seed:int ->
   ?spacing_km:float ->
+  ?jobs:int ->
   network:Infra.Network.t ->
   model:Failure_model.t ->
   corridor ->
   corridor_report
 (** Max-flow capacity between the corridor's country groups, healthy and
-    after Monte-Carlo storm failures.  Corridors whose side resolves to
-    no nodes report zeros. *)
+    after Monte-Carlo storm failures ({!Plan.run_trials_par}:
+    deterministic in [seed] for any [jobs]).  Corridors whose side
+    resolves to no nodes report zeros. *)
 
 val standard_report :
-  ?trials:int -> network:Infra.Network.t -> model:Failure_model.t -> unit ->
-  corridor_report list
+  ?trials:int -> ?jobs:int -> network:Infra.Network.t -> model:Failure_model.t ->
+  unit -> corridor_report list
 (** The four standard corridors. *)

@@ -311,7 +311,7 @@ let routed_lost net dead group_a group_b =
          group; we check every b. *)
       not (List.exists (fun b -> Hashtbl.mem reach b) group_b)
 
-let evaluate ?(trials = 50) ?(seed = 23) ?(spacing_km = 150.0) net spec =
+let evaluate ?(trials = 50) ?(seed = 23) ?(spacing_km = 150.0) ?jobs net spec =
   let group_a = resolve_group net spec.group_a in
   let group_b = resolve_group net spec.group_b in
   let watched =
@@ -322,18 +322,16 @@ let evaluate ?(trials = 50) ?(seed = 23) ?(spacing_km = 150.0) net spec =
   in
   let plan = Plan.compile ~spacing_km ~network:net ~model:spec.state () in
   let losses =
-    Plan.run_trials plan ~trials ~seed:(seed + Hashtbl.hash spec.id) ~init:0
-      ~f:(fun losses ~rng:_ ~dead ->
-        let lost =
-          match spec.metric with
-          | Direct_loss | Long_haul_isolated _ ->
-              watched = []
-              || List.for_all
-                   (fun (c : Infra.Cable.t) -> dead.(c.Infra.Cable.id))
-                   watched
-          | Routed_loss -> routed_lost net dead group_a group_b
-        in
-        if lost then losses + 1 else losses)
+    Plan.run_trials_par plan ?jobs ~trials ~seed:(seed + Hashtbl.hash spec.id) ~init:0
+      ~map:(fun ~rng:_ ~dead ->
+        match spec.metric with
+        | Direct_loss | Long_haul_isolated _ ->
+            watched = []
+            || List.for_all
+                 (fun (c : Infra.Cable.t) -> dead.(c.Infra.Cable.id))
+                 watched
+        | Routed_loss -> routed_lost net dead group_a group_b)
+      ~merge:(fun losses lost -> if lost then losses + 1 else losses)
   in
   {
     spec;
@@ -341,5 +339,5 @@ let evaluate ?(trials = 50) ?(seed = 23) ?(spacing_km = 150.0) net spec =
     direct_cables = List.length watched;
   }
 
-let run_all ?trials ?seed ?spacing_km net =
-  List.map (evaluate ?trials ?seed ?spacing_km net) paper_case_studies
+let run_all ?trials ?seed ?spacing_km ?jobs net =
+  List.map (evaluate ?trials ?seed ?spacing_km ?jobs net) paper_case_studies

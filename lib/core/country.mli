@@ -43,12 +43,15 @@ val evaluate :
   ?trials:int ->
   ?seed:int ->
   ?spacing_km:float ->
+  ?jobs:int ->
   Infra.Network.t ->
   spec ->
   finding
 (** Monte-Carlo evaluation of one case study (default 50 trials,
-    150 km spacing). *)
+    150 km spacing).  Trials run on {!Plan.run_trials_par}: the result
+    is deterministic in [seed] for any [jobs]. *)
 
 val run_all :
-  ?trials:int -> ?seed:int -> ?spacing_km:float -> Infra.Network.t -> finding list
+  ?trials:int -> ?seed:int -> ?spacing_km:float -> ?jobs:int ->
+  Infra.Network.t -> finding list
 (** Evaluate every paper case study. *)

@@ -217,7 +217,6 @@ let plan_augmentation ?(budget = 3) ?(state = Failure_model.s1) ~network () =
               (List.filter (fun (x, y) -> (x, y) <> (ca, cb)) remaining)
               (budget_left - 1)
   in
-  ignore base;
   pick [] [] base candidate_links budget
 
 (* Partition prediction. *)

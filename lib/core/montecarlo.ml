@@ -59,27 +59,27 @@ let trial rng ~plan =
         nodes_unreachable_pct = nodes_unreachable_pct network dead;
       })
 
-let run_plan ?(trials = 10) ~seed plan =
+let run_plan ?(trials = 10) ?jobs ~seed plan =
   if trials <= 0 then invalid_arg "Montecarlo.run: trials <= 0";
   Obs.Span.with_ ~name:"mc.run" @@ fun () ->
   let network = Plan.network plan in
   let cables, nodes =
-    Plan.run_trials plan ~trials ~seed ~init:([], [])
-      ~f:(fun (cables, nodes) ~rng:_ ~dead ->
+    Plan.run_trials_par plan ?jobs ~trials ~seed ~init:([], [])
+      ~map:(fun ~rng:_ ~dead ->
         Obs.Span.with_ ~name:"mc.trial" @@ fun () ->
         observe_trial dead;
-        (cables_failed_pct network dead :: cables,
-         nodes_unreachable_pct network dead :: nodes))
+        (cables_failed_pct network dead, nodes_unreachable_pct network dead))
+      ~merge:(fun (cables, nodes) (c, n) -> (c :: cables, n :: nodes))
   in
   let cables_mean, cables_std = Stats.mean_stddev cables in
   let nodes_mean, nodes_std = Stats.mean_stddev nodes in
   { cables_mean; cables_std; nodes_mean; nodes_std }
 
-let run ?(trials = 10) ~seed ~network ~spacing_km ~model () =
+let run ?(trials = 10) ?jobs ~seed ~network ~spacing_km ~model () =
   if trials <= 0 then invalid_arg "Montecarlo.run: trials <= 0";
   if spacing_km <= 0.0 then invalid_arg "Montecarlo.run: spacing <= 0";
   let plan = Plan.compile ~spacing_km ~network ~model () in
-  run_plan ~trials ~seed plan
+  run_plan ~trials ?jobs ~seed plan
 
 let expected_cables_failed_pct ~network ~spacing_km ~model =
   Plan.expected_cables_failed_pct (Plan.compile ~spacing_km ~network ~model ())

@@ -34,13 +34,16 @@ val nodes_unreachable_pct : Infra.Network.t -> bool array -> float
 (** Percentage of {e cable-bearing} nodes whose every incident cable is
     dead (nodes without any cable are excluded from the denominator). *)
 
-val run_plan : ?trials:int -> seed:int -> Plan.t -> series
+val run_plan : ?trials:int -> ?jobs:int -> seed:int -> Plan.t -> series
 (** [run_plan plan] aggregates [trials] (default 10) independent trials
-    of an already-compiled plan.  Deterministic in [seed].
-    @raise Invalid_argument if [trials <= 0]. *)
+    of an already-compiled plan through {!Plan.run_trials_par}.
+    Deterministic in [seed] alone — [jobs] (default
+    {!Exec.default_jobs}) only changes how many domains sample, never
+    the result.  @raise Invalid_argument if [trials <= 0]. *)
 
 val run :
   ?trials:int ->
+  ?jobs:int ->
   seed:int ->
   network:Infra.Network.t ->
   spacing_km:float ->
@@ -49,7 +52,7 @@ val run :
   series
 (** [run] aggregates [trials] (default 10, as in the paper) independent
     trials: [Plan.compile] followed by {!run_plan}.  Deterministic in
-    [seed].  @raise Invalid_argument if [trials <= 0] or
+    [seed] for any [jobs].  @raise Invalid_argument if [trials <= 0] or
     [spacing_km <= 0.]. *)
 
 val expected_cables_failed_pct :

@@ -82,3 +82,44 @@ let run_trials t ~trials ~seed ~init ~f =
     acc := f !acc ~rng ~dead
   done;
   !acc
+
+let par_runs = Obs.Metrics.counter "plan.par_runs"
+
+let run_trials_par t ?jobs ~trials ~seed ~init ~map ~merge =
+  if trials <= 0 then invalid_arg "Plan.run_trials_par: trials <= 0";
+  let jobs =
+    match jobs with
+    | None -> Exec.default_jobs ()
+    | Some j -> if j <= 0 then invalid_arg "Plan.run_trials_par: jobs <= 0" else j
+  in
+  Obs.Metrics.incr par_runs;
+  (* Determinism, part 1 — sequential pre-split: every trial RNG is split
+     off the master on the calling domain, in trial order, exactly as the
+     sequential [run_trials] loop interleaves them.  The master only
+     advances through splits (sampling draws from the trial RNGs), so the
+     per-trial streams are bit-identical to the sequential engine's. *)
+  let master = Rng.create seed in
+  let rngs = Array.make trials master in
+  for i = 0 to trials - 1 do
+    rngs.(i) <- Rng.split master
+  done;
+  let m = Array.length t.death in
+  let results = Array.make trials None in
+  Exec.parallel_for ~jobs ~n:trials (fun ~lo ~hi ->
+      (* One dead buffer per claimed chunk: worker-owned, so [map] sees
+         the same reused-buffer contract as [run_trials]'s [f]. *)
+      let dead = Array.make m false in
+      for i = lo to hi - 1 do
+        sample_into t rngs.(i) dead;
+        results.(i) <- Some (map ~rng:rngs.(i) ~dead)
+      done);
+  (* Determinism, part 2 — ordered merge: fold in trial order regardless
+     of which domain produced which result, so [~jobs:1] and [~jobs:n]
+     accumulate (floats included) in the same sequence. *)
+  let acc = ref init in
+  for i = 0 to trials - 1 do
+    match results.(i) with
+    | Some v -> acc := merge !acc v
+    | None -> assert false (* parallel_for covers [0, trials) *)
+  done;
+  !acc

@@ -16,8 +16,9 @@
     master-RNG pattern: [Rng.create seed], then one [Rng.split] per trial.
 
     Observability: compiles and trials are counted on the [plan.compiles]
-    and [plan.trials] metrics, and compilation runs under a
-    ["plan.compile"] span (all off-by-default, see DESIGN.md). *)
+    and [plan.trials] metrics ([plan.par_runs] counts {!run_trials_par}
+    invocations), and compilation runs under a ["plan.compile"] span (all
+    off-by-default, see DESIGN.md). *)
 
 type t
 
@@ -84,3 +85,38 @@ val run_trials :
 
     [dead] is a single buffer reused across trials: copy it if it must
     outlive the callback.  @raise Invalid_argument if [trials <= 0]. *)
+
+val run_trials_par :
+  t ->
+  ?jobs:int ->
+  trials:int ->
+  seed:int ->
+  init:'acc ->
+  map:(rng:Rng.t -> dead:bool array -> 'a) ->
+  merge:('acc -> 'a -> 'acc) ->
+  'acc
+(** Domain-parallel {!run_trials}, deterministic by construction: for the
+    same [seed], [~jobs:1] and [~jobs:n] produce byte-identical results —
+    and both match what {!run_trials} computes with
+    [f acc ~rng ~dead = merge acc (map ~rng ~dead)].
+
+    How the determinism is kept (see DESIGN.md §6):
+    - {e sequential pre-split} — all [trials] RNGs are split off the
+      master [Rng.create seed] up front, on the calling domain, in trial
+      order: the historical draw order, so seeds keep reproducing the
+      published numbers;
+    - {e ordered merge} — per-trial [map] results are buffered by trial
+      index and folded left-to-right, so float accumulation order never
+      depends on domain scheduling.
+
+    [jobs] defaults to {!Exec.default_jobs} (the [--jobs] flag /
+    [SOLARSTORM_JOBS] environment variable, else 1); trials are dealt to
+    domains by chunked work-stealing ({!Exec.parallel_for}).  [map] runs
+    on worker domains: it must not touch shared mutable state — [Obs]
+    metrics are fine (atomic), [Obs.Span] inside [map] records only on
+    the main domain, and [dead] is a worker-owned buffer valid only for
+    the duration of the call (copy it to keep it).  [map] may keep
+    drawing from [rng] for its own per-trial randomness, exactly like
+    [f] in {!run_trials}.
+
+    @raise Invalid_argument if [trials <= 0] or [jobs <= 0]. *)

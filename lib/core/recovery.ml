@@ -25,11 +25,10 @@ let job_duration params (cable : Infra.Cable.t) =
   let transit = cable.Infra.Cable.length_km /. 1000.0 *. params.transit_days_per_1000km in
   (faults *. params.base_repair_days) +. transit
 
-let plan ?(params = default_params) ?(seed = 3) ~network ~dead () =
+let plan ?(params = default_params) ~network ~dead () =
   if Array.length dead <> Infra.Network.nb_cables network then
     invalid_arg "Recovery.plan: dead array size mismatch";
   if params.ships <= 0 then invalid_arg "Recovery.plan: non-positive fleet";
-  ignore seed;
   let jobs = ref [] in
   Array.iteri
     (fun c is_dead ->
@@ -93,15 +92,17 @@ let median_series tls =
   | Some (_, _, t) -> t.series
   | None -> []
 
-let storm_recovery ?(trials = 10) ?(seed = 53) ?(spacing_km = 150.0) ~network ~model () =
+let storm_recovery ?(trials = 10) ?(seed = 53) ?(spacing_km = 150.0) ?jobs ~network
+    ~model () =
   let p = Plan.compile ~spacing_km ~network ~model () in
   let tls, deads =
-    Plan.run_trials p ~trials ~seed ~init:([], [])
-      ~f:(fun (tls, deads) ~rng:_ ~dead ->
+    Plan.run_trials_par p ?jobs ~trials ~seed ~init:([], [])
+      ~map:(fun ~rng:_ ~dead ->
         let failed =
           float_of_int (Array.fold_left (fun a d -> if d then a + 1 else a) 0 dead)
         in
-        (plan ~network ~dead () :: tls, failed :: deads))
+        (plan ~network ~dead (), failed))
+      ~merge:(fun (tls, deads) (tl, failed) -> (tl :: tls, failed :: deads))
   in
   let avg f = Stats.mean (List.map f tls) in
   let combined =

@@ -28,14 +28,15 @@ type timeline = {
 
 val plan :
   ?params:params ->
-  ?seed:int ->
   network:Infra.Network.t ->
   dead:bool array ->
   unit ->
   timeline
 (** Greedy schedule: ships always take the shortest remaining job
     (restores cable count fastest, like real triage toward
-    single-fault cables).  Deterministic given the seed.
+    single-fault cables).  Fully deterministic — the schedule is a pure
+    function of [params] and [dead]; it draws no randomness (an earlier
+    version advertised a [?seed] it silently ignored).
     @raise Invalid_argument on array size mismatch or non-positive
     fleet. *)
 
@@ -48,9 +49,11 @@ val storm_recovery :
   ?trials:int ->
   ?seed:int ->
   ?spacing_km:float ->
+  ?jobs:int ->
   network:Infra.Network.t ->
   model:Failure_model.t ->
   unit ->
   timeline * float
 (** Average repair timeline over storm trials, plus the mean number of
-    dead cables per trial. *)
+    dead cables per trial.  Trials run through {!Plan.run_trials_par}:
+    deterministic in [seed] for any [jobs]. *)

@@ -30,13 +30,15 @@ val run :
   ?seed:int ->
   ?spacing_km:float ->
   ?use_physical:bool ->
+  ?jobs:int ->
   cme:Spaceweather.Cme.t ->
   networks:(string * Infra.Network.t) list ->
   unit ->
   t
 (** Evaluate a scenario.  With [use_physical] (default false) the
     GIC-physical model is also run per network and appended to
-    [impacts]. *)
+    [impacts].  Monte-Carlo trials run on {!Plan.run_trials_par}:
+    deterministic in [seed] for any [jobs]. *)
 
 val historical : name:string -> networks:(string * Infra.Network.t) list -> t option
 (** Scenario for a catalogued historical event ({!Spaceweather.Storm_catalog});

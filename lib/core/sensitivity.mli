@@ -3,11 +3,14 @@
 
     The paper itself flags two: the 40° threshold is "conservative"
     (studies use 40 ± 10°), and repeater-failure modeling is the main
-    unknown.  Each function returns plottable rows. *)
+    unknown.  Each function returns plottable rows.  Sweeps run their
+    Monte-Carlo trials on {!Plan.run_trials_par}: results are
+    deterministic in the seeds for any [jobs]. *)
 
 val threshold_sweep :
   ?trials:int ->
   ?thresholds:float list ->
+  ?jobs:int ->
   network:Infra.Network.t ->
   unit ->
   (float * float) list
@@ -16,7 +19,8 @@ val threshold_sweep :
     across 30–50° (the high tier stays 20° above the mid). *)
 
 val geographic_vs_geomagnetic :
-  ?trials:int -> network:Infra.Network.t -> unit -> (string * float * float) list
+  ?trials:int -> ?jobs:int -> network:Infra.Network.t -> unit ->
+  (string * float * float) list
 (** [(state, geographic %, geomagnetic %)] for S1 and S2 cable failures:
     the dipole-latitude ablation (North Atlantic routes gain ~10° of
     effective latitude). *)
@@ -24,6 +28,7 @@ val geographic_vs_geomagnetic :
 val spacing_sweep :
   ?trials:int ->
   ?spacings:float list ->
+  ?jobs:int ->
   network:Infra.Network.t ->
   model:Failure_model.t ->
   unit ->
@@ -31,7 +36,8 @@ val spacing_sweep :
 (** [(spacing km, cables failed %)] over a fine spacing grid. *)
 
 val seed_sensitivity :
-  ?seeds:int list -> ?trials:int -> probability:float -> unit -> float * float
+  ?seeds:int list -> ?trials:int -> ?jobs:int -> probability:float -> unit ->
+  float * float
 (** Rebuild the submarine dataset under each seed, run the uniform sweep
     point, and return (mean, stddev) of cables-failed % across dataset
     seeds — how much of the result is dataset noise. *)

@@ -2,6 +2,9 @@ let mean = function
   | [] -> 0.0
   | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
 
+(* Population (÷n) estimator, deliberately: the published tables were
+   produced with it, so "fixing" this to the sample (÷(n−1)) estimator
+   would shift every mean±sd column in EXPERIMENTS.md.  See stats.mli. *)
 let stddev l =
   match l with
   | [] | [ _ ] -> 0.0
@@ -35,12 +38,26 @@ let cdf_points l =
       let n = Array.length a in
       Array.to_list (Array.mapi (fun i v -> (v, float_of_int (i + 1) /. float_of_int n)) a)
 
-let cdf_at l x =
-  match l with
-  | [] -> 0.0
-  | _ ->
-      let below = List.length (List.filter (fun v -> v <= x) l) in
-      float_of_int below /. float_of_int (List.length l)
+let cdf l =
+  (* Sort once, answer every query with a binary search: sweeping q
+     thresholds over n samples is O(n log n + q log n), where the old
+     per-query [List.filter] re-walk was O(qn). *)
+  let a = Array.of_list l in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  fun x ->
+    if n = 0 then 0.0
+    else begin
+      (* Upper bound: number of elements <= x. *)
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if a.(mid) <= x then lo := mid + 1 else hi := mid
+      done;
+      float_of_int !lo /. float_of_int n
+    end
+
+let cdf_at l x = cdf l x
 
 let histogram l ~lo ~hi ~bins =
   if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";

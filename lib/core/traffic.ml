@@ -149,14 +149,16 @@ let route ?dead ?baseline_max ~network ~demands () =
   in
   route_internal ?dead ?baseline_max ~network ~demands ()
 
-let storm_shift ?(trials = 10) ?(seed = 47) ?(spacing_km = 150.0) ~network ~model () =
+let storm_shift ?(trials = 10) ?(seed = 47) ?(spacing_km = 150.0) ?jobs ~network ~model
+    () =
   let demands = gravity_demands () in
   let baseline = route ~network ~demands () in
   let p = Plan.compile ~spacing_km ~network ~model () in
   let acc =
-    Plan.run_trials p ~trials ~seed ~init:[] ~f:(fun acc ~rng:_ ~dead ->
-        route_internal ~dead ~baseline_max:baseline.max_cable_load ~network ~demands ()
-        :: acc)
+    Plan.run_trials_par p ?jobs ~trials ~seed ~init:[]
+      ~map:(fun ~rng:_ ~dead ->
+        route_internal ~dead ~baseline_max:baseline.max_cable_load ~network ~demands ())
+      ~merge:(fun acc r -> r :: acc)
   in
   let avg f = Stats.mean (List.map f acc) in
   let after =

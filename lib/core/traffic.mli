@@ -45,9 +45,11 @@ val storm_shift :
   ?trials:int ->
   ?seed:int ->
   ?spacing_km:float ->
+  ?jobs:int ->
   network:Infra.Network.t ->
   model:Failure_model.t ->
   unit ->
   routing * routing
 (** [(baseline, after)] — average routing metrics over Monte-Carlo storm
-    trials. *)
+    trials ({!Plan.run_trials_par}: deterministic in [seed] for any
+    [jobs]). *)

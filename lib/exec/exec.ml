@@ -1,0 +1,66 @@
+let available_jobs () = Domain.recommended_domain_count ()
+
+(* The process-wide default: an explicit [set_default_jobs] (the CLI
+   [--jobs] flag) wins over the SOLARSTORM_JOBS environment variable,
+   which wins over sequential.  Atomic so a worker domain reading the
+   default mid-run is not a data race. *)
+let override = Atomic.make 0 (* 0 = unset *)
+
+let env_jobs () =
+  match Sys.getenv_opt "SOLARSTORM_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j > 0 -> Some j
+      | _ -> None)
+
+let default_jobs () =
+  match Atomic.get override with
+  | j when j > 0 -> j
+  | _ -> Option.value ~default:1 (env_jobs ())
+
+let set_default_jobs j =
+  if j <= 0 then invalid_arg "Exec.set_default_jobs: jobs <= 0";
+  Atomic.set override j
+
+let parallel_for ?chunk ~jobs ~n body =
+  if jobs <= 0 then invalid_arg "Exec.parallel_for: jobs <= 0";
+  if n < 0 then invalid_arg "Exec.parallel_for: n < 0";
+  if n = 0 then ()
+  else if jobs = 1 || n = 1 then body ~lo:0 ~hi:n
+  else begin
+    let jobs = Int.min jobs n in
+    let chunk =
+      match chunk with
+      | Some c ->
+          if c <= 0 then invalid_arg "Exec.parallel_for: chunk <= 0";
+          c
+      | None -> Int.max 1 (n / (8 * jobs))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec steal () =
+        let c = Atomic.fetch_and_add cursor 1 in
+        if c < nchunks then begin
+          let lo = c * chunk in
+          body ~lo ~hi:(Int.min n (lo + chunk));
+          steal ()
+        end
+      in
+      steal ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain is worker [jobs - 1]; hold its exception until
+       every spawned domain is joined so no domain outlives the call. *)
+    let first_exn = ref None in
+    let note = function
+      | None -> ()
+      | Some _ as e -> if !first_exn = None then first_exn := e
+    in
+    note (try worker (); None with e -> Some e);
+    Array.iter
+      (fun d -> note (try Domain.join d; None with e -> Some e))
+      domains;
+    match !first_exn with None -> () | Some e -> raise e
+  end

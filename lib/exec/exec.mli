@@ -1,0 +1,52 @@
+(** Tiny Domain-based execution pool for embarrassingly-parallel loops.
+
+    OCaml 5 gives us shared-memory parallelism through [Domain]s; this
+    module wraps the one pattern the simulator needs — run a counted
+    loop across N domains — behind a deterministic, dependency-free
+    interface.  Work distribution is {e chunked work-stealing}: the index
+    range [[0, n)] is cut into fixed-size chunks and workers repeatedly
+    claim the next unclaimed chunk off a shared [Atomic] cursor, so an
+    unlucky domain stuck with slow chunks never strands the rest of the
+    range.  Determinism of {e results} is the caller's job: give each
+    index its own pre-seeded RNG and write to index-owned slots (see
+    {!Plan.run_trials_par} for the canonical use).
+
+    Domains are spawned per call and joined before the call returns —
+    there is no persistent pool to shut down, no daemon domain to leak,
+    and a raising [body] still leaves the process with only the calling
+    domain running. *)
+
+val available_jobs : unit -> int
+(** What the hardware offers: [Domain.recommended_domain_count ()]. *)
+
+val default_jobs : unit -> int
+(** The job count used when a caller does not pass [~jobs]: the last
+    {!set_default_jobs} value if any, else the [SOLARSTORM_JOBS]
+    environment variable when it parses as a positive integer, else [1]
+    (sequential — byte-compatible with the pre-parallel engine by
+    construction, and the right default for reproducible CI). *)
+
+val set_default_jobs : int -> unit
+(** Process-wide override of {!default_jobs}; the [--jobs] CLI flag lands
+    here once at startup so every consumer deep in the figure pipeline
+    picks it up without threading a parameter through each call.
+    @raise Invalid_argument if the count is [<= 0]. *)
+
+val parallel_for : ?chunk:int -> jobs:int -> n:int -> (lo:int -> hi:int -> unit) -> unit
+(** [parallel_for ~jobs ~n body] covers the index range [[0, n)] with
+    disjoint [body ~lo ~hi] calls (half-open ranges), using the calling
+    domain plus [jobs - 1] spawned domains.  Each range is visited
+    exactly once; ranges are claimed dynamically in chunks of [chunk]
+    indices (default: [n / (8 × jobs)], at least 1 — small enough to
+    balance load, large enough to amortize the claim).
+
+    With [jobs <= 1] (or [n <= 1]) the body runs inline on the calling
+    domain as a single [body ~lo:0 ~hi:n] call — no domain is spawned, no
+    atomic is touched.
+
+    All spawned domains are joined before the call returns, even when
+    [body] raises; the first exception (calling domain's first, then
+    spawn order) is re-raised after the join.  [body] must be safe to run
+    concurrently with itself on disjoint ranges.
+
+    @raise Invalid_argument if [jobs <= 0] or [n < 0]. *)

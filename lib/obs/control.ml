@@ -1,4 +1,5 @@
-let flag = ref false
-let enable () = flag := true
-let disable () = flag := false
-let enabled () = !flag
+let flag = Atomic.make false
+let enable () = Atomic.set flag true
+let disable () = Atomic.set flag false
+let enabled () = Atomic.get flag
+let on () = Atomic.get flag

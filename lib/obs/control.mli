@@ -3,10 +3,17 @@
     Every mutation in {!Metrics} and {!Span} is gated on [flag], so with
     observability disabled (the default) an instrumented call site costs a
     single branch and nothing is recorded: instrumented binaries behave —
-    and print — exactly like uninstrumented ones. *)
+    and print — exactly like uninstrumented ones.
 
-val flag : bool ref
+    The switch is an [Atomic] so worker domains of the parallel trial
+    engine ([Exec] / [Plan.run_trials_par]) read it without a data race;
+    flip it before forking work, not during. *)
+
+val flag : bool Atomic.t
 (** The raw switch, exposed so hot paths can read it with one load. *)
+
+val on : unit -> bool
+(** [Atomic.get flag] — the one-load fast-path test. *)
 
 val enable : unit -> unit
 val disable : unit -> unit

@@ -1,12 +1,24 @@
-type counter = { c_name : string; mutable c_count : int }
-type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+(* Domain-safety: mutations can come from the worker domains of the
+   parallel trial engine, so every mutable cell is an [Atomic].  Counters
+   are additionally sharded by domain id: [rng.draws] and [plan.trials]
+   are incremented once per Bernoulli draw / per trial, and a single
+   contended fetch-and-add would serialize exactly the loop the domains
+   exist to parallelize.  A shard is picked by hashing the domain id, so
+   increments from different domains usually hit different cache lines;
+   totals are the exact sum over shards (reads snapshot each shard
+   atomically — int addition loses nothing). *)
+
+let shards = 8 (* power of two: shard pick is a mask *)
+
+type counter = { c_name : string; c_counts : int Atomic.t array }
+type gauge = { g_name : string; g_value : float Atomic.t; g_set : bool Atomic.t }
 
 type histogram = {
   h_name : string;
   h_bounds : float array;
-  h_counts : int array; (* length = Array.length h_bounds + 1; last = overflow *)
-  mutable h_sum : float;
-  mutable h_count : int;
+  h_counts : int Atomic.t array; (* length = Array.length h_bounds + 1; last = overflow *)
+  h_sum : float Atomic.t;
+  h_count : int Atomic.t;
 }
 
 type value =
@@ -18,26 +30,38 @@ type snapshot = (string * value) list
 
 type metric = C of counter | G of gauge | H of histogram
 
+(* Registration and snapshotting are rare; a mutex keeps the registry
+   itself domain-safe without touching the mutation fast path. *)
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
 
-let registered kind name make =
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let registered name make =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some m -> m
   | None ->
-      ignore kind;
       let m = make () in
       Hashtbl.replace registry name m;
       m
 
 let kind_mismatch name = invalid_arg ("Obs.Metrics: " ^ name ^ " registered with another kind")
 
+let atomic_ints n = Array.init n (fun _ -> Atomic.make 0)
+
 let counter name =
-  match registered `C name (fun () -> C { c_name = name; c_count = 0 }) with
+  match registered name (fun () -> C { c_name = name; c_counts = atomic_ints shards }) with
   | C c -> c
   | _ -> kind_mismatch name
 
 let gauge name =
-  match registered `G name (fun () -> G { g_name = name; g_value = 0.0; g_set = false }) with
+  match
+    registered name (fun () ->
+        G { g_name = name; g_value = Atomic.make 0.0; g_set = Atomic.make false })
+  with
   | G g -> g
   | _ -> kind_mismatch name
 
@@ -52,14 +76,14 @@ let check_bounds bounds =
 let histogram name ~buckets =
   check_bounds buckets;
   match
-    registered `H name (fun () ->
+    registered name (fun () ->
         H
           {
             h_name = name;
             h_bounds = Array.copy buckets;
-            h_counts = Array.make (Array.length buckets + 1) 0;
-            h_sum = 0.0;
-            h_count = 0;
+            h_counts = atomic_ints (Array.length buckets + 1);
+            h_sum = Atomic.make 0.0;
+            h_count = Atomic.make 0;
           })
   with
   | H h ->
@@ -70,15 +94,24 @@ let histogram name ~buckets =
 
 let enabled = Control.enabled
 
-let incr c = if !Control.flag then c.c_count <- c.c_count + 1
+let shard_of_domain () = (Domain.self () :> int) land (shards - 1)
 
-let add c n = if !Control.flag then c.c_count <- c.c_count + n
+let incr c =
+  if Atomic.get Control.flag then Atomic.incr c.c_counts.(shard_of_domain ())
+
+let add c n =
+  if Atomic.get Control.flag then
+    ignore (Atomic.fetch_and_add c.c_counts.(shard_of_domain ()) n)
 
 let set g v =
-  if !Control.flag then begin
-    g.g_value <- v;
-    g.g_set <- true
+  if Atomic.get Control.flag then begin
+    Atomic.set g.g_value v;
+    Atomic.set g.g_set true
   end
+
+let rec atomic_add_float a x =
+  let cur = Atomic.get a in
+  if not (Atomic.compare_and_set a cur (cur +. x)) then atomic_add_float a x
 
 let bucket_index bounds v =
   (* Linear scan: bucket arrays here are small (<= ~16). A value lands in
@@ -89,41 +122,44 @@ let bucket_index bounds v =
   scan 0
 
 let observe h v =
-  if !Control.flag then begin
-    let i = bucket_index h.h_bounds v in
-    h.h_counts.(i) <- h.h_counts.(i) + 1;
-    h.h_sum <- h.h_sum +. v;
-    h.h_count <- h.h_count + 1
+  if Atomic.get Control.flag then begin
+    Atomic.incr h.h_counts.(bucket_index h.h_bounds v);
+    atomic_add_float h.h_sum v;
+    Atomic.incr h.h_count
   end
 
+let counter_total c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.c_counts
+
 let value_of = function
-  | C c -> Counter c.c_count
-  | G g -> Gauge g.g_value
+  | C c -> Counter (counter_total c)
+  | G g -> Gauge (Atomic.get g.g_value)
   | H h ->
       Histogram
         {
           bounds = Array.copy h.h_bounds;
-          counts = Array.copy h.h_counts;
-          sum = h.h_sum;
-          count = h.h_count;
+          counts = Array.map Atomic.get h.h_counts;
+          sum = Atomic.get h.h_sum;
+          count = Atomic.get h.h_count;
         }
 
 let snapshot () =
-  Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry []
+  with_registry (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset () =
+  with_registry @@ fun () ->
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | C c -> c.c_count <- 0
+      | C c -> Array.iter (fun a -> Atomic.set a 0) c.c_counts
       | G g ->
-          g.g_value <- 0.0;
-          g.g_set <- false
+          Atomic.set g.g_value 0.0;
+          Atomic.set g.g_set false
       | H h ->
-          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-          h.h_sum <- 0.0;
-          h.h_count <- 0)
+          Array.iter (fun a -> Atomic.set a 0) h.h_counts;
+          Atomic.set h.h_sum 0.0;
+          Atomic.set h.h_count 0)
     registry
 
 let merge_value name a b =

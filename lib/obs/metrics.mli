@@ -9,7 +9,14 @@
 
     [snapshot] freezes the registry into a plain, order-stable value that
     exporters consume; snapshots from different runs (or shards) can be
-    combined with [merge]. *)
+    combined with [merge].
+
+    The registry is domain-safe: mutations are [Atomic] (counters are
+    sharded per domain so hot counters like [rng.draws] don't serialize
+    the parallel trial engine), and registration/snapshot/reset take a
+    mutex.  Totals are exact — a counter's value is the sum over its
+    shards — so sequential and Domain-parallel runs of the same seeded
+    workload report identical counts. *)
 
 type counter
 type gauge

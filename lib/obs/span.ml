@@ -43,7 +43,13 @@ let events () =
   List.init n (fun i -> !buf.((start + i) mod !capacity))
 
 let with_ ~name f =
-  if not !Control.flag then f ()
+  (* Spans are recorded on the main domain only: the ring buffer and the
+     nesting depth are plain mutable state, and interleaving Begin/End
+     pairs from concurrent trial workers would corrupt both the buffer
+     and the tree structure exporters rebuild.  Worker-domain spans run
+     their body untraced; metrics (atomic, sharded) remain the
+     domain-safe signal inside parallel sections. *)
+  if not (Atomic.get Control.flag) || not (Domain.is_main_domain ()) then f ()
   else begin
     let d = !depth in
     push { name; phase = Begin; t_ns = now (); depth = d };

@@ -4,7 +4,12 @@
     wrapper is a single branch around [f]; when enabled it pushes a
     [Begin] and an [End] event (the latter even if [f] raises) into a
     bounded ring buffer.  Events carry the nesting depth at the time the
-    span opened, so exporters can reconstruct the parent/child tree. *)
+    span opened, so exporters can reconstruct the parent/child tree.
+
+    Spans are recorded on the {e main domain} only: inside the parallel
+    trial engine's worker domains [with_] degrades to running its body
+    untraced (the ring buffer is single-writer state).  Use {!Metrics}
+    for domain-safe signals inside parallel sections. *)
 
 type phase = Begin | End
 

@@ -87,9 +87,18 @@ let weighted_choice t a =
       0.0 a
   in
   if total <= 0.0 then invalid_arg "Rng.weighted_choice: all-zero weights";
+  (* Float rounding can land [x] at or past the running prefix sums (the
+     fold above and the incremental sums below associate differently), so
+     the scan may fall through every [x < acc] test.  The fallback must
+     then pick the last {e positive}-weight entry: returning the last
+     element unconditionally could select a weight-0.0 entry. *)
+  let last_positive =
+    let rec find i = if snd a.(i) > 0.0 then i else find (i - 1) in
+    find (Array.length a - 1)
+  in
   let x = float t total in
   let rec scan i acc =
-    if i = Array.length a - 1 then fst a.(i)
+    if i = last_positive then fst a.(i)
     else
       let acc = acc +. snd a.(i) in
       if x < acc then fst a.(i) else scan (i + 1) acc

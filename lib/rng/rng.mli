@@ -53,7 +53,10 @@ val choice : t -> 'a array -> 'a
 (** @raise Invalid_argument on an empty array. *)
 
 val weighted_choice : t -> ('a * float) array -> 'a
-(** Weights must be non-negative and not all zero.
+(** Weights must be non-negative and not all zero.  An entry with weight
+    [0.] is never selected — including when float rounding pushes the
+    uniform draw past the prefix sums and the scan falls through (the
+    fallback skips trailing zero-weight entries).
     @raise Invalid_argument otherwise. *)
 
 val shuffle : t -> 'a array -> unit
