@@ -1,0 +1,76 @@
+(* Bench regression comparator: load a prior solarstorm-bench/1 document
+   and diff this run's kernel timings against it.
+
+   Exit policy (what check.sh gates on): 0 when every shared kernel is
+   within the threshold, 1 when any kernel regressed past it, 3 when the
+   baseline document is unreadable or not a solarstorm-bench/1 file.
+   Kernels present on only one side are reported but never fail the
+   gate, so adding or retiring a kernel doesn't break CI. *)
+
+type kernel = { name : string; ns_per_run : float }
+
+let load path =
+  match Obs.Json.parse_file path with
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Ok doc -> (
+      match Option.bind (Obs.Json.member "schema" doc) Obs.Json.string_ with
+      | Some "solarstorm-bench/1" -> (
+          match Option.bind (Obs.Json.member "kernels" doc) Obs.Json.array with
+          | None -> Error (Printf.sprintf "%s: no \"kernels\" array" path)
+          | Some ks ->
+              let kernel k =
+                match
+                  ( Option.bind (Obs.Json.member "name" k) Obs.Json.string_,
+                    Option.bind (Obs.Json.member "ns_per_run" k) Obs.Json.number )
+                with
+                | Some name, Some ns_per_run -> Some { name; ns_per_run }
+                | _ -> None
+              in
+              Ok (List.filter_map kernel ks))
+      | Some other -> Error (Printf.sprintf "%s: schema %S, want solarstorm-bench/1" path other)
+      | None -> Error (Printf.sprintf "%s: missing \"schema\" marker" path))
+
+(* [current] rows are this run's (name, ns, estimator) timings; [scale]
+   multiplies baseline timings before the comparison (a self-test hook:
+   scaling the baseline by 0.5 makes the current run look exactly 2x
+   slower, which must trip the gate deterministically). *)
+let compare_run ~current ~path ~threshold_pct ~scale =
+  match load path with
+  | Error msg ->
+      Printf.eprintf "bench --baseline: %s\n" msg;
+      3
+  | Ok base ->
+      Printf.printf "\n== baseline comparison vs %s (threshold +%.1f%%%s) ==\n" path
+        threshold_pct
+        (if scale <> 1.0 then Printf.sprintf ", baseline scaled x%g" scale else "");
+      Printf.printf "%-32s %14s %14s %9s\n" "kernel" "current ns" "baseline ns" "delta";
+      let regressions = ref [] in
+      List.iter
+        (fun (name, cur_ns, _estimator) ->
+          match List.find_opt (fun k -> k.name = name) base with
+          | None -> Printf.printf "%-32s %14.0f %14s %9s\n" name cur_ns "-" "new"
+          | Some k when k.ns_per_run *. scale <= 0.0 ->
+              Printf.printf "%-32s %14.0f %14.0f %9s\n" name cur_ns k.ns_per_run "skip"
+          | Some k ->
+              let b = k.ns_per_run *. scale in
+              let delta_pct = (cur_ns -. b) /. b *. 100.0 in
+              Printf.printf "%-32s %14.0f %14.0f %+8.1f%%\n" name cur_ns b delta_pct;
+              if delta_pct > threshold_pct then regressions := (name, delta_pct) :: !regressions)
+        current;
+      List.iter
+        (fun k ->
+          if not (List.exists (fun (name, _, _) -> name = k.name) current) then
+            Printf.printf "%-32s %14s %14.0f %9s\n" k.name "-" k.ns_per_run "retired")
+        base;
+      (match List.rev !regressions with
+      | [] ->
+          Printf.printf "baseline gate: ok (%d kernels within +%.1f%%)\n" (List.length current)
+            threshold_pct
+      | rs ->
+          List.iter
+            (fun (name, d) ->
+              Printf.printf "REGRESSION: %s %+.1f%% (limit +%.1f%%)\n" name d threshold_pct)
+            rs;
+          Printf.printf "baseline gate: FAILED (%d kernel(s) regressed)\n" (List.length rs));
+      flush stdout;
+      if !regressions = [] then 0 else 1

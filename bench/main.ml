@@ -10,7 +10,13 @@
    BENCH.json-shaped document: per-kernel timings (Bechamel OLS estimates,
    or a single timed run per kernel in --fast mode) plus an Obs metrics
    snapshot of the figure pass.  This is what seeds the repo's perf
-   trajectory (BENCH_*.json). *)
+   trajectory (BENCH_*.json).
+
+   `-- --baseline FILE` diffs this run's kernel timings against a prior
+   solarstorm-bench/1 document and exits non-zero when any kernel
+   regressed past `--threshold PCT` (default 20%); `--baseline-scale F`
+   scales the baseline first (check.sh uses 0.5 to prove the gate trips
+   on an injected 2x slowdown).  See bench/baseline.ml. *)
 
 let print_figures () =
   print_endline "==============================================================";
@@ -183,11 +189,25 @@ let write_json ~path ~mode ~kernel_rows ~metrics =
 
 let () =
   let fast = ref false and json = ref None in
+  let baseline = ref None and threshold = ref 20.0 and scale = ref 1.0 in
+  let pos_float flag v k =
+    match float_of_string_opt v with
+    | Some f when f > 0.0 -> k f
+    | _ -> Printf.eprintf "%s requires a positive number, got %s\n" flag v; exit 2
+  in
   let rec parse = function
     | [] -> ()
     | "--fast" :: rest -> fast := true; parse rest
     | "--json" :: path :: rest -> json := Some path; parse rest
     | "--json" :: [] -> prerr_endline "--json requires a FILE argument"; exit 2
+    | "--baseline" :: path :: rest -> baseline := Some path; parse rest
+    | "--baseline" :: [] -> prerr_endline "--baseline requires a FILE argument"; exit 2
+    | "--threshold" :: pct :: rest ->
+        pos_float "--threshold" pct (fun f -> threshold := f); parse rest
+    | "--threshold" :: [] -> prerr_endline "--threshold requires a percentage"; exit 2
+    | "--baseline-scale" :: v :: rest ->
+        pos_float "--baseline-scale" v (fun f -> scale := f); parse rest
+    | "--baseline-scale" :: [] -> prerr_endline "--baseline-scale requires a factor"; exit 2
     | arg :: _ -> Printf.eprintf "unknown argument %s\n" arg; exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -196,12 +216,21 @@ let () =
   let ks = kernels ctx in
   let kernel_rows =
     if not !fast then run_bechamel ks
-    else if !json <> None then run_single ks
+    else if !json <> None || !baseline <> None then run_single ks
     else []
   in
-  match !json with
+  (match !json with
   | None -> ()
   | Some path ->
+      Obs.Resource.sample ();
       write_json ~path
         ~mode:(if !fast then "fast" else "full")
-        ~kernel_rows ~metrics:(Obs.Metrics.snapshot ())
+        ~kernel_rows ~metrics:(Obs.Metrics.snapshot ()));
+  match !baseline with
+  | None -> ()
+  | Some path ->
+      let code =
+        Baseline.compare_run ~current:kernel_rows ~path ~threshold_pct:!threshold
+          ~scale:!scale
+      in
+      if code <> 0 then exit code

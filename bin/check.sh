@@ -20,8 +20,10 @@ SOLARSTORM_JOBS=2 dune runtest --force
 BENCH_JSON="${BENCH_JSON:-/tmp/bench.json}"
 rm -f "$BENCH_JSON"
 
-echo "== bench --fast --json $BENCH_JSON =="
-dune exec bench/main.exe -- --fast --json "$BENCH_JSON" > /dev/null
+echo "== bench --fast --json $BENCH_JSON (self-baseline gate) =="
+# Comparing a run against its own output is the deterministic exit-0 path
+# of the regression gate: every delta is exactly +0.0%.
+dune exec bench/main.exe -- --fast --json "$BENCH_JSON" --baseline "$BENCH_JSON" > /dev/null
 
 test -s "$BENCH_JSON" || { echo "check.sh: $BENCH_JSON missing or empty" >&2; exit 1; }
 
@@ -54,4 +56,64 @@ for required in ("plan.compile", "plan.sample", "plan.sample-recompute",
 EOF
 fi
 
-echo "check.sh: all green ($BENCH_JSON ok)"
+echo "== bench regression gate: injected 2x slowdown must trip =="
+# Scaling the baseline by 0.5 makes every kernel look exactly 2x slower
+# than baseline — the gate must exit non-zero, deterministically.
+if dune exec bench/main.exe -- --fast --json /tmp/bench_regress.json \
+     --baseline "$BENCH_JSON" --baseline-scale 0.5 > /dev/null 2>&1; then
+  echo "check.sh: bench --baseline missed an injected 2x regression" >&2
+  exit 1
+fi
+rm -f /tmp/bench_regress.json
+
+echo "== bench regression gate: committed baseline =="
+# Gate against the committed baseline with a lenient threshold: CI
+# machines differ from the one that seeded BENCH_baseline.json, so this
+# catches order-of-magnitude regressions, not noise.  Tune with
+# BENCH_GATE_THRESHOLD (percent).
+if [ ! -f BENCH_baseline.json ]; then
+  echo "check.sh: seeding BENCH_baseline.json (commit it)"
+  cp "$BENCH_JSON" BENCH_baseline.json
+fi
+dune exec bench/main.exe -- --fast --json /tmp/bench_gate.json \
+  --baseline BENCH_baseline.json --threshold "${BENCH_GATE_THRESHOLD:-300}" > /dev/null
+rm -f /tmp/bench_gate.json
+
+PROFILE_JSON="${PROFILE_JSON:-/tmp/solarstorm.trace.json}"
+rm -f "$PROFILE_JSON"
+
+echo "== simulate --profile $PROFILE_JSON (SOLARSTORM_JOBS=2) =="
+SOLARSTORM_JOBS=2 dune exec bin/solarstorm.exe -- simulate --trials 200 \
+  --progress --profile "$PROFILE_JSON" > /tmp/simulate_profiled.out
+
+test -s "$PROFILE_JSON" || { echo "check.sh: $PROFILE_JSON missing or empty" >&2; exit 1; }
+for needle in '"traceEvents":[' '"ph":"B"' '"ph":"E"' '"name":"exec.worker"' \
+              '"name":"mc.trial"' '"tid":0' '"tid":1'; do
+  grep -q -F "$needle" "$PROFILE_JSON" \
+    || { echo "check.sh: $PROFILE_JSON malformed (missing $needle)" >&2; exit 1; }
+done
+
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$PROFILE_JSON" <<'EOF'
+import json, sys
+from collections import Counter
+doc = json.load(open(sys.argv[1]))
+events = [e for e in doc["traceEvents"] if e.get("ph") in ("B", "E")]
+per_tid = Counter(e["tid"] for e in events)
+assert len(per_tid) >= 2, f"expected >= 2 domains in trace, got {sorted(per_tid)}"
+assert all(n >= 1 for n in per_tid.values()), "empty per-domain event stream"
+for e in events:
+    assert e["pid"] == 1 and isinstance(e["ts"], float) and e["ts"] >= 0.0, e
+EOF
+fi
+
+echo "== profiled/progress run output is byte-identical to plain runs =="
+dune exec bin/solarstorm.exe -- simulate --trials 200 --jobs 1 > /tmp/simulate_seq.out
+dune exec bin/solarstorm.exe -- simulate --trials 200 --jobs 4 > /tmp/simulate_par.out
+cmp /tmp/simulate_seq.out /tmp/simulate_par.out \
+  || { echo "check.sh: --jobs 4 changed simulate output" >&2; exit 1; }
+cmp /tmp/simulate_seq.out /tmp/simulate_profiled.out \
+  || { echo "check.sh: --profile/--progress changed simulate output" >&2; exit 1; }
+rm -f /tmp/simulate_seq.out /tmp/simulate_par.out /tmp/simulate_profiled.out
+
+echo "check.sh: all green ($BENCH_JSON, $PROFILE_JSON ok)"

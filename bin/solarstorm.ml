@@ -47,10 +47,12 @@ let jobs_t =
                  $(b,SOLARSTORM_JOBS) when set, else 1).  Results are \
                  byte-identical for any $(docv).")
 
-(* Observability plumbing, shared by every subcommand: --metrics/--trace
-   switch the Obs layer on for the duration of the command and dump the
-   collected data afterwards.  Without either flag the layer stays off and
-   output is byte-identical to an uninstrumented build. *)
+(* Observability plumbing, shared by every subcommand:
+   --metrics/--trace/--profile switch the Obs layer on for the duration
+   of the command and dump the collected data afterwards; --progress
+   turns on the live trial meter (stderr only).  Without any of them the
+   layer stays off and output is byte-identical to an uninstrumented
+   build. *)
 let metrics_t =
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
          ~doc:"Write a metrics + span summary table to $(docv) after the run \
@@ -60,6 +62,18 @@ let trace_t =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
          ~doc:"Write the span trace as JSONL (one event per line) to $(docv) \
                ($(b,-) = stderr).")
+
+let profile_t =
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE"
+         ~doc:"Write a Chrome/Perfetto trace-event JSON profile to $(docv) \
+               ($(b,-) = stderr); one timeline row per worker domain.  Load \
+               in ui.perfetto.dev or chrome://tracing.")
+
+let progress_t =
+  Arg.(value & flag & info [ "progress" ]
+         ~doc:"Render a live $(b,done/total, trials/s, ETA) meter for \
+               Monte-Carlo trial loops on stderr.  Stdout stays \
+               byte-identical.")
 
 let write_dump dst content =
   match dst with
@@ -71,29 +85,35 @@ let write_dump dst content =
       output_string oc content;
       close_out oc
 
-let with_obs jobs metrics trace run =
+let with_obs jobs progress metrics trace profile run =
   Option.iter Exec.set_default_jobs jobs;
-  if metrics = None && trace = None then run ()
+  if progress then Obs.Progress.enable ();
+  if metrics = None && trace = None && profile = None then run ()
   else begin
     Obs.enable ();
     run ();
+    Obs.Resource.sample ();
     Option.iter
       (fun dst ->
         write_dump dst
           (Report.Obs_report.render ~events:(Obs.Span.events ()) (Obs.Metrics.snapshot ())))
       metrics;
-    Option.iter (fun dst -> write_dump dst (Obs.Export.jsonl (Obs.Span.events ()))) trace
+    Option.iter (fun dst -> write_dump dst (Obs.Export.jsonl (Obs.Span.events ()))) trace;
+    Option.iter
+      (fun dst -> write_dump dst (Obs.Export.chrome_trace (Obs.Span.events ())))
+      profile
   end
 
-let obs_args term = Cmdliner.Term.(term $ jobs_t $ metrics_t $ trace_t)
+let obs_args term =
+  Cmdliner.Term.(term $ jobs_t $ progress_t $ metrics_t $ trace_t $ profile_t)
 
 (* figures *)
 let figures_cmd =
   let id_t =
     Arg.(value & opt (some string) None & info [ "id" ] ~doc:"Only this figure id.")
   in
-  let run seed trials itu_scale caida_ases id out_dir markdown jobs metrics trace =
-    with_obs jobs metrics trace @@ fun () ->
+  let run seed trials itu_scale caida_ases id out_dir markdown jobs progress metrics trace profile =
+    with_obs jobs progress metrics trace profile @@ fun () ->
     let ctx = ctx_of ~seed ~itu_scale ~caida_ases in
     let all = Report.Figures.all ~trials ctx in
     (* Validate the id before any side effect: a failed invocation must not
@@ -154,8 +174,8 @@ let map_cmd =
   let net_t =
     Arg.(value & opt network_conv `Submarine & info [ "network" ] ~doc:"Network to draw.")
   in
-  let run seed net jobs metrics trace =
-    with_obs jobs metrics trace @@ fun () ->
+  let run seed net jobs progress metrics trace profile =
+    with_obs jobs progress metrics trace profile @@ fun () ->
     let network =
       match net with
       | `Submarine -> Datasets.Cache.submarine ~seed ()
@@ -192,8 +212,8 @@ let simulate_cmd =
   let net_t =
     Arg.(value & opt network_conv `Submarine & info [ "network" ] ~doc:"Network.")
   in
-  let run seed trials itu_scale model spacing net jobs metrics trace =
-    with_obs jobs metrics trace @@ fun () ->
+  let run seed trials itu_scale model spacing net jobs progress metrics trace profile =
+    with_obs jobs progress metrics trace profile @@ fun () ->
     let name, network =
       match net with
       | `Submarine -> ("submarine", Datasets.Cache.submarine ~seed ())
@@ -227,8 +247,8 @@ let scenario_cmd =
   let physical_t =
     Arg.(value & flag & info [ "physical" ] ~doc:"Also run the GIC-physical model.")
   in
-  let run seed trials event speed physical jobs metrics trace =
-    with_obs jobs metrics trace @@ fun () ->
+  let run seed trials event speed physical jobs progress metrics trace profile =
+    with_obs jobs progress metrics trace profile @@ fun () ->
     let networks =
       [ ("submarine", Datasets.Cache.submarine ~seed ());
         ("intertubes", Datasets.Cache.intertubes ~seed ()) ]
@@ -252,8 +272,8 @@ let scenario_cmd =
 
 (* countries *)
 let countries_cmd =
-  let run seed trials jobs metrics trace =
-    with_obs jobs metrics trace @@ fun () ->
+  let run seed trials jobs progress metrics trace profile =
+    with_obs jobs progress metrics trace profile @@ fun () ->
     let net = Datasets.Cache.submarine ~seed () in
     let findings = Stormsim.Country.run_all ~trials net in
     List.iter
@@ -270,8 +290,8 @@ let countries_cmd =
 
 (* systems *)
 let systems_cmd =
-  let run seed caida_ases jobs metrics trace =
-    with_obs jobs metrics trace @@ fun () ->
+  let run seed caida_ases jobs progress metrics trace profile =
+    with_obs jobs progress metrics trace profile @@ fun () ->
     let ctx = ctx_of ~seed ~itu_scale:0.05 ~caida_ases in
     print_string (Report.Figures.systems ctx)
   in
@@ -280,8 +300,8 @@ let systems_cmd =
 
 (* mitigate *)
 let mitigate_cmd =
-  let run seed jobs metrics trace =
-    with_obs jobs metrics trace @@ fun () ->
+  let run seed jobs progress metrics trace profile =
+    with_obs jobs progress metrics trace profile @@ fun () ->
     let ctx = ctx_of ~seed ~itu_scale:0.05 ~caida_ases:1000 in
     print_string (Report.Figures.mitigation ctx)
   in
@@ -297,8 +317,8 @@ let leo_cmd =
     Arg.(value & opt (some float) None
          & info [ "batch" ] ~docv:"ALT" ~doc:"Also assess an injection batch parked at ALT km.")
   in
-  let run dst batch jobs metrics trace =
-    with_obs jobs metrics trace @@ fun () ->
+  let run dst batch jobs progress metrics trace profile =
+    with_obs jobs progress metrics trace profile @@ fun () ->
     let r =
       Leo.Storm_impact.assess ?injection_batch:batch ~dst_nt:dst
         Leo.Constellation.starlink_phase1
@@ -313,8 +333,8 @@ let decision_cmd =
   let event_t =
     Arg.(value & opt string "carrington" & info [ "event" ] ~doc:"Historical event name.")
   in
-  let run seed event jobs metrics trace =
-    with_obs jobs metrics trace @@ fun () ->
+  let run seed event jobs progress metrics trace profile =
+    with_obs jobs progress metrics trace profile @@ fun () ->
     match Spaceweather.Storm_catalog.find event with
     | None ->
         Printf.eprintf "unknown event %s\n" event;
@@ -337,8 +357,8 @@ let decision_cmd =
 
 (* probability *)
 let probability_cmd =
-  let run () jobs metrics trace =
-    with_obs jobs metrics trace @@ fun () -> print_string (Report.Figures.probability ())
+  let run () jobs progress metrics trace profile =
+    with_obs jobs progress metrics trace profile @@ fun () -> print_string (Report.Figures.probability ())
   in
   Cmd.v (Cmd.info "probability" ~doc:"Occurrence-probability table")
     (obs_args Term.(const run $ const ()))

@@ -73,14 +73,17 @@ let expected_cables_failed_pct t =
 
 let run_trials t ~trials ~seed ~init ~f =
   if trials <= 0 then invalid_arg "Plan.run_trials: trials <= 0";
+  Obs.Progress.start ~label:"trials" ~total:trials;
   let master = Rng.create seed in
   let dead = Array.make (Array.length t.death) false in
   let acc = ref init in
   for _ = 1 to trials do
     let rng = Rng.split master in
     sample_into t rng dead;
-    acc := f !acc ~rng ~dead
+    acc := f !acc ~rng ~dead;
+    Obs.Progress.tick ()
   done;
+  Obs.Progress.finish ();
   !acc
 
 let par_runs = Obs.Metrics.counter "plan.par_runs"
@@ -105,13 +108,15 @@ let run_trials_par t ?jobs ~trials ~seed ~init ~map ~merge =
   done;
   let m = Array.length t.death in
   let results = Array.make trials None in
+  Obs.Progress.start ~label:"trials" ~total:trials;
   Exec.parallel_for ~jobs ~n:trials (fun ~lo ~hi ->
       (* One dead buffer per claimed chunk: worker-owned, so [map] sees
          the same reused-buffer contract as [run_trials]'s [f]. *)
       let dead = Array.make m false in
       for i = lo to hi - 1 do
         sample_into t rngs.(i) dead;
-        results.(i) <- Some (map ~rng:rngs.(i) ~dead)
+        results.(i) <- Some (map ~rng:rngs.(i) ~dead);
+        Obs.Progress.tick ()
       done);
   (* Determinism, part 2 — ordered merge: fold in trial order regardless
      of which domain produced which result, so [~jobs:1] and [~jobs:n]
@@ -122,4 +127,5 @@ let run_trials_par t ?jobs ~trials ~seed ~init ~map ~merge =
     | Some v -> acc := merge !acc v
     | None -> assert false (* parallel_for covers [0, trials) *)
   done;
+  Obs.Progress.finish ();
   !acc

@@ -18,7 +18,10 @@
     Observability: compiles and trials are counted on the [plan.compiles]
     and [plan.trials] metrics ([plan.par_runs] counts {!run_trials_par}
     invocations), and compilation runs under a ["plan.compile"] span (all
-    off-by-default, see DESIGN.md). *)
+    off-by-default, see DESIGN.md).  Both trial drivers feed the live
+    progress meter: one {!Obs.Progress.tick} per completed trial
+    (workers share the atomic counter), rendered on stderr under the
+    [--progress] CLI flag and costing one branch per trial otherwise. *)
 
 type t
 
@@ -113,9 +116,10 @@ val run_trials_par :
     [SOLARSTORM_JOBS] environment variable, else 1); trials are dealt to
     domains by chunked work-stealing ({!Exec.parallel_for}).  [map] runs
     on worker domains: it must not touch shared mutable state — [Obs]
-    metrics are fine (atomic), [Obs.Span] inside [map] records only on
-    the main domain, and [dead] is a worker-owned buffer valid only for
-    the duration of the call (copy it to keep it).  [map] may keep
+    metrics are fine (atomic), [Obs.Span] records into a per-domain ring
+    (worker spans show up in profiles with their domain id), and [dead]
+    is a worker-owned buffer valid only for the duration of the call
+    (copy it to keep it).  [map] may keep
     drawing from [rng] for its own per-trial randomness, exactly like
     [f] in {!run_trials}.
 

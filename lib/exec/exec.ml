@@ -23,6 +23,9 @@ let set_default_jobs j =
   if j <= 0 then invalid_arg "Exec.set_default_jobs: jobs <= 0";
   Atomic.set override j
 
+let par_sections = Obs.Metrics.counter "exec.parallel_sections"
+let domains_spawned = Obs.Metrics.counter "exec.domains_spawned"
+
 let parallel_for ?chunk ~jobs ~n body =
   if jobs <= 0 then invalid_arg "Exec.parallel_for: jobs <= 0";
   if n < 0 then invalid_arg "Exec.parallel_for: n < 0";
@@ -40,6 +43,10 @@ let parallel_for ?chunk ~jobs ~n body =
     let nchunks = (n + chunk - 1) / chunk in
     let cursor = Atomic.make 0 in
     let worker () =
+      (* The span makes every participating domain visible to the
+         profiler (per-domain rings) even when work-stealing leaves a
+         domain empty-handed; when obs is off it is a single branch. *)
+      Obs.Span.with_ ~name:"exec.worker" @@ fun () ->
       let rec steal () =
         let c = Atomic.fetch_and_add cursor 1 in
         if c < nchunks then begin
@@ -50,6 +57,8 @@ let parallel_for ?chunk ~jobs ~n body =
       in
       steal ()
     in
+    Obs.Metrics.incr par_sections;
+    Obs.Metrics.add domains_spawned (jobs - 1);
     let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     (* The calling domain is worker [jobs - 1]; hold its exception until
        every spawned domain is joined so no domain outlives the call. *)

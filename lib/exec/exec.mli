@@ -14,7 +14,15 @@
     Domains are spawned per call and joined before the call returns —
     there is no persistent pool to shut down, no daemon domain to leak,
     and a raising [body] still leaves the process with only the calling
-    domain running. *)
+    domain running.
+
+    Observability: each parallel section counts on
+    [exec.parallel_sections] (and [exec.domains_spawned] adds the
+    domains it spawned), and every participating domain — spawned or
+    calling — runs its stealing loop under an ["exec.worker"] span, so a
+    profile ([solarstorm --profile]) shows one trace row per active
+    domain even when work-stealing left a domain without a chunk.  All
+    of it is off-by-default obs, one branch when disabled. *)
 
 val available_jobs : unit -> int
 (** What the hardware offers: [Domain.recommended_domain_count ()]. *)

@@ -13,20 +13,80 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let json_float v =
+let finite_repr v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
   else Printf.sprintf "%.17g" v
+
+let json_float v =
+  (* JSON has no literal for non-finite numbers — "%.17g" would print
+     "nan"/"inf" and corrupt the document, so map them to null. *)
+  if Float.is_nan v || v = Float.infinity || v = Float.neg_infinity then "null"
+  else finite_repr v
+
+let prom_float v =
+  (* Prometheus exposition, unlike JSON, spells non-finite values out. *)
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else finite_repr v
 
 let jsonl events =
   let buf = Buffer.create 4096 in
   List.iter
     (fun (e : Span.event) ->
       Buffer.add_string buf
-        (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"ts_ns\":%Ld,\"depth\":%d}\n"
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"ph\":\"%s\",\"ts_ns\":%Ld,\"depth\":%d,\"domain\":%d}\n"
            (json_escape e.Span.name)
            (match e.Span.phase with Span.Begin -> "B" | Span.End -> "E")
-           e.Span.t_ns e.Span.depth))
+           e.Span.t_ns e.Span.depth e.Span.domain))
     events;
+  Buffer.contents buf
+
+let chrome_trace ?(process_name = "solarstorm") events =
+  (* Chrome/Perfetto trace-event JSON: duration events ("ph":"B"/"E"),
+     one pid for the process, tid = recording domain id, timestamps in
+     microseconds rebased to the earliest event so doubles keep
+     nanosecond precision.  Metadata events name the process and each
+     domain so trace viewers label the rows. *)
+  let base =
+    List.fold_left
+      (fun acc (e : Span.event) -> if e.Span.t_ns < acc then e.Span.t_ns else acc)
+      (match events with [] -> 0L | e :: _ -> e.Span.t_ns)
+      events
+  in
+  let tids =
+    List.sort_uniq compare (List.map (fun (e : Span.event) -> e.Span.domain) events)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf s
+  in
+  emit
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+       (json_escape process_name));
+  List.iter
+    (fun tid ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain %d\"}}"
+           tid tid))
+    tids;
+  List.iter
+    (fun (e : Span.event) ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+           (json_escape e.Span.name)
+           (match e.Span.phase with Span.Begin -> "B" | Span.End -> "E")
+           (Int64.to_float (Int64.sub e.Span.t_ns base) /. 1e3)
+           e.Span.domain))
+    events;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf
 
 (* Prometheus metric names allow [a-zA-Z0-9_:]; map everything else to '_'. *)
@@ -48,7 +108,7 @@ let prometheus (snap : Metrics.snapshot) =
           Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" pname pname n)
       | Metrics.Gauge g ->
           Buffer.add_string buf
-            (Printf.sprintf "# TYPE %s gauge\n%s %s\n" pname pname (json_float g))
+            (Printf.sprintf "# TYPE %s gauge\n%s %s\n" pname pname (prom_float g))
       | Metrics.Histogram { bounds; counts; sum; count } ->
           Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" pname);
           let cum = ref 0 in
@@ -56,11 +116,11 @@ let prometheus (snap : Metrics.snapshot) =
             (fun i b ->
               cum := !cum + counts.(i);
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" pname (json_float b) !cum))
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" pname (prom_float b) !cum))
             bounds;
           cum := !cum + counts.(Array.length counts - 1);
           Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pname !cum);
-          Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" pname (json_float sum));
+          Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" pname (prom_float sum));
           Buffer.add_string buf (Printf.sprintf "%s_count %d\n" pname count))
     snap;
   Buffer.contents buf

@@ -1,11 +1,14 @@
 (** Machine-readable exporters.
 
     - [jsonl]: one JSON object per span event
-      ([{"name":…,"ph":"B"|"E","ts_ns":…,"depth":…}]), suitable for
-      line-oriented trace tooling;
+      ([{"name":…,"ph":"B"|"E","ts_ns":…,"depth":…,"domain":…}]),
+      suitable for line-oriented trace tooling;
+    - [chrome_trace]: Chrome/Perfetto trace-event JSON (duration events,
+      [pid] 1, [tid] = recording domain id), what [solarstorm --profile]
+      writes;
     - [prometheus]: Prometheus text exposition format (names are
       sanitised, histograms expand to cumulative [_bucket]/[_sum]/[_count]
-      series);
+      series, non-finite values spelled [NaN]/[+Inf]/[-Inf]);
     - [json_of_snapshot]: a single JSON object keyed by metric name, the
       form embedded in [bench --json] documents.
 
@@ -13,6 +16,12 @@
     this library stays dependency-free. *)
 
 val jsonl : Span.event list -> string
+
+val chrome_trace : ?process_name:string -> Span.event list -> string
+(** Trace-event JSON document ([{"traceEvents":[…]}]).  Timestamps are
+    microseconds rebased to the earliest event; every distinct domain id
+    gets a [thread_name] metadata record ["domain N"].  Load in
+    [ui.perfetto.dev] or [chrome://tracing]. *)
 
 val prometheus : Metrics.snapshot -> string
 
@@ -23,4 +32,11 @@ val json_escape : string -> string
     not included). *)
 
 val json_float : float -> string
-(** Compact JSON float formatting (integers render as ["n.0"]). *)
+(** Compact JSON float formatting (integers render as ["n.0"]).  JSON
+    has no non-finite literals, so [nan]/[inf]/[-inf] render as
+    ["null"]. *)
+
+val prom_float : float -> string
+(** Prometheus exposition float formatting: like {!json_float} for
+    finite values, but non-finite values spell out as ["NaN"], ["+Inf"]
+    and ["-Inf"] as the exposition format requires. *)

@@ -1,0 +1,181 @@
+(* Minimal JSON reader: enough to load the documents this repository
+   itself emits (solarstorm-bench/1 perf documents, chrome traces) with
+   no external dependency.  Recursive descent over a string; numbers are
+   floats; [null] maps to [Null] (the writer emits it for non-finite
+   values). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable i : int }
+
+let error c msg = raise (Parse_error (Printf.sprintf "offset %d: %s" c.i msg))
+
+let peek c = if c.i < String.length c.s then Some c.s.[c.i] else None
+
+let skip_ws c =
+  while
+    c.i < String.length c.s
+    && match c.s.[c.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.i <- c.i + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.i <- c.i + 1
+  | _ -> error c (Printf.sprintf "expected %c" ch)
+
+let literal c word v =
+  let n = String.length word in
+  if c.i + n <= String.length c.s && String.sub c.s c.i n = word then begin
+    c.i <- c.i + n;
+    v
+  end
+  else error c ("expected " ^ word)
+
+let parse_string_body c =
+  (* Opening quote already consumed. *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if c.i >= String.length c.s then error c "unterminated string";
+    let ch = c.s.[c.i] in
+    c.i <- c.i + 1;
+    match ch with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+        if c.i >= String.length c.s then error c "unterminated escape";
+        let e = c.s.[c.i] in
+        c.i <- c.i + 1;
+        match e with
+        | '"' -> Buffer.add_char buf '"'; go ()
+        | '\\' -> Buffer.add_char buf '\\'; go ()
+        | '/' -> Buffer.add_char buf '/'; go ()
+        | 'b' -> Buffer.add_char buf '\b'; go ()
+        | 'f' -> Buffer.add_char buf '\012'; go ()
+        | 'n' -> Buffer.add_char buf '\n'; go ()
+        | 'r' -> Buffer.add_char buf '\r'; go ()
+        | 't' -> Buffer.add_char buf '\t'; go ()
+        | 'u' ->
+            if c.i + 4 > String.length c.s then error c "truncated \\u escape";
+            let hex = String.sub c.s c.i 4 in
+            c.i <- c.i + 4;
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some code when Uchar.is_valid code ->
+                Buffer.add_utf_8_uchar buf (Uchar.of_int code)
+            | _ -> error c ("bad \\u escape " ^ hex));
+            go ()
+        | _ -> error c "bad escape")
+    | ch -> Buffer.add_char buf ch; go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.i in
+  let numchar ch =
+    (ch >= '0' && ch <= '9')
+    || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+  in
+  while c.i < String.length c.s && numchar c.s.[c.i] do
+    c.i <- c.i + 1
+  done;
+  match float_of_string_opt (String.sub c.s start (c.i - start)) with
+  | Some v -> Number v
+  | None -> error c "bad number"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some '{' ->
+      c.i <- c.i + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.i <- c.i + 1;
+        Object []
+      end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          expect c '"';
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.i <- c.i + 1;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              c.i <- c.i + 1;
+              List.rev ((k, v) :: acc)
+          | _ -> error c "expected , or } in object"
+        in
+        Object (members [])
+      end
+  | Some '[' ->
+      c.i <- c.i + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.i <- c.i + 1;
+        Array []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.i <- c.i + 1;
+              elems (v :: acc)
+          | Some ']' ->
+              c.i <- c.i + 1;
+              List.rev (v :: acc)
+          | _ -> error c "expected , or ] in array"
+        in
+        Array (elems [])
+      end
+  | Some '"' ->
+      c.i <- c.i + 1;
+      String (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let parse s =
+  let c = { s; i = 0 } in
+  match
+    let v = parse_value c in
+    skip_ws c;
+    if c.i <> String.length s then error c "trailing content";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> parse s
+  | exception Sys_error msg -> Error msg
+
+let member k = function
+  | Object kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let number = function Number v -> Some v | _ -> None
+let string_ = function String s -> Some s | _ -> None
+let array = function Array l -> Some l | _ -> None

@@ -1,0 +1,28 @@
+(** Minimal JSON reader — just enough to load the documents this
+    repository itself writes (solarstorm-bench/1 perf documents, chrome
+    traces) without an external dependency.  Numbers are floats; [null]
+    is what {!Export.json_float} emits for non-finite values. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; rejects trailing content.  Errors carry the
+    byte offset of the failure. *)
+
+val parse_file : string -> (t, string) result
+(** {!parse} the whole contents of a file; I/O failures become [Error]. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing fields or non-objects. *)
+
+val number : t -> float option
+
+val string_ : t -> string option
+
+val array : t -> t list option

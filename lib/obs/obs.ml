@@ -13,6 +13,9 @@ module Clock = Clock
 module Metrics = Metrics
 module Span = Span
 module Export = Export
+module Resource = Resource
+module Progress = Progress
+module Json = Json
 
 let enable = Control.enable
 let disable = Control.disable

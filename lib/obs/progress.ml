@@ -1,0 +1,89 @@
+(* Live progress for long trial loops.  Independent of the metrics/span
+   switch: [--progress] turns it on without dragging the rest of the obs
+   layer along.  Disabled cost is one [Atomic.get] branch per call.
+
+   The counter is a single [Atomic] shared by every worker domain;
+   rendering is throttled by a CAS on the last-render timestamp so at
+   most one domain paints a given interval, and output goes to an
+   injectable sink (stderr by default) so stdout stays byte-identical
+   with the meter on. *)
+
+let flag = Atomic.make false
+let enable () = Atomic.set flag true
+let disable () = Atomic.set flag false
+let enabled () = Atomic.get flag
+
+let clock = ref Clock.monotonic
+let set_clock c = clock := c
+
+let default_sink s =
+  output_string stderr s;
+  flush stderr
+
+let sink = ref default_sink
+let set_sink f = sink := f
+
+(* Default: repaint at most five times a second. *)
+let interval_ns = ref 200_000_000L
+
+let set_interval_ns ns =
+  if ns < 0L then invalid_arg "Obs.Progress.set_interval_ns: interval < 0";
+  interval_ns := ns
+
+type run = {
+  label : string;
+  total : int;
+  completed : int Atomic.t;
+  start_ns : int64;
+  last_render : int64 Atomic.t;
+}
+
+let current : run option Atomic.t = Atomic.make None
+
+let completed () =
+  match Atomic.get current with None -> 0 | Some r -> Atomic.get r.completed
+
+let render ~final r =
+  let done_ = Atomic.get r.completed in
+  let elapsed_s = Int64.to_float (Int64.sub (!clock ()) r.start_ns) /. 1e9 in
+  let rate = if elapsed_s > 0.0 then float_of_int done_ /. elapsed_s else 0.0 in
+  let eta_s = if rate > 0.0 then float_of_int (r.total - done_) /. rate else 0.0 in
+  let pct = 100.0 *. float_of_int done_ /. float_of_int (Int.max 1 r.total) in
+  let line =
+    Printf.sprintf "\r%s %d/%d (%.0f%%)  %.0f trials/s  ETA %.1fs " r.label done_
+      r.total pct rate eta_s
+  in
+  !sink (if final then line ^ "\n" else line)
+
+let start ~label ~total =
+  if Atomic.get flag then
+    Atomic.set current
+      (Some
+         {
+           label;
+           total;
+           completed = Atomic.make 0;
+           start_ns = !clock ();
+           last_render = Atomic.make 0L;
+         })
+
+let tick () =
+  if Atomic.get flag then
+    match Atomic.get current with
+    | None -> ()
+    | Some r ->
+        ignore (Atomic.fetch_and_add r.completed 1);
+        let now = !clock () in
+        let last = Atomic.get r.last_render in
+        if
+          Int64.compare (Int64.sub now last) !interval_ns >= 0
+          && Atomic.compare_and_set r.last_render last now
+        then render ~final:false r
+
+let finish () =
+  if Atomic.get flag then
+    match Atomic.get current with
+    | None -> ()
+    | Some r ->
+        render ~final:true r;
+        Atomic.set current None

@@ -1,0 +1,42 @@
+(** Live progress meter for Monte-Carlo trial loops.
+
+    Switched on by the [--progress] CLI flag (or {!enable}); independent
+    of the metrics/span layer, off by default, and a single branch per
+    {!tick} while disabled — trial loops call {!tick} unconditionally.
+
+    One run is active at a time: {!Plan.run_trials} /
+    {!Plan.run_trials_par} call [start ~label ~total], tick once per
+    completed trial (worker domains share the atomic counter), and
+    [finish] when done.  Rendering — ["label done/total (pct)  rate
+    trials/s  ETA s"], carriage-return style — goes to the sink (stderr
+    by default) at most once per interval; a CAS on the last-render
+    timestamp keeps concurrent domains from painting over each other. *)
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+val start : label:string -> total:int -> unit
+(** Begin a run of [total] work items; replaces any previous run. *)
+
+val tick : unit -> unit
+(** One work item finished; occasionally repaints the meter. *)
+
+val finish : unit -> unit
+(** Paint the final state (with a newline) and clear the current run. *)
+
+val completed : unit -> int
+(** Items ticked in the current run (0 when no run is active). *)
+
+val set_sink : (string -> unit) -> unit
+(** Redirect rendered lines (default: write + flush to stderr). *)
+
+val set_clock : Clock.t -> unit
+(** Clock used for rate/ETA and render throttling (default
+    {!Clock.monotonic}). *)
+
+val set_interval_ns : int64 -> unit
+(** Minimum nanoseconds between repaints (default 2×10⁸ = 5 Hz; 0 =
+    repaint on every tick).  @raise Invalid_argument if negative. *)

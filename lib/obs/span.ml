@@ -1,6 +1,6 @@
 type phase = Begin | End
 
-type event = { name : string; phase : phase; t_ns : int64; depth : int }
+type event = { name : string; phase : phase; t_ns : int64; depth : int; domain : int }
 
 let clock = ref Clock.monotonic
 let set_clock c = clock := c
@@ -8,68 +8,152 @@ let now () = !clock ()
 
 let default_capacity = 65_536
 
-(* Ring buffer of events: cheap push, bounded memory.  When full, the
-   oldest events are overwritten and [dropped] counts them. *)
-let dummy = { name = ""; phase = Begin; t_ns = 0L; depth = 0 }
+(* Per-domain ring buffers: cheap push, bounded memory, no cross-domain
+   contention.  Each domain owns exactly one ring (single-writer), found
+   through domain-local storage; a global registry (mutex-protected, but
+   only touched on first use per domain and at snapshot time) lets
+   [events]/[reset] see every ring.  When a worker domain exits its ring
+   is parked on a free pool and the next spawned domain reuses it, so
+   memory is bounded by the peak number of concurrent domains, not by
+   the total number ever spawned — and events recorded by exited domains
+   stay readable until their slots are overwritten (each event carries
+   its own domain id, so reuse never mis-attributes). *)
+let dummy = { name = ""; phase = Begin; t_ns = 0L; depth = 0; domain = -1 }
+
+type ring = {
+  mutable buf : event array;
+  mutable next : int; (* slot for the next push *)
+  mutable total : int; (* events pushed since last reset *)
+  mutable depth : int; (* nesting depth of the owning domain *)
+}
+
 let capacity = ref default_capacity
-let buf = ref (Array.make default_capacity dummy)
-let next = ref 0 (* slot for the next push *)
-let total = ref 0 (* events pushed since last reset *)
-let depth = ref 0
+let make_ring () = { buf = Array.make !capacity dummy; next = 0; total = 0; depth = 0 }
+
+let lock = Mutex.create ()
+let rings : ring list ref = ref [] (* every ring ever handed out *)
+let pool : ring list ref = ref [] (* rings released by exited domains *)
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let checkout () =
+  locked @@ fun () ->
+  match !pool with
+  | r :: rest ->
+      pool := rest;
+      r.depth <- 0;
+      r
+  | [] ->
+      let r = make_ring () in
+      rings := r :: !rings;
+      r
+
+let release r = locked (fun () -> pool := r :: !pool)
+
+let key : ring option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let my_ring () =
+  match Domain.DLS.get key with
+  | Some r -> r
+  | None ->
+      let r = checkout () in
+      Domain.DLS.set key (Some r);
+      (* The main domain keeps its ring for the life of the process;
+         worker domains hand theirs back for reuse when they exit. *)
+      if not (Domain.is_main_domain ()) then Domain.at_exit (fun () -> release r);
+      r
 
 let set_capacity n =
   if n <= 0 then invalid_arg "Obs.Span.set_capacity: capacity <= 0";
+  locked @@ fun () ->
   capacity := n;
-  buf := Array.make n dummy;
-  next := 0;
-  total := 0
+  List.iter
+    (fun r ->
+      r.buf <- Array.make n dummy;
+      r.next <- 0;
+      r.total <- 0)
+    !rings
 
 let reset () =
-  Array.fill !buf 0 (Array.length !buf) dummy;
-  next := 0;
-  total := 0;
-  depth := 0
+  locked @@ fun () ->
+  List.iter
+    (fun r ->
+      Array.fill r.buf 0 (Array.length r.buf) dummy;
+      r.next <- 0;
+      r.total <- 0;
+      r.depth <- 0)
+    !rings
 
-let push ev =
-  !buf.(!next) <- ev;
-  next := (!next + 1) mod !capacity;
-  incr total
+let push r ev =
+  let cap = Array.length r.buf in
+  r.buf.(r.next) <- ev;
+  r.next <- (r.next + 1) mod cap;
+  r.total <- r.total + 1
 
-let dropped () = Int.max 0 (!total - !capacity)
+let dropped () =
+  locked @@ fun () ->
+  List.fold_left (fun acc r -> acc + Int.max 0 (r.total - Array.length r.buf)) 0 !rings
+
+let ring_events r =
+  let cap = Array.length r.buf in
+  let n = Int.min r.total cap in
+  let start = if r.total <= cap then 0 else r.next in
+  List.init n (fun i -> r.buf.((start + i) mod cap))
 
 let events () =
-  let n = Int.min !total !capacity in
-  let start = if !total <= !capacity then 0 else !next in
-  List.init n (fun i -> !buf.((start + i) mod !capacity))
+  (* Merge every ring's retained events into one chronological stream.
+     The sort is stable, so within one domain (one ring) the push order
+     is preserved even under a non-advancing manual clock; take the
+     snapshot while no parallel section is running (Exec joins every
+     domain before returning) so no ring is being written concurrently. *)
+  let all = locked (fun () -> List.concat_map ring_events !rings) in
+  List.stable_sort
+    (fun a b ->
+      match Int64.compare a.t_ns b.t_ns with 0 -> compare a.domain b.domain | c -> c)
+    all
 
 let with_ ~name f =
-  (* Spans are recorded on the main domain only: the ring buffer and the
-     nesting depth are plain mutable state, and interleaving Begin/End
-     pairs from concurrent trial workers would corrupt both the buffer
-     and the tree structure exporters rebuild.  Worker-domain spans run
-     their body untraced; metrics (atomic, sharded) remain the
-     domain-safe signal inside parallel sections. *)
-  if not (Atomic.get Control.flag) || not (Domain.is_main_domain ()) then f ()
+  if not (Atomic.get Control.flag) then f ()
   else begin
-    let d = !depth in
-    push { name; phase = Begin; t_ns = now (); depth = d };
-    depth := d + 1;
+    let r = my_ring () in
+    let dom = (Domain.self () :> int) in
+    let d = r.depth in
+    (* Resource gauges bracket top-level spans on the main domain: cheap
+       (Gc.quick_stat, no heap walk) and coarse enough to stay off the
+       per-trial hot path of worker domains. *)
+    if d = 0 && Domain.is_main_domain () then Resource.sample ();
+    push r { name; phase = Begin; t_ns = now (); depth = d; domain = dom };
+    r.depth <- d + 1;
     Fun.protect
       ~finally:(fun () ->
-        depth := d;
-        push { name; phase = End; t_ns = now (); depth = d })
+        r.depth <- d;
+        push r { name; phase = End; t_ns = now (); depth = d; domain = dom };
+        if d = 0 && Domain.is_main_domain () then Resource.sample ())
       f
   end
 
 type summary = { span_name : string; calls : int; total_ns : int64 }
 
 let summarize evs =
-  (* Pair Begin/End events with a stack; unmatched Begins (still-open or
-     overwritten spans) are ignored. *)
+  (* Pair Begin/End events with one stack per domain (the merged stream
+     interleaves domains); unmatched events — still-open spans, or spans
+     whose Begin was overwritten by a ring wrap — are ignored, so a
+     wrapped ring can never corrupt the pairing of surviving spans. *)
   let acc : (string, int * int64) Hashtbl.t = Hashtbl.create 16 in
-  let stack = ref [] in
+  let stacks : (int, event list ref) Hashtbl.t = Hashtbl.create 4 in
+  let stack_of dom =
+    match Hashtbl.find_opt stacks dom with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks dom s;
+        s
+  in
   List.iter
     (fun ev ->
+      let stack = stack_of ev.domain in
       match ev.phase with
       | Begin -> stack := ev :: !stack
       | End -> (

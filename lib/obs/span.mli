@@ -6,17 +6,31 @@
     bounded ring buffer.  Events carry the nesting depth at the time the
     span opened, so exporters can reconstruct the parent/child tree.
 
-    Spans are recorded on the {e main domain} only: inside the parallel
-    trial engine's worker domains [with_] degrades to running its body
-    untraced (the ring buffer is single-writer state).  Use {!Metrics}
-    for domain-safe signals inside parallel sections. *)
+    Rings are {e per-domain}: every domain that opens a span gets its own
+    single-writer ring (cached in domain-local storage), so [with_]
+    records from inside {!Exec.parallel_for} workers without locks on
+    the hot path.  Each event carries the recording domain's id —
+    exporters use it as the thread id ({!Export.chrome_trace}) and
+    {!summarize} pairs events per domain.  Rings of exited worker
+    domains are pooled and reused by later domains, bounding memory by
+    the peak number of concurrent domains while keeping their recorded
+    events readable until overwritten.
+
+    [events]/[summarize]/[dropped] must be called while no worker domain
+    is recording (i.e. outside any [Exec.parallel_for] section — the
+    pool joins all domains per call, so "after the run" is always safe).
+
+    Top-level spans on the main domain additionally sample the
+    {!Resource} gauges at both boundaries. *)
 
 type phase = Begin | End
 
-type event = { name : string; phase : phase; t_ns : int64; depth : int }
+type event = { name : string; phase : phase; t_ns : int64; depth : int; domain : int }
 
 val set_clock : Clock.t -> unit
-(** Install the clock used to stamp events (default {!Clock.monotonic}). *)
+(** Install the clock used to stamp events (default {!Clock.monotonic}).
+    Shared by every domain — inject single-domain fakes only in
+    single-domain tests. *)
 
 val now : unit -> int64
 (** Read the installed clock. *)
@@ -24,21 +38,26 @@ val now : unit -> int64
 val with_ : name:string -> (unit -> 'a) -> 'a
 
 val events : unit -> event list
-(** Retained events, oldest first.  The buffer is a ring: once more than
-    the capacity have been recorded, the oldest are gone (see
+(** Retained events from every domain's ring, merged and sorted by
+    timestamp (stable, so same-ring order survives clock ties).  Each
+    ring keeps the newest [capacity] events it recorded (see
     [dropped]). *)
 
 val dropped : unit -> int
+(** Total events lost to ring wraps, summed over every ring. *)
 
 val set_capacity : int -> unit
-(** Resize the ring (discards retained events).  Default 65536 events.
-    @raise Invalid_argument if the capacity is not positive. *)
+(** Resize every ring (discards retained events).  Default 65536 events
+    per domain.  @raise Invalid_argument if the capacity is not
+    positive. *)
 
 val reset : unit -> unit
-(** Drop all retained events and reset the nesting depth. *)
+(** Drop all retained events and reset every ring's nesting depth. *)
 
 type summary = { span_name : string; calls : int; total_ns : int64 }
 
 val summarize : event list -> summary list
 (** Per-name call counts and total inclusive time, from pairing matching
-    [Begin]/[End] events; sorted by name.  Unpaired events are ignored. *)
+    [Begin]/[End] events with one stack per domain; sorted by name.
+    Unpaired events (still-open spans, or spans whose [Begin] was lost
+    to a ring wrap) are ignored and never corrupt other pairings. *)

@@ -172,9 +172,77 @@ let test_jsonl_golden () =
   Obs.Span.set_clock (Obs.Clock.fake ~start:5L ~step:10L ());
   Obs.Span.with_ ~name:"a.b" (fun () -> ());
   Alcotest.(check string) "jsonl"
-    "{\"name\":\"a.b\",\"ph\":\"B\",\"ts_ns\":5,\"depth\":0}\n\
-     {\"name\":\"a.b\",\"ph\":\"E\",\"ts_ns\":15,\"depth\":0}\n"
+    "{\"name\":\"a.b\",\"ph\":\"B\",\"ts_ns\":5,\"depth\":0,\"domain\":0}\n\
+     {\"name\":\"a.b\",\"ph\":\"E\",\"ts_ns\":15,\"depth\":0,\"domain\":0}\n"
     (Obs.Export.jsonl (Obs.Span.events ()))
+
+let test_chrome_trace_golden () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.set_clock (Obs.Clock.fake ~start:0L ~step:100L ());
+  Obs.Span.with_ ~name:"a" (fun () -> ());
+  Alcotest.(check string) "chrome trace"
+    "{\"traceEvents\":[\
+     {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"solarstorm\"}},\
+     {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"domain 0\"}},\
+     {\"name\":\"a\",\"cat\":\"span\",\"ph\":\"B\",\"ts\":0.000,\"pid\":1,\"tid\":0},\
+     {\"name\":\"a\",\"cat\":\"span\",\"ph\":\"E\",\"ts\":0.100,\"pid\":1,\"tid\":0}\
+     ],\"displayTimeUnit\":\"ms\"}"
+    (Obs.Export.chrome_trace (Obs.Span.events ()))
+
+let test_json_float_nonfinite () =
+  Alcotest.(check string) "nan is null" "null" (Obs.Export.json_float Float.nan);
+  Alcotest.(check string) "inf is null" "null" (Obs.Export.json_float Float.infinity);
+  Alcotest.(check string) "-inf is null" "null" (Obs.Export.json_float Float.neg_infinity);
+  Alcotest.(check string) "integer" "2.0" (Obs.Export.json_float 2.0);
+  Alcotest.(check string) "fraction" "2.5" (Obs.Export.json_float 2.5);
+  Alcotest.(check string) "prom nan" "NaN" (Obs.Export.prom_float Float.nan);
+  Alcotest.(check string) "prom +inf" "+Inf" (Obs.Export.prom_float Float.infinity);
+  Alcotest.(check string) "prom -inf" "-Inf" (Obs.Export.prom_float Float.neg_infinity);
+  Alcotest.(check string) "prom finite" "2.0" (Obs.Export.prom_float 2.0)
+
+let test_json_snapshot_nonfinite_gauge () =
+  with_obs_enabled @@ fun () ->
+  let g = Obs.Metrics.gauge "nf.gauge" in
+  Obs.Metrics.set g Float.nan;
+  let snap = List.filter (fun (n, _) -> n = "nf.gauge") (Obs.Metrics.snapshot ()) in
+  let out = Obs.Export.json_of_snapshot snap in
+  Alcotest.(check string) "nan gauge serialises as null" "{\"nf.gauge\":null}" out;
+  (* ... and the document stays parseable JSON. *)
+  match Obs.Json.parse out with
+  | Ok doc -> Alcotest.(check bool) "null member" true (Obs.Json.member "nf.gauge" doc = Some Obs.Json.Null)
+  | Error e -> Alcotest.fail ("unparseable: " ^ e)
+
+let test_prometheus_nonfinite_gauge () =
+  with_obs_enabled @@ fun () ->
+  let g = Obs.Metrics.gauge "weird-name.x/y" in
+  let render () =
+    Obs.Export.prometheus
+      (List.filter (fun (n, _) -> n = "weird-name.x/y") (Obs.Metrics.snapshot ()))
+  in
+  Obs.Metrics.set g Float.nan;
+  Alcotest.(check string) "NaN + sanitised name"
+    "# TYPE weird_name_x_y gauge\nweird_name_x_y NaN\n" (render ());
+  Obs.Metrics.set g Float.infinity;
+  Alcotest.(check bool) "+Inf" true (contains (render ()) "weird_name_x_y +Inf");
+  Obs.Metrics.set g Float.neg_infinity;
+  Alcotest.(check bool) "-Inf" true (contains (render ()) "weird_name_x_y -Inf")
+
+let test_prometheus_histogram_invariants () =
+  with_obs_enabled @@ fun () ->
+  let h = Obs.Metrics.histogram "inv.hist-2" ~buckets:[| 0.5; 1.5 |] in
+  List.iter (Obs.Metrics.observe h) [ 0.1; 1.0; 2.0; 50.0 ];
+  let out =
+    Obs.Export.prometheus
+      (List.filter (fun (n, _) -> n = "inv.hist-2") (Obs.Metrics.snapshot ()))
+  in
+  (* Sanitised name, cumulative buckets, and the +Inf bucket equal to
+     _count (the exposition-format histogram invariant). *)
+  Alcotest.(check bool) "type line" true (contains out "# TYPE inv_hist_2 histogram");
+  Alcotest.(check bool) "bucket 0.5" true (contains out "inv_hist_2_bucket{le=\"0.5\"} 1");
+  Alcotest.(check bool) "bucket 1.5" true (contains out "inv_hist_2_bucket{le=\"1.5\"} 2");
+  Alcotest.(check bool) "+Inf bucket" true (contains out "inv_hist_2_bucket{le=\"+Inf\"} 4");
+  Alcotest.(check bool) "count" true (contains out "inv_hist_2_count 4");
+  Alcotest.(check bool) "sum" true (contains out "inv_hist_2_sum 53.1")
 
 let test_prometheus_golden () =
   with_obs_enabled @@ fun () ->
@@ -216,6 +284,245 @@ let test_report_table () =
   Alcotest.(check bool) "metric value" true (contains out "5");
   Alcotest.(check bool) "span row" true (contains out "table.span");
   Alcotest.(check bool) "header" true (contains out "metric")
+
+(* --- ring wrap / tree reconstruction --- *)
+
+let test_ring_wrap_keeps_pairing () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.set_capacity 6;
+  Fun.protect ~finally:(fun () -> Obs.Span.set_capacity 65_536) @@ fun () ->
+  Obs.Span.set_clock (Obs.Clock.fake ~start:0L ~step:100L ());
+  (* Pushes a B, (b B, b E) x3, a E = 8 events into a 6-slot ring: the
+     wrap drops "a Begin" and the first "b Begin", leaving an orphan
+     "b End" and an orphan "a End" in the stream. *)
+  Obs.Span.with_ ~name:"a" (fun () ->
+      for _ = 1 to 3 do
+        Obs.Span.with_ ~name:"b" (fun () -> ())
+      done);
+  let evs = Obs.Span.events () in
+  Alcotest.(check int) "ring keeps capacity" 6 (List.length evs);
+  Alcotest.(check int) "two dropped" 2 (Obs.Span.dropped ());
+  let sums = Obs.Span.summarize evs in
+  (* Orphan Ends are ignored; the two intact b spans still pair up. *)
+  Alcotest.(check int) "only b survives" 1 (List.length sums);
+  let b = List.hd sums in
+  Alcotest.(check string) "b" "b" b.Obs.Span.span_name;
+  Alcotest.(check int) "two intact pairs" 2 b.Obs.Span.calls;
+  Alcotest.(check int64) "100ns each" 200L b.Obs.Span.total_ns;
+  (* The JSONL export of a wrapped stream stays one valid line per event. *)
+  let lines = String.split_on_char '\n' (String.trim (Obs.Export.jsonl evs)) in
+  Alcotest.(check int) "jsonl line per event" 6 (List.length lines)
+
+(* --- per-domain rings --- *)
+
+let test_worker_domain_spans () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.with_ ~name:"main.span" (fun () -> ());
+  let d1 = Domain.spawn (fun () -> Obs.Span.with_ ~name:"w1" (fun () -> ())) in
+  Domain.join d1;
+  (* The second domain reuses the first's pooled ring; w1's events must
+     survive the reuse (each event carries its own domain id). *)
+  let d2 = Domain.spawn (fun () -> Obs.Span.with_ ~name:"w2" (fun () -> ())) in
+  Domain.join d2;
+  let evs = Obs.Span.events () in
+  let doms =
+    List.sort_uniq compare (List.map (fun (e : Obs.Span.event) -> e.Obs.Span.domain) evs)
+  in
+  Alcotest.(check bool) "at least two domains" true (List.length doms >= 2);
+  let sums = Obs.Span.summarize evs in
+  List.iter
+    (fun name ->
+      match List.find_opt (fun s -> s.Obs.Span.span_name = name) sums with
+      | Some s -> Alcotest.(check int) (name ^ " paired") 1 s.Obs.Span.calls
+      | None -> Alcotest.fail ("missing span " ^ name))
+    [ "main.span"; "w1"; "w2" ]
+
+let test_parallel_engine_spans () =
+  with_obs_enabled @@ fun () ->
+  let network = Datasets.Submarine.build ~seed:7 () in
+  let plan = Stormsim.Plan.compile ~network ~model:Stormsim.Failure_model.s1 () in
+  let n =
+    Stormsim.Plan.run_trials_par plan ~jobs:2 ~trials:8 ~seed:3 ~init:0
+      ~map:(fun ~rng:_ ~dead:_ -> 1)
+      ~merge:( + )
+  in
+  Alcotest.(check int) "all trials ran" 8 n;
+  let evs = Obs.Span.events () in
+  let worker_doms =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (e : Obs.Span.event) ->
+           if e.Obs.Span.name = "exec.worker" then Some e.Obs.Span.domain else None)
+         evs)
+  in
+  Alcotest.(check bool) "exec.worker on >= 2 domains" true (List.length worker_doms >= 2);
+  (* The chrome trace of a parallel run must parse as JSON and carry one
+     thread row per participating domain. *)
+  match Obs.Json.parse (Obs.Export.chrome_trace evs) with
+  | Error e -> Alcotest.fail ("chrome trace unparseable: " ^ e)
+  | Ok doc -> (
+      match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.array with
+      | None -> Alcotest.fail "no traceEvents"
+      | Some events ->
+          let tids =
+            List.sort_uniq compare
+              (List.filter_map
+                 (fun e ->
+                   match Option.bind (Obs.Json.member "ph" e) Obs.Json.string_ with
+                   | Some ("B" | "E") ->
+                       Option.map int_of_float
+                         (Option.bind (Obs.Json.member "tid" e) Obs.Json.number)
+                   | _ -> None)
+                 events)
+          in
+          Alcotest.(check bool) ">= 2 tids in trace" true (List.length tids >= 2))
+
+(* --- resource gauges --- *)
+
+let test_resource_gauges () =
+  with_obs_enabled @@ fun () ->
+  ignore (Sys.opaque_identity (Array.make 4096 0.0));
+  Obs.Resource.sample ();
+  let snap = Obs.Metrics.snapshot () in
+  let gauge name =
+    match List.assoc_opt name snap with
+    | Some (Obs.Metrics.Gauge v) -> v
+    | _ -> Alcotest.fail ("missing gauge " ^ name)
+  in
+  Alcotest.(check bool) "minor words counted" true (gauge "gc.minor_words" > 0.0);
+  Alcotest.(check bool) "heap words counted" true (gauge "gc.heap_words" > 0.0);
+  Alcotest.(check bool) "top heap words counted" true (gauge "gc.top_heap_words" > 0.0);
+  Alcotest.(check bool) "wall clock advanced" true (gauge "proc.wall_ns" >= 0.0)
+
+let test_resource_disabled_is_noop () =
+  Obs.reset ();
+  Obs.disable ();
+  Obs.Resource.sample ();
+  match List.assoc_opt "gc.minor_words" (Obs.Metrics.snapshot ()) with
+  | Some (Obs.Metrics.Gauge v) -> Alcotest.(check (float 1e-9)) "stays zero" 0.0 v
+  | _ -> Alcotest.fail "gauge not registered"
+
+(* --- progress meter --- *)
+
+let with_progress_captured f =
+  let buf = Buffer.create 256 in
+  Obs.Progress.enable ();
+  Obs.Progress.set_sink (Buffer.add_string buf);
+  Obs.Progress.set_interval_ns 0L;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Progress.disable ();
+      Obs.Progress.set_sink (fun s ->
+          output_string stderr s;
+          flush stderr);
+      Obs.Progress.set_clock Obs.Clock.monotonic;
+      Obs.Progress.set_interval_ns 200_000_000L)
+    (fun () -> f buf)
+
+let test_progress_meter () =
+  with_progress_captured @@ fun buf ->
+  Obs.Progress.set_clock (Obs.Clock.fake ~start:0L ~step:1_000_000_000L ());
+  Obs.Progress.start ~label:"trials" ~total:3;
+  Obs.Progress.tick ();
+  Obs.Progress.tick ();
+  Obs.Progress.tick ();
+  Alcotest.(check int) "counter" 3 (Obs.Progress.completed ());
+  Obs.Progress.finish ();
+  Alcotest.(check int) "run cleared" 0 (Obs.Progress.completed ());
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "final count" true (contains out "trials 3/3 (100%)");
+  Alcotest.(check bool) "rate" true (contains out "trials/s");
+  Alcotest.(check bool) "eta" true (contains out "ETA");
+  Alcotest.(check bool) "newline on finish" true (contains out "\n")
+
+let test_progress_disabled_is_silent () =
+  let buf = Buffer.create 16 in
+  Obs.Progress.disable ();
+  Obs.Progress.set_sink (Buffer.add_string buf);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Progress.set_sink (fun s ->
+          output_string stderr s;
+          flush stderr))
+    (fun () ->
+      Obs.Progress.start ~label:"x" ~total:2;
+      Obs.Progress.tick ();
+      Obs.Progress.finish ();
+      Alcotest.(check int) "no run" 0 (Obs.Progress.completed ());
+      Alcotest.(check string) "no output" "" (Buffer.contents buf))
+
+let test_progress_through_trial_drivers () =
+  (* --progress works without the metrics/span layer: leave Obs disabled. *)
+  Obs.reset ();
+  Obs.disable ();
+  with_progress_captured @@ fun buf ->
+  let network = Datasets.Submarine.build ~seed:7 () in
+  let plan = Stormsim.Plan.compile ~network ~model:Stormsim.Failure_model.s1 () in
+  let seq =
+    Stormsim.Plan.run_trials plan ~trials:5 ~seed:1 ~init:0
+      ~f:(fun acc ~rng:_ ~dead:_ -> acc + 1)
+  in
+  Alcotest.(check int) "sequential trials" 5 seq;
+  Alcotest.(check bool) "sequential meter" true (contains (Buffer.contents buf) "trials 5/5 (100%)");
+  Buffer.clear buf;
+  let par =
+    Stormsim.Plan.run_trials_par plan ~jobs:2 ~trials:6 ~seed:1 ~init:0
+      ~map:(fun ~rng:_ ~dead:_ -> 1)
+      ~merge:( + )
+  in
+  Alcotest.(check int) "parallel trials" 6 par;
+  Alcotest.(check bool) "parallel meter" true (contains (Buffer.contents buf) "trials 6/6 (100%)")
+
+(* --- json reader --- *)
+
+let test_json_parse_structure () =
+  match Obs.Json.parse "{\"a\":[1,2.5,\"x\\ny\"],\"b\":{\"c\":null,\"d\":true},\"e\":-3e2}" with
+  | Error e -> Alcotest.fail e
+  | Ok doc ->
+      (match Option.bind (Obs.Json.member "a" doc) Obs.Json.array with
+      | Some [ x; y; z ] ->
+          Alcotest.(check (option (float 1e-9))) "int" (Some 1.0) (Obs.Json.number x);
+          Alcotest.(check (option (float 1e-9))) "frac" (Some 2.5) (Obs.Json.number y);
+          Alcotest.(check (option string)) "escaped" (Some "x\ny") (Obs.Json.string_ z)
+      | _ -> Alcotest.fail "bad array");
+      (match Option.bind (Obs.Json.member "b" doc) (Obs.Json.member "c") with
+      | Some Obs.Json.Null -> ()
+      | _ -> Alcotest.fail "missing null");
+      Alcotest.(check (option (float 1e-9))) "exponent" (Some (-300.0))
+        (Option.bind (Obs.Json.member "e" doc) Obs.Json.number)
+
+let test_json_rejects_garbage () =
+  let bad = [ "[1,2]trailing"; "{bad"; "{\"a\":}"; ""; "{\"a\":1,}" ] in
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok _ -> Alcotest.fail ("accepted garbage: " ^ s)
+      | Error _ -> ())
+    bad
+
+let test_json_escape_roundtrip () =
+  let original = "a\"\\\n\t\rb\x01c" in
+  match Obs.Json.parse (Printf.sprintf "\"%s\"" (Obs.Export.json_escape original)) with
+  | Ok (Obs.Json.String s) -> Alcotest.(check string) "roundtrip" original s
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error e -> Alcotest.fail e
+
+let test_json_parses_bench_document () =
+  let doc =
+    "{\"schema\":\"solarstorm-bench/1\",\"mode\":\"fast\",\"kernels\":[{\"name\":\"plan.sample\",\"ns_per_run\":1234.0,\"estimator\":\"min-of-3\"}],\"metrics\":{\"rng.draws\":42,\"nf\":null}}"
+  in
+  match Obs.Json.parse doc with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+      Alcotest.(check (option string)) "schema" (Some "solarstorm-bench/1")
+        (Option.bind (Obs.Json.member "schema" d) Obs.Json.string_);
+      (match Option.bind (Obs.Json.member "kernels" d) Obs.Json.array with
+      | Some [ k ] ->
+          Alcotest.(check (option string)) "kernel name" (Some "plan.sample")
+            (Option.bind (Obs.Json.member "name" k) Obs.Json.string_);
+          Alcotest.(check (option (float 1e-9))) "kernel ns" (Some 1234.0)
+            (Option.bind (Obs.Json.member "ns_per_run" k) Obs.Json.number)
+      | _ -> Alcotest.fail "bad kernels")
 
 (* --- instrumented pipeline --- *)
 
@@ -269,12 +576,33 @@ let () =
         [ Alcotest.test_case "nesting under fake clock" `Quick test_nested_spans_fake_clock;
           Alcotest.test_case "end on raise" `Quick test_span_end_recorded_on_raise;
           Alcotest.test_case "ring overflow" `Quick test_span_ring_overflow;
-          Alcotest.test_case "disabled records nothing" `Quick test_disabled_span_records_nothing ] );
+          Alcotest.test_case "disabled records nothing" `Quick test_disabled_span_records_nothing;
+          Alcotest.test_case "ring wrap keeps pairing" `Quick test_ring_wrap_keeps_pairing;
+          Alcotest.test_case "worker domain spans" `Quick test_worker_domain_spans;
+          Alcotest.test_case "parallel engine spans" `Quick test_parallel_engine_spans ] );
       ( "exporters",
         [ Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden;
+          Alcotest.test_case "chrome trace golden" `Quick test_chrome_trace_golden;
+          Alcotest.test_case "json_float non-finite" `Quick test_json_float_nonfinite;
+          Alcotest.test_case "json snapshot non-finite" `Quick test_json_snapshot_nonfinite_gauge;
+          Alcotest.test_case "prometheus non-finite" `Quick test_prometheus_nonfinite_gauge;
+          Alcotest.test_case "prometheus histogram invariants" `Quick
+            test_prometheus_histogram_invariants;
           Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
           Alcotest.test_case "json snapshot golden" `Quick test_json_snapshot_golden;
           Alcotest.test_case "report table" `Quick test_report_table ] );
+      ( "resource",
+        [ Alcotest.test_case "gauges sampled" `Quick test_resource_gauges;
+          Alcotest.test_case "disabled no-op" `Quick test_resource_disabled_is_noop ] );
+      ( "progress",
+        [ Alcotest.test_case "meter renders" `Quick test_progress_meter;
+          Alcotest.test_case "disabled is silent" `Quick test_progress_disabled_is_silent;
+          Alcotest.test_case "through trial drivers" `Quick test_progress_through_trial_drivers ] );
+      ( "json",
+        [ Alcotest.test_case "parse structure" `Quick test_json_parse_structure;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "escape roundtrip" `Quick test_json_escape_roundtrip;
+          Alcotest.test_case "bench document" `Quick test_json_parses_bench_document ] );
       ( "pipeline",
         [ Alcotest.test_case "montecarlo metrics" `Quick test_montecarlo_metrics_flow;
           Alcotest.test_case "determinism" `Quick test_montecarlo_determinism_under_instrumentation ] );
