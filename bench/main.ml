@@ -118,6 +118,33 @@ let kernels ctx : (string * (unit -> unit)) list =
         ignore
           (Spaceweather.Event_generator.generate ~rng:seq_rng ~start:2021.0 ~stop:2051.0 ())
     );
+    (* Service layer: request parsing, a cache-hit request end to end
+       (routing + decode + LRU lookup, no trials), and a /metrics
+       render. *)
+    ( "serve.parse-request",
+      let raw =
+        let body = "{\"trials\":4,\"seed\":11}" in
+        Printf.sprintf "POST /simulate HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s"
+          (String.length body) body
+      in
+      fun () ->
+        ignore (Server.Http.parse_request (Server.Http.conn_of_string raw)) );
+    ( "serve.request-cached",
+      let routes = Server.Handlers.routes () in
+      let req =
+        {
+          Server.Http.meth = Server.Http.POST;
+          target = "/simulate";
+          version = "HTTP/1.1";
+          headers = [];
+          body = "{\"trials\":4,\"seed\":11}";
+        }
+      in
+      (* Warm the result cache so the kernel times the replay path. *)
+      ignore (Server.Router.dispatch ~routes req);
+      fun () -> ignore (Server.Router.dispatch ~routes req) );
+    ( "serve.metrics-render",
+      fun () -> ignore (Obs.Export.prometheus (Obs.Metrics.snapshot ())) );
   ]
 
 (* (kernel, ns/run, estimator) rows for the JSON document. *)

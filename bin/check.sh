@@ -32,7 +32,9 @@ test -s "$BENCH_JSON" || { echo "check.sh: $BENCH_JSON missing or empty" >&2; ex
 # kernel list with timings, and a metrics object.
 for needle in '"schema":"solarstorm-bench/1"' '"kernels":[{' '"ns_per_run":' '"metrics":{' \
               '"name":"plan.compile"' '"name":"plan.sample"' '"name":"plan.sample-recompute"' \
-              '"name":"plan.trials-seq"' '"name":"plan.trials-par1"' '"name":"plan.trials-par4"'; do
+              '"name":"plan.trials-seq"' '"name":"plan.trials-par1"' '"name":"plan.trials-par4"' \
+              '"name":"serve.parse-request"' '"name":"serve.request-cached"' \
+              '"name":"serve.metrics-render"'; do
   grep -q -F "$needle" "$BENCH_JSON" \
     || { echo "check.sh: $BENCH_JSON malformed (missing $needle)" >&2; exit 1; }
 done
@@ -51,7 +53,8 @@ assert doc["kernels"] and all("ns_per_run" in k for k in doc["kernels"]), "bad k
 assert isinstance(doc["metrics"], dict), "bad metrics"
 names = {k["name"] for k in doc["kernels"]}
 for required in ("plan.compile", "plan.sample", "plan.sample-recompute",
-                 "plan.trials-seq", "plan.trials-par1", "plan.trials-par4"):
+                 "plan.trials-seq", "plan.trials-par1", "plan.trials-par4",
+                 "serve.parse-request", "serve.request-cached", "serve.metrics-render"):
     assert required in names, f"missing kernel {required}"
 EOF
 fi
@@ -116,4 +119,55 @@ cmp /tmp/simulate_seq.out /tmp/simulate_profiled.out \
   || { echo "check.sh: --profile/--progress changed simulate output" >&2; exit 1; }
 rm -f /tmp/simulate_seq.out /tmp/simulate_par.out /tmp/simulate_profiled.out
 
-echo "check.sh: all green ($BENCH_JSON, $PROFILE_JSON ok)"
+echo "== solarstorm serve: smoke gate =="
+# Boot the service on an ephemeral port, exercise every acceptance
+# property over real HTTP, then prove SIGTERM drains to a clean exit 0.
+SERVE_LOG=/tmp/serve_gate.log
+SERVE_TRIALS=25
+rm -f "$SERVE_LOG" /tmp/serve_sim1.json /tmp/serve_sim2.json /tmp/serve_cli.json /tmp/serve_metrics.txt
+_build/default/bin/solarstorm.exe serve --port 0 > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+i=0
+until grep -q 'listening on' "$SERVE_LOG" 2> /dev/null; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "check.sh: serve never became ready" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+  sleep 0.1
+done
+SERVE_PORT=$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$SERVE_LOG")
+BASE="http://127.0.0.1:$SERVE_PORT"
+
+curl -fsS "$BASE/healthz" | grep -q '"status":"ok"' \
+  || { echo "check.sh: /healthz not ok" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+# The same POST twice: the repeat must be byte-identical and served from
+# the result cache (hit counted, no further trials run).
+SERVE_BODY="{\"trials\":$SERVE_TRIALS,\"seed\":11}"
+curl -fsS -d "$SERVE_BODY" "$BASE/simulate" > /tmp/serve_sim1.json
+curl -fsS -d "$SERVE_BODY" "$BASE/simulate" > /tmp/serve_sim2.json
+cmp /tmp/serve_sim1.json /tmp/serve_sim2.json \
+  || { echo "check.sh: repeated /simulate was not byte-identical" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+curl -fsS "$BASE/metrics" > /tmp/serve_metrics.txt
+grep -q '^server_cache_hits 1$' /tmp/serve_metrics.txt \
+  || { echo "check.sh: /metrics shows no cache hit for the repeated POST" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+grep -q "^plan_trials $SERVE_TRIALS\$" /tmp/serve_metrics.txt \
+  || { echo "check.sh: cache hit re-ran trials (plan_trials != $SERVE_TRIALS)" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+grep -q '^server_requests ' /tmp/serve_metrics.txt \
+  || { echo "check.sh: /metrics missing server_requests" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+# The HTTP body is byte-identical to the CLI's --json output for the
+# same parameters: one shared compute + encode path.
+dune exec bin/solarstorm.exe -- simulate --json --trials "$SERVE_TRIALS" --seed 11 > /tmp/serve_cli.json
+cmp /tmp/serve_sim1.json /tmp/serve_cli.json \
+  || { echo "check.sh: HTTP /simulate body differs from CLI --json output" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+  echo "check.sh: serve did not exit 0 on SIGTERM" >&2
+  exit 1
+fi
+grep -q 'solarstorm serve: stopped' "$SERVE_LOG" \
+  || { echo "check.sh: serve did not log a clean drain" >&2; exit 1; }
+rm -f /tmp/serve_sim1.json /tmp/serve_sim2.json /tmp/serve_cli.json /tmp/serve_metrics.txt
+
+echo "check.sh: all green ($BENCH_JSON, $PROFILE_JSON, serve ok)"

@@ -8,7 +8,8 @@
      solarstorm countries          country-scale case studies
      solarstorm systems            AS / data-center / DNS analysis
      solarstorm mitigate           shutdown + augmentation + partitions
-     solarstorm probability        occurrence-probability table *)
+     solarstorm probability        occurrence-probability table
+     solarstorm serve              long-running HTTP simulation service *)
 
 open Cmdliner
 
@@ -190,16 +191,23 @@ let map_cmd =
 (* simulate *)
 let model_conv : Stormsim.Failure_model.t Arg.conv =
   let parse s =
-    match String.lowercase_ascii s with
-    | "s1" -> Ok Stormsim.Failure_model.s1
-    | "s2" -> Ok Stormsim.Failure_model.s2
-    | "physical" -> Ok Stormsim.Failure_model.carrington_physical
-    | s -> (
-        match float_of_string_opt s with
-        | Some p when p >= 0.0 && p <= 1.0 -> Ok (Stormsim.Failure_model.uniform p)
-        | _ -> Error (`Msg "expected s1 | s2 | physical | probability in [0,1]"))
+    Result.map_error (fun e -> `Msg e) (Stormsim.Failure_model.of_string s)
   in
   Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Stormsim.Failure_model.to_string m))
+
+(* --json: render through the same Server.Api compute + encode path the
+   HTTP service uses, so the bytes match a serve response for the same
+   parameters exactly. *)
+let json_t =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the result as one compact JSON document — byte-identical \
+               to the $(b,serve) endpoint's response body for the same \
+               parameters.")
+
+let api_network = function
+  | `Submarine -> Server.Api.Submarine
+  | `Intertubes -> Server.Api.Intertubes
+  | `Itu -> Server.Api.Itu
 
 let simulate_cmd =
   let model_t =
@@ -212,27 +220,35 @@ let simulate_cmd =
   let net_t =
     Arg.(value & opt network_conv `Submarine & info [ "network" ] ~doc:"Network.")
   in
-  let run seed trials itu_scale model spacing net jobs progress metrics trace profile =
+  let run seed trials itu_scale model spacing net json jobs progress metrics trace profile =
     with_obs jobs progress metrics trace profile @@ fun () ->
-    let name, network =
-      match net with
-      | `Submarine -> ("submarine", Datasets.Cache.submarine ~seed ())
-      | `Intertubes -> ("intertubes", Datasets.Cache.intertubes ~seed ())
-      | `Itu -> ("itu", Datasets.Cache.itu ~seed ~scale:itu_scale ())
-    in
-    let s =
-      Stormsim.Montecarlo.run ~trials ~seed ~network ~spacing_km:spacing ~model ()
-    in
-    Printf.printf "%s under %s at %.0f km spacing (%d trials):\n" name
-      (Stormsim.Failure_model.to_string model) spacing trials;
-    Printf.printf "  cables failed     %.1f%% +- %.1f\n" s.Stormsim.Montecarlo.cables_mean
-      s.Stormsim.Montecarlo.cables_std;
-    Printf.printf "  nodes unreachable %.1f%% +- %.1f\n" s.Stormsim.Montecarlo.nodes_mean
-      s.Stormsim.Montecarlo.nodes_std
+    if json then
+      print_string
+        (Server.Api.simulate_body
+           { Server.Api.network = api_network net; model; spacing_km = spacing;
+             itu_scale; seed; trials })
+    else begin
+      let name, network =
+        match net with
+        | `Submarine -> ("submarine", Datasets.Cache.submarine ~seed ())
+        | `Intertubes -> ("intertubes", Datasets.Cache.intertubes ~seed ())
+        | `Itu -> ("itu", Datasets.Cache.itu ~seed ~scale:itu_scale ())
+      in
+      let s =
+        Stormsim.Montecarlo.run ~trials ~seed ~network ~spacing_km:spacing ~model ()
+      in
+      Printf.printf "%s under %s at %.0f km spacing (%d trials):\n" name
+        (Stormsim.Failure_model.to_string model) spacing trials;
+      Printf.printf "  cables failed     %.1f%% +- %.1f\n" s.Stormsim.Montecarlo.cables_mean
+        s.Stormsim.Montecarlo.cables_std;
+      Printf.printf "  nodes unreachable %.1f%% +- %.1f\n" s.Stormsim.Montecarlo.nodes_mean
+        s.Stormsim.Montecarlo.nodes_std
+    end
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Monte-Carlo failure simulation")
     (obs_args
-       Term.(const run $ seed_t $ trials_t $ itu_scale_t $ model_t $ spacing_t $ net_t))
+       Term.(const run $ seed_t $ trials_t $ itu_scale_t $ model_t $ spacing_t $ net_t
+             $ json_t))
 
 (* scenario *)
 let scenario_cmd =
@@ -247,46 +263,69 @@ let scenario_cmd =
   let physical_t =
     Arg.(value & flag & info [ "physical" ] ~doc:"Also run the GIC-physical model.")
   in
-  let run seed trials event speed physical jobs progress metrics trace profile =
+  let run seed trials event speed physical json jobs progress metrics trace profile =
     with_obs jobs progress metrics trace profile @@ fun () ->
-    let networks =
-      [ ("submarine", Datasets.Cache.submarine ~seed ());
-        ("intertubes", Datasets.Cache.intertubes ~seed ()) ]
-    in
-    let cme =
-      match speed with
-      | Some v -> Spaceweather.Cme.make ~speed_km_s:v ()
-      | None -> (
-          let name = Option.value ~default:"carrington" event in
-          match Spaceweather.Storm_catalog.find name with
-          | Some e -> e.Spaceweather.Storm_catalog.cme
-          | None ->
-              Printf.eprintf "unknown event %s\n" name;
-              exit 1)
-    in
-    let s = Stormsim.Scenario.run ~trials ~use_physical:physical ~cme ~networks () in
-    Format.printf "%a@." Stormsim.Scenario.pp s
+    if json then begin
+      let source =
+        match speed with
+        | Some v -> Server.Api.Speed v
+        | None -> Server.Api.Event (Option.value ~default:"carrington" event)
+      in
+      match
+        Server.Api.scenario_body
+          { Server.Api.source; sc_seed = seed; sc_trials = trials; physical }
+      with
+      | Ok body -> print_string body
+      | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1
+    end
+    else begin
+      let networks =
+        [ ("submarine", Datasets.Cache.submarine ~seed ());
+          ("intertubes", Datasets.Cache.intertubes ~seed ()) ]
+      in
+      let cme =
+        match speed with
+        | Some v -> Spaceweather.Cme.make ~speed_km_s:v ()
+        | None -> (
+            let name = Option.value ~default:"carrington" event in
+            match Spaceweather.Storm_catalog.find name with
+            | Some e -> e.Spaceweather.Storm_catalog.cme
+            | None ->
+                Printf.eprintf "unknown event %s\n" name;
+                exit 1)
+      in
+      let s = Stormsim.Scenario.run ~trials ~use_physical:physical ~cme ~networks () in
+      Format.printf "%a@." Stormsim.Scenario.pp s
+    end
   in
   Cmd.v (Cmd.info "scenario" ~doc:"End-to-end CME impact scenario")
-    (obs_args Term.(const run $ seed_t $ trials_t $ event_t $ speed_t $ physical_t))
+    (obs_args
+       Term.(const run $ seed_t $ trials_t $ event_t $ speed_t $ physical_t $ json_t))
 
 (* countries *)
 let countries_cmd =
-  let run seed trials jobs progress metrics trace profile =
+  let run seed trials json jobs progress metrics trace profile =
     with_obs jobs progress metrics trace profile @@ fun () ->
-    let net = Datasets.Cache.submarine ~seed () in
-    let findings = Stormsim.Country.run_all ~trials net in
-    List.iter
-      (fun (f : Stormsim.Country.finding) ->
-        Printf.printf "%-24s %-3s P(loss)=%.2f  (%d cables)  %s\n"
-          f.Stormsim.Country.spec.Stormsim.Country.id
-          f.Stormsim.Country.spec.Stormsim.Country.state_name
-          f.Stormsim.Country.loss_probability f.Stormsim.Country.direct_cables
-          f.Stormsim.Country.spec.Stormsim.Country.expectation)
-      findings
+    if json then
+      print_string
+        (Server.Api.countries_body { Server.Api.co_seed = seed; co_trials = trials })
+    else begin
+      let net = Datasets.Cache.submarine ~seed () in
+      let findings = Stormsim.Country.run_all ~trials net in
+      List.iter
+        (fun (f : Stormsim.Country.finding) ->
+          Printf.printf "%-24s %-3s P(loss)=%.2f  (%d cables)  %s\n"
+            f.Stormsim.Country.spec.Stormsim.Country.id
+            f.Stormsim.Country.spec.Stormsim.Country.state_name
+            f.Stormsim.Country.loss_probability f.Stormsim.Country.direct_cables
+            f.Stormsim.Country.spec.Stormsim.Country.expectation)
+        findings
+    end
   in
   Cmd.v (Cmd.info "countries" ~doc:"Country-scale connectivity case studies")
-    (obs_args Term.(const run $ seed_t $ trials_t))
+    (obs_args Term.(const run $ seed_t $ trials_t $ json_t))
 
 (* systems *)
 let systems_cmd =
@@ -355,6 +394,73 @@ let decision_cmd =
   Cmd.v (Cmd.info "decision" ~doc:"Shutdown decision for a storm (5.2)")
     (obs_args Term.(const run $ seed_t $ event_t))
 
+(* serve *)
+let serve_cmd =
+  let port_t =
+    Arg.(value & opt int 8080
+         & info [ "port"; "p" ] ~docv:"PORT"
+             ~doc:"TCP port to listen on (0 = OS-assigned ephemeral port; the \
+                   bound port is printed on startup).")
+  in
+  let host_t =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let cache_t =
+    Arg.(value & opt int 128
+         & info [ "cache-entries" ] ~docv:"N"
+             ~doc:"Result-cache capacity: how many distinct request results are \
+                   kept (LRU).  0 disables the cache.")
+  in
+  let max_body_t =
+    Arg.(value & opt int (1024 * 1024)
+         & info [ "max-body" ] ~docv:"BYTES"
+             ~doc:"Largest accepted request body; bigger requests get 413.")
+  in
+  let max_pending_t =
+    Arg.(value & opt int 64
+         & info [ "max-pending" ] ~docv:"N"
+             ~doc:"Connections held at once; the overflow is answered 503 \
+                   immediately (backpressure instead of an unbounded queue).")
+  in
+  let timeout_t =
+    Arg.(value & opt float 5.0
+         & info [ "read-timeout" ] ~docv:"SECONDS"
+             ~doc:"How long a peer may stall mid-request before it gets 408.")
+  in
+  let run port host cache_entries max_body max_pending read_timeout jobs =
+    Option.iter Exec.set_default_jobs jobs;
+    if cache_entries < 0 then begin
+      Printf.eprintf "serve: --cache-entries must be >= 0\n";
+      exit 2
+    end;
+    if max_body <= 0 || max_pending <= 0 || read_timeout <= 0.0 then begin
+      Printf.eprintf "serve: --max-body, --max-pending and --read-timeout must be positive\n";
+      exit 2
+    end;
+    (* The service's whole point is live /metrics, so the obs layer is
+       always on; the progress meter is forced off so nothing paints
+       carriage returns into the server log. *)
+    Obs.Progress.disable ();
+    Obs.enable ();
+    Server.Api.set_cache_capacity cache_entries;
+    Server.Service.install_signal_handlers ();
+    Server.Service.run
+      { Server.Service.default_config with
+        Server.Service.host; port; max_pending; max_body;
+        read_timeout_s = read_timeout }
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-running HTTP simulation service (GET /healthz, GET /metrics, \
+             POST /simulate, POST /scenario, POST /countries).  Datasets and \
+             compiled plans are built once and shared across requests; \
+             identical requests are served byte-identically from an LRU \
+             result cache.  SIGINT/SIGTERM drain in-flight requests and exit \
+             0.")
+    Term.(const run $ port_t $ host_t $ cache_t $ max_body_t $ max_pending_t
+          $ timeout_t $ jobs_t)
+
 (* probability *)
 let probability_cmd =
   let run () jobs progress metrics trace profile =
@@ -367,6 +473,6 @@ let main_cmd =
   let doc = "solar-superstorm Internet resilience simulator (SIGCOMM '21 reproduction)" in
   Cmd.group (Cmd.info "solarstorm" ~version:"1.0.0" ~doc)
     [ figures_cmd; map_cmd; simulate_cmd; scenario_cmd; countries_cmd; systems_cmd;
-      mitigate_cmd; probability_cmd; leo_cmd; decision_cmd ]
+      mitigate_cmd; probability_cmd; leo_cmd; decision_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

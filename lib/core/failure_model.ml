@@ -43,6 +43,21 @@ let geomag_tiered ~high ~mid ~low =
 let s1_geomag = geomag_tiered ~high:1.0 ~mid:0.1 ~low:0.01
 let s2_geomag = geomag_tiered ~high:0.1 ~mid:0.01 ~low:0.001
 
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "s1" -> Ok s1
+  | "s2" -> Ok s2
+  | "physical" -> Ok carrington_physical
+  | "s1-geomag" -> Ok s1_geomag
+  | "s2-geomag" -> Ok s2_geomag
+  | s -> (
+      match float_of_string_opt s with
+      | Some p when p >= 0.0 && p <= 1.0 -> Ok (uniform p)
+      | _ ->
+          Error
+            "expected s1 | s2 | physical | s1-geomag | s2-geomag | probability \
+             in [0,1]")
+
 let to_string = function
   | Uniform p -> Printf.sprintf "uniform(%g)" p
   | Latitude_tiered { high; mid; low; _ } ->

@@ -56,6 +56,12 @@ val s1_geomag : t
 val s2_geomag : t
 (** S2's probabilities with geomagnetic-latitude tiers. *)
 
+val of_string : string -> (t, string) result
+(** Parse a model spec as the CLI and the HTTP service accept it:
+    [s1 | s2 | physical | s1-geomag | s2-geomag], or a bare probability
+    in [[0, 1]] meaning {!uniform}.  Case-insensitive; [Error] carries a
+    usage message. *)
+
 val to_string : t -> string
 
 val compile : t -> network:Infra.Network.t -> Infra.Cable.t -> float

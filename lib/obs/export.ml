@@ -1,27 +1,13 @@
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* The canonical escaping/float spelling lives in {!Json} (the writer
+   side of the parser); these aliases keep the exporter's historical
+   surface. *)
+let json_escape = Json.escape
 
 let finite_repr v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
   else Printf.sprintf "%.17g" v
 
-let json_float v =
-  (* JSON has no literal for non-finite numbers — "%.17g" would print
-     "nan"/"inf" and corrupt the document, so map them to null. *)
-  if Float.is_nan v || v = Float.infinity || v = Float.neg_infinity then "null"
-  else finite_repr v
+let json_float = Json.number_repr
 
 let prom_float v =
   (* Prometheus exposition, unlike JSON, spells non-finite values out. *)

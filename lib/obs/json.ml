@@ -1,8 +1,9 @@
-(* Minimal JSON reader: enough to load the documents this repository
-   itself emits (solarstorm-bench/1 perf documents, chrome traces) with
-   no external dependency.  Recursive descent over a string; numbers are
-   floats; [null] maps to [Null] (the writer emits it for non-finite
-   values). *)
+(* Minimal JSON reader/writer: enough to load the documents this
+   repository itself emits (solarstorm-bench/1 perf documents, chrome
+   traces) and to serve/accept the simulation service's request and
+   response bodies, with no external dependency.  Recursive descent over
+   a string; numbers are floats; [null] maps to [Null] (the writer emits
+   it for non-finite values). *)
 
 type t =
   | Null
@@ -64,13 +65,38 @@ let parse_string_body c =
         | 'r' -> Buffer.add_char buf '\r'; go ()
         | 't' -> Buffer.add_char buf '\t'; go ()
         | 'u' ->
-            if c.i + 4 > String.length c.s then error c "truncated \\u escape";
-            let hex = String.sub c.s c.i 4 in
-            c.i <- c.i + 4;
-            (match int_of_string_opt ("0x" ^ hex) with
-            | Some code when Uchar.is_valid code ->
-                Buffer.add_utf_8_uchar buf (Uchar.of_int code)
-            | _ -> error c ("bad \\u escape " ^ hex));
+            let hex4 () =
+              if c.i + 4 > String.length c.s then error c "truncated \\u escape";
+              let hex = String.sub c.s c.i 4 in
+              let is_hex ch =
+                (ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f')
+                || (ch >= 'A' && ch <= 'F')
+              in
+              if not (String.for_all is_hex hex) then
+                error c ("bad \\u escape " ^ hex);
+              c.i <- c.i + 4;
+              int_of_string ("0x" ^ hex)
+            in
+            let code = hex4 () in
+            if code >= 0xD800 && code <= 0xDBFF then begin
+              (* High surrogate: JSON encodes astral-plane characters as a
+                 \uD800-\uDBFF + \uDC00-\uDFFF pair. *)
+              if
+                not
+                  (c.i + 2 <= String.length c.s
+                  && c.s.[c.i] = '\\'
+                  && c.s.[c.i + 1] = 'u')
+              then error c "high surrogate without low surrogate";
+              c.i <- c.i + 2;
+              let lo = hex4 () in
+              if lo < 0xDC00 || lo > 0xDFFF then
+                error c "high surrogate without low surrogate";
+              let u = 0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00) in
+              Buffer.add_utf_8_uchar buf (Uchar.of_int u)
+            end
+            else if Uchar.is_valid code then
+              Buffer.add_utf_8_uchar buf (Uchar.of_int code)
+            else error c "lone low surrogate";
             go ()
         | _ -> error c "bad escape")
     | ch -> Buffer.add_char buf ch; go ()
@@ -179,3 +205,84 @@ let member k = function
 let number = function Number v -> Some v | _ -> None
 let string_ = function String s -> Some s | _ -> None
 let array = function Array l -> Some l | _ -> None
+
+(* --- writer --- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let finite_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+let number_repr v =
+  (* JSON has no literal for non-finite numbers — "%.17g" would print
+     "nan"/"inf" and corrupt the document, so map them to null. *)
+  if Float.is_nan v || v = Float.infinity || v = Float.neg_infinity then "null"
+  else finite_repr v
+
+let to_string ?(pretty = false) t =
+  let buf = Buffer.create 256 in
+  let pad depth = if pretty then Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let nl () = if pretty then Buffer.add_char buf '\n' in
+  let colon = if pretty then ": " else ":" in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Number v -> Buffer.add_string buf (number_repr v)
+    | String s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | Array [] -> Buffer.add_string buf "[]"
+    | Array l ->
+        Buffer.add_char buf '[';
+        nl ();
+        List.iteri
+          (fun i v ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            go (depth + 1) v)
+          l;
+        nl ();
+        pad depth;
+        Buffer.add_char buf ']'
+    | Object [] -> Buffer.add_string buf "{}"
+    | Object kvs ->
+        Buffer.add_char buf '{';
+        nl ();
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf colon;
+            go (depth + 1) v)
+          kvs;
+        nl ();
+        pad depth;
+        Buffer.add_char buf '}'
+  in
+  go 0 t;
+  Buffer.contents buf

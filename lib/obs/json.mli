@@ -1,7 +1,9 @@
-(** Minimal JSON reader — just enough to load the documents this
+(** Minimal JSON reader/writer — just enough to load the documents this
     repository itself writes (solarstorm-bench/1 perf documents, chrome
-    traces) without an external dependency.  Numbers are floats; [null]
-    is what {!Export.json_float} emits for non-finite values. *)
+    traces) and to parse/serve the simulation service's request and
+    response bodies, without an external dependency.  Numbers are
+    floats; [null] is what {!number_repr} (and {!Export.json_float})
+    emits for non-finite values. *)
 
 type t =
   | Null
@@ -26,3 +28,19 @@ val number : t -> float option
 val string_ : t -> string option
 
 val array : t -> t list option
+
+val escape : string -> string
+(** Escape a string for embedding between JSON double quotes (control
+    characters become [\uXXXX] escapes; the quotes themselves are not
+    added). *)
+
+val number_repr : float -> string
+(** Canonical JSON spelling of a float: integral values < 10¹⁵ print as
+    ["%.1f"], everything else as ["%.17g"]; non-finite values become
+    ["null"] (JSON has no literal for them). *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize.  Compact by default (no whitespace — the service's wire
+    format); [~pretty:true] indents with two spaces for human eyes.
+    Round-trips through {!parse} except for non-finite numbers, which
+    serialize as [null]. *)

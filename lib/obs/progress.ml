@@ -16,9 +16,31 @@ let enabled () = Atomic.get flag
 let clock = ref Clock.monotonic
 let set_clock c = clock := c
 
-let default_sink s =
-  output_string stderr s;
-  flush stderr
+(* A carriage-return meter painted into a pipe or a log file is just
+   noise (and, under `solarstorm serve`, interleaves with request logs),
+   so the default sink drops everything unless stderr is a terminal.
+   The probe is evaluated once, on the first write; injected sinks
+   ([set_sink]) are never gated — the injector knows where the bytes
+   go. *)
+let tty_sink ~isatty write =
+  let known = ref None in
+  fun s ->
+    let tty =
+      match !known with
+      | Some b -> b
+      | None ->
+          let b = isatty () in
+          known := Some b;
+          b
+    in
+    if tty then write s
+
+let default_sink =
+  tty_sink
+    ~isatty:(fun () -> Unix.isatty Unix.stderr)
+    (fun s ->
+      output_string stderr s;
+      flush stderr)
 
 let sink = ref default_sink
 let set_sink f = sink := f

@@ -31,7 +31,17 @@ val completed : unit -> int
 (** Items ticked in the current run (0 when no run is active). *)
 
 val set_sink : (string -> unit) -> unit
-(** Redirect rendered lines (default: write + flush to stderr). *)
+(** Redirect rendered lines.  The default sink writes + flushes to
+    stderr {e only when stderr is a terminal} — under a pipe, a log file
+    or [solarstorm serve] the meter is suppressed so it never interleaves
+    with captured output.  Injected sinks are never gated. *)
+
+val tty_sink : isatty:(unit -> bool) -> (string -> unit) -> string -> unit
+(** [tty_sink ~isatty write] is a sink that forwards to [write] when
+    [isatty ()] holds and drops everything otherwise.  The probe runs
+    once, on the first write (the default sink is
+    [tty_sink ~isatty:(fun () -> Unix.isatty Unix.stderr) ...]);
+    exposed so tests can inject a deterministic probe. *)
 
 val set_clock : Clock.t -> unit
 (** Clock used for rate/ETA and render throttling (default

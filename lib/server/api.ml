@@ -1,0 +1,382 @@
+(* Parameter decoding, canonical keys, compute + encode.  See the
+   interface; the invariants that matter here:
+
+   - keys must be collision-free (two requests with different results
+     must never share a key), so every float that feeds a key prints
+     with %.17g and the model key spells out every constructor field —
+     [Failure_model.to_string]'s %g would fold distinct probabilities
+     together;
+   - keys should be canonical (two requests with the same result should
+     share a key when cheap to arrange), so the ITU scale is normalized
+     out of non-ITU keys;
+   - encoders build {!Obs.Json} values and serialize compactly, so the
+     CLI's [--json] output and the HTTP body are the same bytes by
+     construction. *)
+
+open Obs.Json
+
+type network = Submarine | Intertubes | Itu
+
+let network_to_string = function
+  | Submarine -> "submarine"
+  | Intertubes -> "intertubes"
+  | Itu -> "itu"
+
+let network_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "submarine" -> Ok Submarine
+  | "intertubes" -> Ok Intertubes
+  | "itu" -> Ok Itu
+  | s -> Error (Printf.sprintf "unknown network %S (submarine | intertubes | itu)" s)
+
+type sim_params = {
+  network : network;
+  model : Stormsim.Failure_model.t;
+  spacing_km : float;
+  itu_scale : float;
+  seed : int;
+  trials : int;
+}
+
+let sim_defaults =
+  {
+    network = Submarine;
+    model = Stormsim.Failure_model.uniform 0.01;
+    spacing_km = 150.0;
+    itu_scale = 0.3;
+    seed = Datasets.default_seed;
+    trials = 10;
+  }
+
+type scenario_source = Event of string | Speed of float
+
+type scenario_params = {
+  source : scenario_source;
+  sc_seed : int;
+  sc_trials : int;
+  physical : bool;
+}
+
+let scenario_defaults =
+  { source = Event "carrington"; sc_seed = Datasets.default_seed; sc_trials = 10;
+    physical = false }
+
+type countries_params = { co_seed : int; co_trials : int }
+
+let countries_defaults = { co_seed = Datasets.default_seed; co_trials = 10 }
+
+(* --- JSON field decoding --- *)
+
+(* Trials are the one knob that multiplies work without bound, so the
+   service refuses absurd values instead of grinding on them. *)
+let max_trials = 100_000
+
+let as_int name = function
+  | Number v when Float.is_integer v && Float.abs v <= 1e15 -> Ok (int_of_float v)
+  | _ -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let as_float name = function
+  | Number v -> Ok v
+  | _ -> Error (Printf.sprintf "field %S must be a number" name)
+
+let as_string name = function
+  | String s -> Ok s
+  | _ -> Error (Printf.sprintf "field %S must be a string" name)
+
+let as_bool name = function
+  | Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let check_trials t =
+  if t < 1 then Error "field \"trials\" must be >= 1"
+  else if t > max_trials then
+    Error (Printf.sprintf "field \"trials\" must be <= %d" max_trials)
+  else Ok t
+
+let fold_object ~name step base = function
+  | Object kvs ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          step acc k v)
+        (Ok base) kvs
+  | _ -> Error (Printf.sprintf "%s request body must be a JSON object" name)
+
+let sim_of_json base j =
+  let step p k v =
+    match k with
+    | "network" ->
+        let* s = as_string k v in
+        let* network = network_of_string s in
+        Ok { p with network }
+    | "model" ->
+        let* m =
+          match v with
+          | String s -> Stormsim.Failure_model.of_string s
+          | Number prob when prob >= 0.0 && prob <= 1.0 ->
+              Ok (Stormsim.Failure_model.uniform prob)
+          | _ -> Error "field \"model\" must be a model name or a probability"
+        in
+        Ok { p with model = m }
+    | "spacing_km" ->
+        let* s = as_float k v in
+        if Float.is_finite s && s > 0.0 then Ok { p with spacing_km = s }
+        else Error "field \"spacing_km\" must be > 0"
+    | "itu_scale" ->
+        let* s = as_float k v in
+        if Float.is_finite s && s > 0.0 && s <= 1.0 then Ok { p with itu_scale = s }
+        else Error "field \"itu_scale\" must be in (0, 1]"
+    | "seed" ->
+        let* seed = as_int k v in
+        Ok { p with seed }
+    | "trials" ->
+        let* t = as_int k v in
+        let* trials = check_trials t in
+        Ok { p with trials }
+    | k -> Error (Printf.sprintf "unknown field %S" k)
+  in
+  fold_object ~name:"simulate" step base j
+
+let scenario_of_json base j =
+  let step p k v =
+    match k with
+    | "event" ->
+        let* e = as_string k v in
+        Ok { p with source = Event (String.lowercase_ascii (String.trim e)) }
+    | "speed_km_s" ->
+        let* s = as_float k v in
+        if Float.is_finite s && s > 0.0 then Ok { p with source = Speed s }
+        else Error "field \"speed_km_s\" must be > 0"
+    | "seed" ->
+        let* sc_seed = as_int k v in
+        Ok { p with sc_seed }
+    | "trials" ->
+        let* t = as_int k v in
+        let* sc_trials = check_trials t in
+        Ok { p with sc_trials }
+    | "physical" ->
+        let* physical = as_bool k v in
+        Ok { p with physical }
+    | k -> Error (Printf.sprintf "unknown field %S" k)
+  in
+  fold_object ~name:"scenario" step base j
+
+let countries_of_json base j =
+  let step p k v =
+    match k with
+    | "seed" ->
+        let* co_seed = as_int k v in
+        Ok { p with co_seed }
+    | "trials" ->
+        let* t = as_int k v in
+        let* co_trials = check_trials t in
+        Ok { p with co_trials }
+    | k -> Error (Printf.sprintf "unknown field %S" k)
+  in
+  fold_object ~name:"countries" step base j
+
+let params_of_body ~base ~of_json body =
+  if String.trim body = "" then Ok base
+  else
+    match Obs.Json.parse body with
+    | Error e -> Error ("invalid JSON body: " ^ e)
+    | Ok j -> of_json base j
+
+(* --- canonical keys --- *)
+
+let model_key m =
+  let open Stormsim.Failure_model in
+  match m with
+  | Uniform p -> Printf.sprintf "u:%.17g" p
+  | Latitude_tiered { high; mid; low; mid_threshold; high_threshold } ->
+      Printf.sprintf "lt:%.17g:%.17g:%.17g:%.17g:%.17g" high mid low mid_threshold
+        high_threshold
+  | Gic_physical { dst_nt; scale_a } -> Printf.sprintf "gic:%.17g:%.17g" dst_nt scale_a
+  | Geomag_tiered { high; mid; low; mid_threshold; high_threshold } ->
+      Printf.sprintf "gt:%.17g:%.17g:%.17g:%.17g:%.17g" high mid low mid_threshold
+        high_threshold
+
+let network_key p =
+  match p.network with
+  | Itu -> Printf.sprintf "itu:%d:%.17g" p.seed p.itu_scale
+  | n -> Printf.sprintf "%s:%d" (network_to_string n) p.seed
+
+let sim_key p =
+  Printf.sprintf "simulate|%s|%s|spacing=%.17g|trials=%d" (network_key p)
+    (model_key p.model) p.spacing_km p.trials
+
+let scenario_key p =
+  let source =
+    match p.source with
+    | Event e -> "event=" ^ e
+    | Speed v -> Printf.sprintf "speed=%.17g" v
+  in
+  Printf.sprintf "scenario|%s|seed=%d|trials=%d|physical=%b" source p.sc_seed
+    p.sc_trials p.physical
+
+let countries_key p =
+  Printf.sprintf "countries|seed=%d|trials=%d" p.co_seed p.co_trials
+
+(* --- process-wide caches --- *)
+
+let hits = Obs.Metrics.counter "server.cache.hits"
+let misses = Obs.Metrics.counter "server.cache.misses"
+let evictions = Obs.Metrics.counter "server.cache.evictions"
+let plan_reuses = Obs.Metrics.counter "server.plan.reuses"
+
+let result_cache = ref (Lru.create ~capacity:128)
+
+let set_cache_capacity n = result_cache := Lru.create ~capacity:n
+
+let cache_length () = Lru.length !result_cache
+
+let plans : (string, Stormsim.Plan.t) Hashtbl.t = Hashtbl.create 16
+
+let reset () =
+  Lru.clear !result_cache;
+  Hashtbl.reset plans
+
+let plan_for ~plan_key ~network ~model ~spacing_km =
+  match Hashtbl.find_opt plans plan_key with
+  | Some plan ->
+      Obs.Metrics.incr plan_reuses;
+      plan
+  | None ->
+      let plan = Stormsim.Plan.compile ~spacing_km ~network ~model () in
+      Hashtbl.replace plans plan_key plan;
+      plan
+
+let with_cache ~key compute =
+  match Lru.find !result_cache key with
+  | Some body ->
+      Obs.Metrics.incr hits;
+      Ok body
+  | None -> (
+      Obs.Metrics.incr misses;
+      match compute () with
+      | Error _ as e -> e
+      | Ok body ->
+          (match Lru.add !result_cache key body with
+          | Some _ -> Obs.Metrics.incr evictions
+          | None -> ());
+          Ok body)
+
+(* --- compute + encode --- *)
+
+let doc fields = Obs.Json.to_string (Object fields) ^ "\n"
+
+let mean_std mean std = Object [ ("mean", Number mean); ("std", Number std) ]
+
+let build_network p =
+  match p.network with
+  | Submarine -> Datasets.Cache.submarine ~seed:p.seed ()
+  | Intertubes -> Datasets.Cache.intertubes ~seed:p.seed ()
+  | Itu -> Datasets.Cache.itu ~seed:p.seed ~scale:p.itu_scale ()
+
+let simulate_body p =
+  let network = build_network p in
+  let plan =
+    plan_for
+      ~plan_key:
+        (Printf.sprintf "%s|%s|%.17g" (network_key p) (model_key p.model) p.spacing_km)
+      ~network ~model:p.model ~spacing_km:p.spacing_km
+  in
+  let s = Stormsim.Montecarlo.run_plan ~trials:p.trials ~seed:p.seed plan in
+  doc
+    ([
+       ("endpoint", String "simulate");
+       ("network", String (network_to_string p.network));
+       ("model", String (Stormsim.Failure_model.to_string p.model));
+       ("spacing_km", Number p.spacing_km);
+     ]
+    @ (match p.network with
+      | Itu -> [ ("itu_scale", Number p.itu_scale) ]
+      | _ -> [])
+    @ [
+        ("seed", Number (float_of_int p.seed));
+        ("trials", Number (float_of_int p.trials));
+        ( "cables_failed_pct",
+          mean_std s.Stormsim.Montecarlo.cables_mean s.Stormsim.Montecarlo.cables_std );
+        ( "nodes_unreachable_pct",
+          mean_std s.Stormsim.Montecarlo.nodes_mean s.Stormsim.Montecarlo.nodes_std );
+      ])
+
+let scenario_body p =
+  let cme =
+    match p.source with
+    | Speed v -> Ok (Spaceweather.Cme.make ~speed_km_s:v ())
+    | Event name -> (
+        match Spaceweather.Storm_catalog.find name with
+        | Some e -> Ok e.Spaceweather.Storm_catalog.cme
+        | None -> Error (Printf.sprintf "unknown event %S" name))
+  in
+  let* cme = cme in
+  let networks =
+    [
+      ("submarine", Datasets.Cache.submarine ~seed:p.sc_seed ());
+      ("intertubes", Datasets.Cache.intertubes ~seed:p.sc_seed ());
+    ]
+  in
+  let s =
+    Stormsim.Scenario.run ~trials:p.sc_trials ~use_physical:p.physical ~cme ~networks ()
+  in
+  let impact (i : Stormsim.Scenario.impact) =
+    Object
+      [
+        ("network", String i.Stormsim.Scenario.network);
+        ("model", String (Stormsim.Failure_model.to_string i.Stormsim.Scenario.model));
+        ("cables_failed_pct", Number i.Stormsim.Scenario.cables_failed_pct);
+        ("nodes_unreachable_pct", Number i.Stormsim.Scenario.nodes_unreachable_pct);
+      ]
+  in
+  let tl = s.Stormsim.Scenario.timeline in
+  Ok
+    (doc
+       ([ ("endpoint", String "scenario") ]
+       @ (match p.source with
+         | Event e -> [ ("event", String e) ]
+         | Speed v -> [ ("speed_km_s", Number v) ])
+       @ [
+           ("cme_speed_km_s", Number s.Stormsim.Scenario.cme.Spaceweather.Cme.speed_km_s);
+           ("dst_nt", Number s.Stormsim.Scenario.dst_nt);
+           ( "severity",
+             String (Spaceweather.Dst.severity_to_string s.Stormsim.Scenario.severity) );
+           ( "timeline",
+             Object
+               [
+                 ( "detection_delay_h",
+                   Number tl.Spaceweather.Forecast.detection_delay_h );
+                 ("transit_h", Number tl.Spaceweather.Forecast.transit_h);
+                 ( "l1_confirmation_h",
+                   Number tl.Spaceweather.Forecast.l1_confirmation_h );
+                 ( "actionable_lead_h",
+                   Number tl.Spaceweather.Forecast.actionable_lead_h );
+               ] );
+           ("seed", Number (float_of_int p.sc_seed));
+           ("trials", Number (float_of_int p.sc_trials));
+           ("physical", Bool p.physical);
+           ("impacts", Array (List.map impact s.Stormsim.Scenario.impacts));
+         ]))
+
+let countries_body p =
+  let net = Datasets.Cache.submarine ~seed:p.co_seed () in
+  let findings = Stormsim.Country.run_all ~trials:p.co_trials net in
+  let finding (f : Stormsim.Country.finding) =
+    Object
+      [
+        ("id", String f.Stormsim.Country.spec.Stormsim.Country.id);
+        ("state", String f.Stormsim.Country.spec.Stormsim.Country.state_name);
+        ("loss_probability", Number f.Stormsim.Country.loss_probability);
+        ("direct_cables", Number (float_of_int f.Stormsim.Country.direct_cables));
+        ("expectation", String f.Stormsim.Country.spec.Stormsim.Country.expectation);
+      ]
+  in
+  doc
+    [
+      ("endpoint", String "countries");
+      ("seed", Number (float_of_int p.co_seed));
+      ("trials", Number (float_of_int p.co_trials));
+      ("findings", Array (List.map finding findings));
+    ]

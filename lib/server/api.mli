@@ -1,0 +1,104 @@
+(** Request parameters, canonical cache keys, and the shared
+    result-to-JSON encoders behind both [solarstorm serve] and the CLI's
+    [--json] output.
+
+    One compute + encode path serves both front ends, so an HTTP
+    response body is byte-identical to [solarstorm <cmd> --json] for the
+    same parameters — the parity the loopback tests and [check.sh]
+    assert.  Bodies are compact {!Obs.Json} documents terminated by one
+    newline.
+
+    Process-wide reuse: dataset builds go through {!Datasets.Cache},
+    compiled {!Stormsim.Plan}s are memoized here per canonical
+    [(network, model, spacing)] key, and whole response bodies live in
+    an LRU keyed by the canonical request ({!sim_key} & friends) — a
+    repeated request is answered byte-identically without re-running
+    trials.  All mutable state is touched only from the service's single
+    worker loop (or the one CLI invocation), never concurrently. *)
+
+type network = Submarine | Intertubes | Itu
+
+val network_to_string : network -> string
+
+val network_of_string : string -> (network, string) result
+
+type sim_params = {
+  network : network;
+  model : Stormsim.Failure_model.t;
+  spacing_km : float;
+  itu_scale : float;  (** only meaningful for {!Itu} *)
+  seed : int;
+  trials : int;
+}
+
+val sim_defaults : sim_params
+(** The CLI's defaults: submarine, uniform 0.01, 150 km, scale 0.3,
+    seed {!Datasets.default_seed}, 10 trials. *)
+
+val sim_of_json : sim_params -> Obs.Json.t -> (sim_params, string) result
+(** Overlay a JSON object's fields ([network], [model], [spacing_km],
+    [itu_scale], [seed], [trials]) over the given base parameters.
+    Strict: unknown fields, wrong types and out-of-range values are
+    [Error] (the service turns them into a 400). *)
+
+val sim_key : sim_params -> string
+(** Canonical cache key; the ITU scale is normalized out for non-ITU
+    networks so equivalent requests share one entry. *)
+
+val simulate_body : sim_params -> string
+(** Compile (or reuse) the plan, run the trials, encode. *)
+
+type scenario_source =
+  | Event of string  (** {!Spaceweather.Storm_catalog} lookup *)
+  | Speed of float  (** custom CME launch speed, km/s *)
+
+type scenario_params = {
+  source : scenario_source;
+  sc_seed : int;  (** dataset seed *)
+  sc_trials : int;
+  physical : bool;  (** also run the GIC-physical model *)
+}
+
+val scenario_defaults : scenario_params
+
+val scenario_of_json :
+  scenario_params -> Obs.Json.t -> (scenario_params, string) result
+(** Fields: [event], [speed_km_s] (overrides [event]), [seed], [trials],
+    [physical]. *)
+
+val scenario_key : scenario_params -> string
+
+val scenario_body : scenario_params -> (string, string) result
+(** [Error] when the event name is not in the catalog. *)
+
+type countries_params = { co_seed : int; co_trials : int }
+
+val countries_defaults : countries_params
+
+val countries_of_json :
+  countries_params -> Obs.Json.t -> (countries_params, string) result
+
+val countries_key : countries_params -> string
+
+val countries_body : countries_params -> string
+
+val params_of_body :
+  base:'p -> of_json:('p -> Obs.Json.t -> ('p, string) result) -> string ->
+  ('p, string) result
+(** Decode a request body: empty/whitespace bodies mean "all defaults",
+    anything else must parse as JSON and overlay cleanly. *)
+
+val with_cache : key:string -> (unit -> (string, string) result) -> (string, string) result
+(** Serve [key] from the LRU result cache, or compute, cache (successes
+    only) and count.  Hits/misses/evictions land on the
+    [server.cache.*] metrics; a hit returns the stored bytes without
+    running any trial. *)
+
+val set_cache_capacity : int -> unit
+(** Replace the result cache with an empty one of the given capacity
+    (the [--cache-entries] flag).  @raise Invalid_argument if negative. *)
+
+val cache_length : unit -> int
+
+val reset : unit -> unit
+(** Drop the result cache and the compiled-plan memo (tests). *)

@@ -1,0 +1,46 @@
+let healthz _req = Http.response ~status:200 "{\"status\":\"ok\"}\n"
+
+let metrics _req =
+  (* Sample the GC/wall-clock gauges per scrape so /metrics reflects the
+     process as of this request, exactly like the CLI dump paths do. *)
+  Obs.Resource.sample ();
+  Http.response
+    ~content_type:"text/plain; version=0.0.4"
+    ~status:200
+    (Obs.Export.prometheus (Obs.Metrics.snapshot ()))
+
+(* One shape for the three analysis endpoints: decode the body over the
+   defaults, derive the canonical key, and answer through the result
+   cache.  [compute] runs under the "server.handler" span — a cache hit
+   never opens it (nothing is computed). *)
+let analysis ~base ~of_json ~key ~compute (req : Http.request) =
+  match Api.params_of_body ~base ~of_json req.Http.body with
+  | Error msg -> Http.response ~status:400 (Http.error_body msg)
+  | Ok params -> (
+      match
+        Api.with_cache ~key:(key params) (fun () ->
+            Obs.Span.with_ ~name:"server.handler" (fun () -> compute params))
+      with
+      | Ok body -> Http.response ~status:200 body
+      | Error msg -> Http.response ~status:400 (Http.error_body msg))
+
+let simulate =
+  analysis ~base:Api.sim_defaults ~of_json:Api.sim_of_json ~key:Api.sim_key
+    ~compute:(fun p -> Ok (Api.simulate_body p))
+
+let scenario =
+  analysis ~base:Api.scenario_defaults ~of_json:Api.scenario_of_json
+    ~key:Api.scenario_key ~compute:Api.scenario_body
+
+let countries =
+  analysis ~base:Api.countries_defaults ~of_json:Api.countries_of_json
+    ~key:Api.countries_key ~compute:(fun p -> Ok (Api.countries_body p))
+
+let routes () =
+  [
+    { Router.meth = Http.GET; route_path = "/healthz"; handler = healthz };
+    { Router.meth = Http.GET; route_path = "/metrics"; handler = metrics };
+    { Router.meth = Http.POST; route_path = "/simulate"; handler = simulate };
+    { Router.meth = Http.POST; route_path = "/scenario"; handler = scenario };
+    { Router.meth = Http.POST; route_path = "/countries"; handler = countries };
+  ]

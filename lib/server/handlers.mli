@@ -1,0 +1,16 @@
+(** The service's endpoints, as a {!Router} route table.
+
+    - [GET /healthz] — liveness: [{"status":"ok"}];
+    - [GET /metrics] — live Prometheus exposition of the Obs registry
+      (resource gauges sampled per scrape);
+    - [POST /simulate], [POST /scenario], [POST /countries] — run (or
+      serve from the result cache) the corresponding analysis; the JSON
+      request body overlays {!Api} defaults, and the response body is
+      byte-identical to the CLI's [--json] output for the same
+      parameters.
+
+    Each POST handler runs under a ["server.handler"] span and goes
+    through {!Api.with_cache}, so repeated identical requests are
+    answered from the LRU without re-running trials. *)
+
+val routes : unit -> Router.route list

@@ -1,0 +1,100 @@
+(** Minimal, hardened HTTP/1.1 reader/writer over anything that can
+    produce bytes.
+
+    This is not a general web server — it parses exactly the requests
+    the simulation service accepts (a request line, CRLF headers, an
+    optional [Content-Length] body) and refuses everything else with a
+    4xx mapping instead of an exception.  Hard bounds on head and body
+    size plus a per-read timeout make a malformed or malicious peer cost
+    a bounded amount of memory and time.
+
+    A {!conn} buffers leftover bytes between requests, so pipelined
+    requests (several requests sent back-to-back on one connection)
+    parse one at a time with {!parse_request}. *)
+
+type meth = GET | POST | Other of string
+
+type request = {
+  meth : meth;
+  target : string;  (** request target as sent, query string included *)
+  version : string;  (** ["HTTP/1.1"] or ["HTTP/1.0"] *)
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  body : string;
+}
+
+type limits = { max_head : int; max_body : int }
+
+val default_limits : limits
+(** 8 KiB of request line + headers, 1 MiB of body. *)
+
+type parse_error =
+  | Bad_request of string  (** 400: malformed line, header or body *)
+  | Head_too_large  (** 431: request line + headers over [max_head] *)
+  | Body_too_large  (** 413: declared [Content-Length] over [max_body] *)
+  | Timeout  (** 408: peer stalled past the read timeout *)
+  | Eof  (** peer closed cleanly between requests — not an error *)
+
+exception Source_timeout
+(** Raised by a {!conn} source when a read times out; {!parse_request}
+    maps it to {!Timeout}. *)
+
+type conn
+(** A byte source plus the unconsumed tail of previous reads. *)
+
+val conn_of_string : string -> conn
+(** In-memory connection (tests, benchmarks): the whole peer input up
+    front, EOF after. *)
+
+val conn_of_fd : ?timeout_s:float -> Unix.file_descr -> conn
+(** Connection over a socket.  Each refill waits at most [timeout_s]
+    (default 5 s) for readability before raising {!Source_timeout}. *)
+
+val buffered : conn -> bool
+(** True when bytes from a previous read are waiting — a pipelined
+    request may be parseable without touching the socket. *)
+
+val parse_request : ?limits:limits -> conn -> (request, parse_error) result
+(** Parse the next request off the connection.  Leftover bytes after the
+    body stay buffered for the next call.  Never raises: source timeouts
+    and EOFs come back as [Error]. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val path : request -> string
+(** {!request.target} with any [?query] suffix removed. *)
+
+val wants_close : request -> bool
+(** True when the peer asked for [Connection: close], or spoke HTTP/1.0
+    without [Connection: keep-alive]. *)
+
+(** {2 Responses} *)
+
+type response = {
+  status : int;
+  content_type : string;
+  extra_headers : (string * string) list;
+  body : string;
+}
+
+val response :
+  ?content_type:string ->
+  ?headers:(string * string) list ->
+  status:int ->
+  string ->
+  response
+(** Build a response (default content type [application/json]). *)
+
+val error_body : string -> string
+(** [{"error":"..."}\n] — the service's uniform error body. *)
+
+val error_response : parse_error -> response
+(** The 4xx response a parse error maps to.  @raise Invalid_argument on
+    {!Eof}, which is not a protocol error. *)
+
+val reason : int -> string
+(** Canonical reason phrase for the status codes the service emits. *)
+
+val to_string : close:bool -> response -> string
+(** Serialize with [Content-Length] and a [Connection:
+    close|keep-alive] header. *)

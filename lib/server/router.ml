@@ -1,0 +1,32 @@
+type route = {
+  meth : Http.meth;
+  route_path : string;
+  handler : Http.request -> Http.response;
+}
+
+let meth_name = function
+  | Http.GET -> "GET"
+  | Http.POST -> "POST"
+  | Http.Other m -> m
+
+let dispatch ~routes req =
+  let path = Http.path req in
+  match List.filter (fun r -> r.route_path = path) routes with
+  | [] -> Http.response ~status:404 (Http.error_body ("no such endpoint: " ^ path))
+  | candidates -> (
+      match List.find_opt (fun r -> r.meth = req.Http.meth) candidates with
+      | None ->
+          let allow =
+            String.concat ", "
+              (List.sort_uniq compare (List.map (fun r -> meth_name r.meth) candidates))
+          in
+          Http.response ~status:405
+            ~headers:[ ("allow", allow) ]
+            (Http.error_body
+               (Printf.sprintf "%s does not accept %s (allow: %s)" path
+                  (meth_name req.Http.meth) allow))
+      | Some r -> (
+          try r.handler req
+          with exn ->
+            Http.response ~status:500
+              (Http.error_body ("internal error: " ^ Printexc.to_string exn))))

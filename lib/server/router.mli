@@ -1,0 +1,13 @@
+(** Method × path dispatch with uniform error replies. *)
+
+type route = {
+  meth : Http.meth;
+  route_path : string;
+  handler : Http.request -> Http.response;
+}
+
+val dispatch : routes:route list -> Http.request -> Http.response
+(** Route on the request's {!Http.path} (query string ignored):
+    unknown path → 404, known path with the wrong method → 405 (with an
+    [allow] header), handler exception → 500.  All error bodies are
+    {!Http.error_body} JSON. *)

@@ -1,0 +1,15 @@
+(** The dependency-free simulation service behind [solarstorm serve]:
+    a hardened HTTP/1.1 layer ({!Http}), method × path routing
+    ({!Router}), the endpoint handlers ({!Handlers}), a canonical-key
+    LRU result cache plus the shared compute/encode path ({!Api},
+    {!Lru}), and the single-worker socket loop with backpressure and
+    graceful drain ({!Service}).
+
+    Design notes in DESIGN.md §8; quickstart in README "Serving". *)
+
+module Http = Http
+module Lru = Lru
+module Api = Api
+module Router = Router
+module Handlers = Handlers
+module Service = Service

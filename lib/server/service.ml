@@ -1,0 +1,228 @@
+(* Single-worker readiness loop.  Every iteration:
+
+     1. select() over the listen socket plus every pending connection
+        (zero timeout when some connection still buffers pipelined
+        bytes — that work needs no socket readiness);
+     2. accept everything waiting, 503-ing the overflow past
+        [max_pending];
+     3. serve ONE request per ready connection, in connection order —
+        round-robin fairness so a pipelining client cannot starve the
+        rest;
+     4. close connections that are done (peer EOF, Connection: close,
+        protocol error, write failure) or idle past [idle_timeout_s].
+
+   The loop re-checks the stop flag each tick, so SIGINT/SIGTERM latency
+   is bounded by [idle_poll_s] plus the request in flight. *)
+
+type config = {
+  host : string;
+  port : int;
+  max_pending : int;
+  max_head : int;
+  max_body : int;
+  read_timeout_s : float;
+  idle_timeout_s : float;
+  idle_poll_s : float;
+  drain_grace_s : float;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 8080;
+    max_pending = 64;
+    max_head = Http.default_limits.Http.max_head;
+    max_body = Http.default_limits.Http.max_body;
+    read_timeout_s = 5.0;
+    idle_timeout_s = 30.0;
+    idle_poll_s = 0.25;
+    drain_grace_s = 2.0;
+    log = (fun s -> print_string s; flush stdout);
+  }
+
+let m_requests = Obs.Metrics.counter "server.requests"
+let m_accepted = Obs.Metrics.counter "server.conns.accepted"
+let m_busy = Obs.Metrics.counter "server.rejected.busy"
+let m_2xx = Obs.Metrics.counter "server.resp.2xx"
+let m_4xx = Obs.Metrics.counter "server.resp.4xx"
+let m_5xx = Obs.Metrics.counter "server.resp.5xx"
+let g_pending = Obs.Metrics.gauge "server.pending"
+
+let h_request_ms =
+  Obs.Metrics.histogram "server.request.ms"
+    ~buckets:[| 1.0; 5.0; 25.0; 100.0; 500.0; 2000.0; 10000.0 |]
+
+let count_status status =
+  Obs.Metrics.incr
+    (if status >= 500 then m_5xx else if status >= 400 then m_4xx else m_2xx)
+
+let stop_flag = Atomic.make false
+let stop () = Atomic.set stop_flag true
+
+let install_signal_handlers () =
+  let h = Sys.Signal_handle (fun _ -> stop ()) in
+  Sys.set_signal Sys.sigint h;
+  Sys.set_signal Sys.sigterm h
+
+type client = { fd : Unix.file_descr; conn : Http.conn; mutable last_active : float }
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+  end
+
+let send_response fd ~close resp =
+  count_status resp.Http.status;
+  let bytes = Http.to_string ~close resp in
+  match write_all fd bytes 0 (String.length bytes) with
+  | () -> true
+  | exception Unix.Unix_error (_, _, _) -> false
+
+let close_client c = try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()
+
+(* Serve one request off a ready connection.  [force_close] is the drain
+   path: whatever happens, the peer is told the connection is done. *)
+let serve_one ~routes ~limits ~force_close c =
+  match Http.parse_request ~limits c.conn with
+  | Error Http.Eof -> `Close
+  | Error e ->
+      ignore (send_response c.fd ~close:true (Http.error_response e));
+      `Close
+  | Ok req ->
+      Obs.Metrics.incr m_requests;
+      Obs.Span.with_ ~name:"server.request" @@ fun () ->
+      let t0 = Obs.Span.now () in
+      let resp = Router.dispatch ~routes req in
+      Obs.Metrics.observe h_request_ms
+        (Int64.to_float (Int64.sub (Obs.Span.now ()) t0) /. 1e6);
+      let close = force_close || Http.wants_close req in
+      c.last_active <- Unix.gettimeofday ();
+      if send_response c.fd ~close resp && not close then `Keep else `Close
+
+let busy_response =
+  Http.response ~status:503 (Http.error_body "server busy: pending queue full")
+
+(* Accept everything the listen socket has ready; the caller made it
+   non-blocking, so the burst ends at EWOULDBLOCK. *)
+let rec accept_burst cfg lsock clients =
+  match Unix.accept ~cloexec:true lsock with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      clients
+  | fd, _addr ->
+      if List.length clients >= cfg.max_pending then begin
+        Obs.Metrics.incr m_busy;
+        ignore (send_response fd ~close:true busy_response);
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+        accept_burst cfg lsock clients
+      end
+      else begin
+        Obs.Metrics.incr m_accepted;
+        let c =
+          {
+            fd;
+            conn = Http.conn_of_fd ~timeout_s:cfg.read_timeout_s fd;
+            last_active = Unix.gettimeofday ();
+          }
+        in
+        accept_burst cfg lsock (clients @ [ c ])
+      end
+
+let select_readable fds timeout =
+  match Unix.select fds [] [] timeout with
+  | ready, _, _ -> ready
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+
+(* Serve whatever is already readable, then close everything.  A client
+   mid-request gets its response; idle keep-alive connections just get
+   closed. *)
+let drain cfg routes limits clients =
+  let deadline = Unix.gettimeofday () +. cfg.drain_grace_s in
+  let rec go clients =
+    if clients = [] then []
+    else
+      let now = Unix.gettimeofday () in
+      if now >= deadline then clients
+      else begin
+        let buffered, rest = List.partition (fun c -> Http.buffered c.conn) clients in
+        let ready_fds =
+          match rest with
+          | [] -> []
+          | _ ->
+              select_readable
+                (List.map (fun c -> c.fd) rest)
+                (if buffered <> [] then 0.0 else Float.min 0.05 (deadline -. now))
+        in
+        let ready, waiting =
+          List.partition
+            (fun c -> Http.buffered c.conn || List.mem c.fd ready_fds)
+            clients
+        in
+        if ready = [] then go waiting
+        else begin
+          List.iter
+            (fun c ->
+              (match serve_one ~routes ~limits ~force_close:true c with
+              | `Keep | `Close -> ());
+              close_client c)
+            ready;
+          go waiting
+        end
+      end
+  in
+  let leftover = go clients in
+  List.iter close_client leftover
+
+let run ?on_ready cfg =
+  Atomic.set stop_flag false;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let limits = { Http.max_head = cfg.max_head; Http.max_body = cfg.max_body } in
+  let routes = Handlers.routes () in
+  let lsock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close lsock with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+      Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+      Unix.listen lsock 64;
+      Unix.set_nonblock lsock;
+      let port =
+        match Unix.getsockname lsock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> cfg.port
+      in
+      Option.iter (fun f -> f ~port) on_ready;
+      cfg.log (Printf.sprintf "solarstorm serve: listening on http://%s:%d\n" cfg.host port);
+      let clients = ref [] in
+      while not (Atomic.get stop_flag) do
+        Obs.Metrics.set g_pending (float_of_int (List.length !clients));
+        let any_buffered = List.exists (fun c -> Http.buffered c.conn) !clients in
+        let ready_fds =
+          select_readable
+            (lsock :: List.map (fun c -> c.fd) !clients)
+            (if any_buffered then 0.0 else cfg.idle_poll_s)
+        in
+        if List.mem lsock ready_fds then clients := accept_burst cfg lsock !clients;
+        let now = Unix.gettimeofday () in
+        clients :=
+          List.filter_map
+            (fun c ->
+              if Http.buffered c.conn || List.mem c.fd ready_fds then
+                match serve_one ~routes ~limits ~force_close:false c with
+                | `Keep -> Some c
+                | `Close ->
+                    close_client c;
+                    None
+              else if now -. c.last_active > cfg.idle_timeout_s then begin
+                close_client c;
+                None
+              end
+              else Some c)
+            !clients
+      done;
+      cfg.log "solarstorm serve: draining\n";
+      drain cfg routes limits !clients;
+      clients := [];
+      cfg.log "solarstorm serve: stopped\n")

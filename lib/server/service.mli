@@ -1,0 +1,53 @@
+(** The long-running simulation service: socket loop, backpressure and
+    graceful shutdown behind [solarstorm serve].
+
+    Concurrency model (DESIGN.md §8): one {e worker loop} on the calling
+    domain owns every connection and handles one request at a time —
+    requests themselves fan out across the Domain pool via
+    {!Stormsim.Plan.run_trials_par}, so parallelism lives inside a
+    request, where it is deterministic, and all process-wide caches
+    ({!Datasets.Cache}, compiled plans, the result LRU) are touched
+    single-threaded.  Concurrent clients are multiplexed by readiness:
+    accepted connections wait in a bounded pending set and are served
+    round-robin, one request per turn (keep-alive and pipelined requests
+    included).
+
+    Backpressure: when the pending set is full, new connections are
+    answered [503 Service Unavailable] and closed immediately instead of
+    queueing without bound.
+
+    Shutdown: {!stop} (or SIGINT/SIGTERM via
+    {!install_signal_handlers}) makes the loop stop accepting, serve
+    whatever is already readable for a grace period, close everything
+    and return — the CLI then exits 0. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 = ephemeral (the OS picks; see [on_ready]) *)
+  max_pending : int;  (** accepted connections held at once; over → 503 *)
+  max_head : int;  (** request-line + header byte cap (431 over it) *)
+  max_body : int;  (** body byte cap (413 over it) *)
+  read_timeout_s : float;  (** per-read stall budget (408 past it) *)
+  idle_timeout_s : float;  (** silent keep-alive connections are closed *)
+  idle_poll_s : float;  (** readiness-poll tick; bounds stop latency *)
+  drain_grace_s : float;  (** budget for serving in-flight requests on stop *)
+  log : string -> unit;  (** service log lines (default: stdout) *)
+}
+
+val default_config : config
+
+val run : ?on_ready:(port:int -> unit) -> config -> unit
+(** Bind, listen and serve until {!stop}.  [on_ready] fires once with
+    the actually-bound port (useful with [port = 0]) right before the
+    first accept.  @raise Unix.Unix_error when the bind/listen itself
+    fails (address in use, permission). *)
+
+val stop : unit -> unit
+(** Ask a running {!run} to drain and return.  Safe to call from a
+    signal handler or another domain; takes effect within
+    [idle_poll_s]. *)
+
+val install_signal_handlers : unit -> unit
+(** Route SIGINT and SIGTERM to {!stop} (and ignore SIGPIPE, which
+    writing to a disconnected peer would otherwise raise as a process
+    kill). *)

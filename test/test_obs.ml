@@ -524,6 +524,129 @@ let test_json_parses_bench_document () =
             (Option.bind (Obs.Json.member "ns_per_run" k) Obs.Json.number)
       | _ -> Alcotest.fail "bad kernels")
 
+(* --- json writer: encode/decode round-trips --- *)
+
+let rec json_equal a b =
+  match (a, b) with
+  | Obs.Json.Null, Obs.Json.Null -> true
+  | Obs.Json.Bool x, Obs.Json.Bool y -> x = y
+  | Obs.Json.Number x, Obs.Json.Number y ->
+      (* NaN encodes as null, so it never round-trips as a Number. *)
+      x = y
+  | Obs.Json.String x, Obs.Json.String y -> x = y
+  | Obs.Json.Array xs, Obs.Json.Array ys ->
+      List.length xs = List.length ys && List.for_all2 json_equal xs ys
+  | Obs.Json.Object xs, Obs.Json.Object ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> k1 = k2 && json_equal v1 v2)
+           xs ys
+  | _ -> false
+
+let roundtrip doc =
+  match Obs.Json.parse (Obs.Json.to_string doc) with
+  | Error e -> Alcotest.fail ("re-parse failed: " ^ e)
+  | Ok doc' ->
+      Alcotest.(check bool)
+        (Printf.sprintf "round-trip of %s" (Obs.Json.to_string doc))
+        true (json_equal doc doc')
+
+let test_json_to_string_roundtrip () =
+  roundtrip Obs.Json.Null;
+  roundtrip (Obs.Json.Bool true);
+  roundtrip (Obs.Json.Number 0.0);
+  roundtrip (Obs.Json.Number (-3.25e-7));
+  roundtrip (Obs.Json.Number 1234567890.0);
+  roundtrip (Obs.Json.Number 0.30000000000000004);
+  roundtrip (Obs.Json.String "");
+  roundtrip (Obs.Json.String "a\"\\\n\t\r\x01 unicode: \xc3\xa9");
+  roundtrip (Obs.Json.Array []);
+  roundtrip (Obs.Json.Object []);
+  roundtrip
+    (Obs.Json.Object
+       [
+         ("a", Obs.Json.Array [ Obs.Json.Number 1.0; Obs.Json.Bool false ]);
+         ("empty", Obs.Json.Object [ ("k", Obs.Json.Null) ]);
+         ("s", Obs.Json.String "x/y");
+       ])
+
+let test_json_to_string_compact_golden () =
+  let doc =
+    Obs.Json.Object
+      [
+        ("a", Obs.Json.Number 1.0);
+        ("b", Obs.Json.Array [ Obs.Json.String "x"; Obs.Json.Null ]);
+      ]
+  in
+  Alcotest.(check string) "compact has no spaces"
+    "{\"a\":1.0,\"b\":[\"x\",null]}" (Obs.Json.to_string doc);
+  (* Pretty form parses back to the same document. *)
+  (match Obs.Json.parse (Obs.Json.to_string ~pretty:true doc) with
+  | Ok doc' -> Alcotest.(check bool) "pretty re-parses" true (json_equal doc doc')
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "pretty is indented" true
+    (contains (Obs.Json.to_string ~pretty:true doc) "\n  \"a\": 1.0")
+
+let test_json_to_string_nonfinite_is_null () =
+  Alcotest.(check string) "nan" "null" (Obs.Json.to_string (Obs.Json.Number Float.nan));
+  Alcotest.(check string) "inf in array" "[null,1.0]"
+    (Obs.Json.to_string
+       (Obs.Json.Array [ Obs.Json.Number Float.infinity; Obs.Json.Number 1.0 ]))
+
+let test_json_unicode_escapes () =
+  (* \u escape decoding: BMP, surrogate pair, and the rejects. *)
+  (match Obs.Json.parse "\"\\u00e9\"" with
+  | Ok (Obs.Json.String s) -> Alcotest.(check string) "bmp" "\xc3\xa9" s
+  | _ -> Alcotest.fail "BMP escape");
+  (match Obs.Json.parse "\"\\uD83D\\uDE00\"" with
+  | Ok (Obs.Json.String s) ->
+      (* U+1F600, UTF-8 f0 9f 98 80 *)
+      Alcotest.(check string) "astral" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair");
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok _ -> Alcotest.fail ("accepted bad escape: " ^ s)
+      | Error _ -> ())
+    [
+      "\"\\uD83D\"" (* lone high surrogate *);
+      "\"\\uDE00\"" (* lone low surrogate *);
+      "\"\\uD83D\\u0041\"" (* high surrogate + non-low *);
+      "\"\\u00_1\"" (* int_of_string leniency must not leak in *);
+      "\"\\u12\"" (* truncated *);
+    ]
+
+(* --- progress TTY gating --- *)
+
+let test_progress_tty_sink_gates () =
+  let buf = Buffer.create 64 in
+  let probes = ref 0 in
+  let not_tty =
+    Obs.Progress.tty_sink
+      ~isatty:(fun () -> incr probes; false)
+      (Buffer.add_string buf)
+  in
+  not_tty "hidden";
+  not_tty "also hidden";
+  Alcotest.(check string) "non-TTY sink swallows output" "" (Buffer.contents buf);
+  Alcotest.(check int) "probe is memoized" 1 !probes;
+  let tty =
+    Obs.Progress.tty_sink ~isatty:(fun () -> true) (Buffer.add_string buf)
+  in
+  tty "shown";
+  Alcotest.(check string) "TTY sink writes through" "shown" (Buffer.contents buf)
+
+let test_progress_injected_sink_not_gated () =
+  (* set_sink callers (tests, exporters) are never TTY-gated: the meter
+     must reach an injected buffer even with no terminal attached. *)
+  with_progress_captured @@ fun buf ->
+  Obs.Progress.set_clock (Obs.Clock.fake ~start:0L ~step:1_000_000_000L ());
+  Obs.Progress.start ~label:"gate" ~total:1;
+  Obs.Progress.tick ();
+  Obs.Progress.finish ();
+  Alcotest.(check bool) "injected sink saw the meter" true
+    (contains (Buffer.contents buf) "gate 1/1 (100%)")
+
 (* --- instrumented pipeline --- *)
 
 let test_montecarlo_metrics_flow () =
@@ -597,12 +720,20 @@ let () =
       ( "progress",
         [ Alcotest.test_case "meter renders" `Quick test_progress_meter;
           Alcotest.test_case "disabled is silent" `Quick test_progress_disabled_is_silent;
-          Alcotest.test_case "through trial drivers" `Quick test_progress_through_trial_drivers ] );
+          Alcotest.test_case "through trial drivers" `Quick test_progress_through_trial_drivers;
+          Alcotest.test_case "tty sink gates on isatty" `Quick test_progress_tty_sink_gates;
+          Alcotest.test_case "injected sink not gated" `Quick
+            test_progress_injected_sink_not_gated ] );
       ( "json",
         [ Alcotest.test_case "parse structure" `Quick test_json_parse_structure;
           Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
           Alcotest.test_case "escape roundtrip" `Quick test_json_escape_roundtrip;
-          Alcotest.test_case "bench document" `Quick test_json_parses_bench_document ] );
+          Alcotest.test_case "bench document" `Quick test_json_parses_bench_document;
+          Alcotest.test_case "to_string roundtrip" `Quick test_json_to_string_roundtrip;
+          Alcotest.test_case "compact golden" `Quick test_json_to_string_compact_golden;
+          Alcotest.test_case "non-finite encodes null" `Quick
+            test_json_to_string_nonfinite_is_null;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes ] );
       ( "pipeline",
         [ Alcotest.test_case "montecarlo metrics" `Quick test_montecarlo_metrics_flow;
           Alcotest.test_case "determinism" `Quick test_montecarlo_determinism_under_instrumentation ] );

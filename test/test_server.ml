@@ -1,0 +1,547 @@
+(* Tests for the lib/server service layer: the hardened HTTP parser
+   (valid, truncated, oversized, pipelined input), the router's error
+   mapping, the LRU, the canonical result cache (a repeated request is
+   answered byte-identically without re-running trials), and a loopback
+   end-to-end exchange against a real socket on an ephemeral port. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0
+
+let counter_value name =
+  match List.assoc_opt name (Obs.Metrics.snapshot ()) with
+  | Some (Obs.Metrics.Counter n) -> n
+  | _ -> 0
+
+(* Server state is process-global (metrics, result cache, plan memo);
+   every test starts clean and leaves the layer off. *)
+let with_server_state f =
+  Obs.reset ();
+  Obs.enable ();
+  Server.Api.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Api.reset ();
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+(* --- HTTP parser --- *)
+
+let parse s = Server.Http.parse_request (Server.Http.conn_of_string s)
+
+let test_parse_valid_get () =
+  match parse "GET /healthz?probe=1 HTTP/1.1\r\nHost: localhost\r\nX-Extra:  spaced  \r\n\r\n" with
+  | Error _ -> Alcotest.fail "valid GET rejected"
+  | Ok req ->
+      Alcotest.(check bool) "method" true (req.Server.Http.meth = Server.Http.GET);
+      Alcotest.(check string) "target keeps query" "/healthz?probe=1" req.Server.Http.target;
+      Alcotest.(check string) "path strips query" "/healthz" (Server.Http.path req);
+      Alcotest.(check (option string)) "case-insensitive header" (Some "localhost")
+        (Server.Http.header req "HOST");
+      Alcotest.(check (option string)) "value trimmed" (Some "spaced")
+        (Server.Http.header req "x-extra");
+      Alcotest.(check string) "no body" "" req.Server.Http.body;
+      Alcotest.(check bool) "keep-alive by default" false (Server.Http.wants_close req)
+
+let test_parse_valid_post_body () =
+  let body = "{\"trials\":3}" in
+  let raw =
+    Printf.sprintf "POST /simulate HTTP/1.1\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+      (String.length body) body
+  in
+  match parse raw with
+  | Error _ -> Alcotest.fail "valid POST rejected"
+  | Ok req ->
+      Alcotest.(check bool) "method" true (req.Server.Http.meth = Server.Http.POST);
+      Alcotest.(check string) "body" body req.Server.Http.body;
+      Alcotest.(check bool) "connection: close honoured" true (Server.Http.wants_close req)
+
+let test_parse_http10_defaults_to_close () =
+  match parse "GET / HTTP/1.0\r\n\r\n" with
+  | Ok req -> Alcotest.(check bool) "HTTP/1.0 closes" true (Server.Http.wants_close req)
+  | Error _ -> Alcotest.fail "HTTP/1.0 rejected"
+
+let expect_error name raw check =
+  match parse raw with
+  | Ok _ -> Alcotest.fail (name ^ ": accepted")
+  | Error e -> check e
+
+let test_parse_truncated () =
+  expect_error "truncated head" "GET / HTTP/1.1\r\nHost: x" (function
+    | Server.Http.Bad_request m ->
+        Alcotest.(check bool) "names the truncation" true (contains m "truncated")
+    | _ -> Alcotest.fail "wrong error");
+  expect_error "truncated body" "POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc" (function
+    | Server.Http.Bad_request m ->
+        Alcotest.(check bool) "names the truncation" true (contains m "truncated")
+    | _ -> Alcotest.fail "wrong error");
+  expect_error "empty input is EOF" "" (function
+    | Server.Http.Eof -> ()
+    | _ -> Alcotest.fail "wrong error")
+
+let test_parse_garbage () =
+  expect_error "not HTTP" "hello world\r\n\r\n" (function
+    | Server.Http.Bad_request _ -> ()
+    | _ -> Alcotest.fail "wrong error");
+  expect_error "bad version" "GET / HTTP/2.0\r\n\r\n" (function
+    | Server.Http.Bad_request m ->
+        Alcotest.(check bool) "names the version" true (contains m "version")
+    | _ -> Alcotest.fail "wrong error");
+  expect_error "bad content-length" "POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n" (function
+    | Server.Http.Bad_request _ -> ()
+    | _ -> Alcotest.fail "wrong error");
+  expect_error "chunked unsupported" "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"
+    (function
+    | Server.Http.Bad_request m ->
+        Alcotest.(check bool) "names transfer-encoding" true (contains m "transfer-encoding")
+    | _ -> Alcotest.fail "wrong error")
+
+let test_parse_oversized () =
+  let limits = { Server.Http.max_head = 64; Server.Http.max_body = 16 } in
+  let big_head =
+    "GET / HTTP/1.1\r\nx-pad: " ^ String.make 100 'a' ^ "\r\n\r\n"
+  in
+  (match Server.Http.parse_request ~limits (Server.Http.conn_of_string big_head) with
+  | Error Server.Http.Head_too_large -> ()
+  | _ -> Alcotest.fail "oversized head not rejected");
+  let big_body = "POST / HTTP/1.1\r\ncontent-length: 17\r\n\r\n" ^ String.make 17 'b' in
+  match Server.Http.parse_request ~limits (Server.Http.conn_of_string big_body) with
+  | Error Server.Http.Body_too_large -> ()
+  | _ -> Alcotest.fail "oversized body not rejected"
+
+let test_parse_pipelined () =
+  let raw =
+    "POST /a HTTP/1.1\r\ncontent-length: 3\r\n\r\nonePOST /b HTTP/1.1\r\ncontent-length: 3\r\n\r\ntwo"
+  in
+  let conn = Server.Http.conn_of_string raw in
+  (match Server.Http.parse_request conn with
+  | Ok req ->
+      Alcotest.(check string) "first target" "/a" req.Server.Http.target;
+      Alcotest.(check string) "first body" "one" req.Server.Http.body
+  | Error _ -> Alcotest.fail "first pipelined request rejected");
+  Alcotest.(check bool) "second request is buffered" true (Server.Http.buffered conn);
+  (match Server.Http.parse_request conn with
+  | Ok req ->
+      Alcotest.(check string) "second target" "/b" req.Server.Http.target;
+      Alcotest.(check string) "second body" "two" req.Server.Http.body
+  | Error _ -> Alcotest.fail "second pipelined request rejected");
+  match Server.Http.parse_request conn with
+  | Error Server.Http.Eof -> ()
+  | _ -> Alcotest.fail "expected EOF after the pipeline"
+
+let test_parse_timeout () =
+  (* A peer that connects and then stalls: the fd source gives up after
+     its per-read budget and the parser reports Timeout, not a hang. *)
+  let r, w = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun fd -> try Unix.close fd with _ -> ()) [ r; w ])
+    (fun () ->
+      let conn = Server.Http.conn_of_fd ~timeout_s:0.05 r in
+      match Server.Http.parse_request conn with
+      | Error Server.Http.Timeout -> ()
+      | _ -> Alcotest.fail "stalled peer did not time out")
+
+let test_response_to_string () =
+  let s =
+    Server.Http.to_string ~close:false (Server.Http.response ~status:200 "{\"ok\":true}\n")
+  in
+  Alcotest.(check bool) "status line" true (contains s "HTTP/1.1 200 OK\r\n");
+  Alcotest.(check bool) "content-length" true (contains s "content-length: 12\r\n");
+  Alcotest.(check bool) "keep-alive" true (contains s "connection: keep-alive\r\n");
+  let closed =
+    Server.Http.to_string ~close:true (Server.Http.response ~status:503 "x")
+  in
+  Alcotest.(check bool) "close" true (contains closed "connection: close\r\n");
+  Alcotest.(check bool) "503 reason" true (contains closed "503 Service Unavailable")
+
+(* --- router --- *)
+
+let request ?(meth = Server.Http.GET) ?(body = "") target =
+  {
+    Server.Http.meth;
+    target;
+    version = "HTTP/1.1";
+    headers = [];
+    body;
+  }
+
+let dispatch ?meth ?body target =
+  with_server_state @@ fun () ->
+  Server.Router.dispatch ~routes:(Server.Handlers.routes ()) (request ?meth ?body target)
+
+let test_router_not_found () =
+  let resp = dispatch "/nope" in
+  Alcotest.(check int) "status" 404 resp.Server.Http.status;
+  Alcotest.(check bool) "names the path" true (contains resp.Server.Http.body "/nope")
+
+let test_router_method_not_allowed () =
+  let resp = dispatch "/simulate" in
+  Alcotest.(check int) "status" 405 resp.Server.Http.status;
+  Alcotest.(check (option string)) "allow header" (Some "POST")
+    (List.assoc_opt "allow" resp.Server.Http.extra_headers);
+  Alcotest.(check bool) "names the method" true (contains resp.Server.Http.body "GET")
+
+let test_router_bad_body_is_400 () =
+  let cases =
+    [
+      "{not json";
+      "{\"trials\":\"many\"}";
+      "{\"no_such_field\":1}";
+      "{\"trials\":0}";
+      "{\"network\":\"warp\"}";
+    ]
+  in
+  List.iter
+    (fun body ->
+      let resp = dispatch ~meth:Server.Http.POST ~body "/simulate" in
+      Alcotest.(check int) ("400 for " ^ body) 400 resp.Server.Http.status;
+      Alcotest.(check bool) "error body" true (contains resp.Server.Http.body "\"error\""))
+    cases
+
+let test_router_handler_crash_is_500 () =
+  let routes =
+    [
+      {
+        Server.Router.meth = Server.Http.GET;
+        route_path = "/boom";
+        handler = (fun _ -> failwith "kaboom");
+      };
+    ]
+  in
+  let resp = Server.Router.dispatch ~routes (request "/boom") in
+  Alcotest.(check int) "status" 500 resp.Server.Http.status;
+  Alcotest.(check bool) "names the failure" true (contains resp.Server.Http.body "kaboom")
+
+let test_router_healthz () =
+  let resp = dispatch "/healthz" in
+  Alcotest.(check int) "status" 200 resp.Server.Http.status;
+  Alcotest.(check string) "body" "{\"status\":\"ok\"}\n" resp.Server.Http.body
+
+(* --- LRU --- *)
+
+let test_lru_eviction_order () =
+  let t = Server.Lru.create ~capacity:2 in
+  Alcotest.(check (option (pair string int))) "no eviction" None (Server.Lru.add t "a" 1);
+  Alcotest.(check (option (pair string int))) "no eviction" None (Server.Lru.add t "b" 2);
+  (* Touch "a" so "b" becomes the LRU entry. *)
+  Alcotest.(check (option int)) "find promotes" (Some 1) (Server.Lru.find t "a");
+  Alcotest.(check (option (pair string int))) "b evicted" (Some ("b", 2))
+    (Server.Lru.add t "c" 3);
+  Alcotest.(check (list string)) "recency order" [ "c"; "a" ]
+    (Server.Lru.keys_newest_first t);
+  Alcotest.(check (option int)) "evicted key gone" None (Server.Lru.find t "b");
+  Alcotest.(check int) "length" 2 (Server.Lru.length t)
+
+let test_lru_refresh_existing () =
+  let t = Server.Lru.create ~capacity:2 in
+  ignore (Server.Lru.add t "a" 1);
+  ignore (Server.Lru.add t "b" 2);
+  Alcotest.(check (option (pair string int))) "refresh evicts nothing" None
+    (Server.Lru.add t "a" 10);
+  Alcotest.(check (option int)) "value replaced" (Some 10) (Server.Lru.find t "a");
+  Alcotest.(check int) "length unchanged" 2 (Server.Lru.length t)
+
+let test_lru_zero_capacity_disables () =
+  let t = Server.Lru.create ~capacity:0 in
+  Alcotest.(check (option (pair string int))) "drop on add" None (Server.Lru.add t "a" 1);
+  Alcotest.(check (option int)) "nothing stored" None (Server.Lru.find t "a");
+  Alcotest.(check int) "empty" 0 (Server.Lru.length t);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Lru.create: negative capacity") (fun () ->
+      ignore (Server.Lru.create ~capacity:(-1)))
+
+(* --- result cache determinism --- *)
+
+let test_cache_key_canonicalization () =
+  (* The ITU scale is normalized out of non-ITU keys, so two requests
+     differing only in the irrelevant field share one entry... *)
+  let base = { Server.Api.sim_defaults with trials = 3 } in
+  Alcotest.(check string) "itu_scale irrelevant for submarine"
+    (Server.Api.sim_key base)
+    (Server.Api.sim_key { base with itu_scale = 0.9 });
+  (* ...while every relevant field lands in the key. *)
+  let distinct p name =
+    Alcotest.(check bool) (name ^ " changes the key") false
+      (String.equal (Server.Api.sim_key base) (Server.Api.sim_key p))
+  in
+  distinct { base with trials = 4 } "trials";
+  distinct { base with seed = base.Server.Api.seed + 1 } "seed";
+  distinct { base with spacing_km = 151.0 } "spacing";
+  distinct { base with network = Server.Api.Intertubes } "network";
+  distinct { base with model = Stormsim.Failure_model.s2 } "model";
+  (* Model probabilities are keyed at full precision: %g's six significant
+     digits must not merge distinct models. *)
+  let m1 = Stormsim.Failure_model.uniform 0.010000001 in
+  let m2 = Stormsim.Failure_model.uniform 0.010000002 in
+  Alcotest.(check bool) "nearby probabilities stay distinct" false
+    (String.equal
+       (Server.Api.sim_key { base with model = m1 })
+       (Server.Api.sim_key { base with model = m2 }))
+
+let test_cache_hit_skips_trials () =
+  with_server_state @@ fun () ->
+  let params = { Server.Api.sim_defaults with trials = 4 } in
+  let key = Server.Api.sim_key params in
+  let compute () = Ok (Server.Api.simulate_body params) in
+  let first = Server.Api.with_cache ~key compute in
+  let trials_after_first = counter_value "plan.trials" in
+  Alcotest.(check int) "first run executed the trials" 4 trials_after_first;
+  Alcotest.(check int) "one miss" 1 (counter_value "server.cache.misses");
+  let second = Server.Api.with_cache ~key compute in
+  (match (first, second) with
+  | Ok a, Ok b -> Alcotest.(check string) "byte-identical replay" a b
+  | _ -> Alcotest.fail "compute failed");
+  Alcotest.(check int) "no further trials ran" trials_after_first
+    (counter_value "plan.trials");
+  Alcotest.(check int) "one hit" 1 (counter_value "server.cache.hits");
+  (* A different key computes again. *)
+  let params' = { params with seed = params.Server.Api.seed + 1 } in
+  (match Server.Api.with_cache ~key:(Server.Api.sim_key params') (fun () ->
+       Ok (Server.Api.simulate_body params'))
+  with
+  | Ok b -> Alcotest.(check bool) "different seed, different body" false
+      (match first with Ok a -> String.equal a b | Error _ -> true)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "second miss" 2 (counter_value "server.cache.misses")
+
+let test_cache_does_not_store_errors () =
+  with_server_state @@ fun () ->
+  let calls = ref 0 in
+  let compute () = incr calls; Error "transient" in
+  (match Server.Api.with_cache ~key:"k" compute with
+  | Error "transient" -> ()
+  | _ -> Alcotest.fail "error not propagated");
+  (match Server.Api.with_cache ~key:"k" compute with
+  | Error "transient" -> ()
+  | _ -> Alcotest.fail "error not propagated");
+  Alcotest.(check int) "errors recompute" 2 !calls;
+  Alcotest.(check int) "nothing cached" 0 (Server.Api.cache_length ())
+
+let test_cache_eviction_is_counted () =
+  with_server_state @@ fun () ->
+  Server.Api.set_cache_capacity 2;
+  List.iter
+    (fun k -> ignore (Server.Api.with_cache ~key:k (fun () -> Ok k)))
+    [ "k1"; "k2"; "k3" ];
+  Alcotest.(check int) "evictions counted" 1 (counter_value "server.cache.evictions");
+  Alcotest.(check int) "capacity respected" 2 (Server.Api.cache_length ())
+
+let test_params_of_body_defaults () =
+  let decode body =
+    Server.Api.params_of_body ~base:Server.Api.sim_defaults
+      ~of_json:Server.Api.sim_of_json body
+  in
+  (match decode "" with
+  | Ok p -> Alcotest.(check bool) "empty body means defaults" true (p = Server.Api.sim_defaults)
+  | Error e -> Alcotest.fail e);
+  (match decode "  \n " with
+  | Ok p -> Alcotest.(check bool) "whitespace body means defaults" true (p = Server.Api.sim_defaults)
+  | Error e -> Alcotest.fail e);
+  (match decode "{\"trials\":7,\"network\":\"intertubes\"}" with
+  | Ok p ->
+      Alcotest.(check int) "trials overlaid" 7 p.Server.Api.trials;
+      Alcotest.(check bool) "network overlaid" true (p.Server.Api.network = Server.Api.Intertubes);
+      Alcotest.(check int) "seed untouched" Server.Api.sim_defaults.Server.Api.seed
+        p.Server.Api.seed
+  | Error e -> Alcotest.fail e);
+  match decode "[1,2]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-object body accepted"
+
+(* --- loopback end-to-end --- *)
+
+(* Read one response off the socket: head to CRLFCRLF, then exactly
+   content-length body bytes (responses always carry one). *)
+let read_response fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec until_head () =
+    match contains (Buffer.contents buf) "\r\n\r\n" with
+    | true -> ()
+    | false ->
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then failwith "peer closed before response head";
+        Buffer.add_subbytes buf chunk 0 n;
+        until_head ()
+  in
+  until_head ();
+  let all = Buffer.contents buf in
+  let hd_end =
+    let rec find i =
+      if i + 4 > String.length all then failwith "no head terminator"
+      else if String.sub all i 4 = "\r\n\r\n" then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let head = String.sub all 0 hd_end in
+  let status =
+    match String.split_on_char ' ' head with
+    | _ :: code :: _ -> int_of_string code
+    | _ -> failwith "bad status line"
+  in
+  let content_length =
+    let lower = String.lowercase_ascii head in
+    match
+      List.find_opt
+        (fun line -> String.length line > 15 && String.sub line 0 15 = "content-length:")
+        (String.split_on_char '\n' lower)
+    with
+    | Some line ->
+        int_of_string (String.trim (String.sub line 15 (String.length line - 15)))
+    | None -> failwith "no content-length"
+  in
+  let rec body_bytes got =
+    if String.length got >= content_length then String.sub got 0 content_length
+    else begin
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then failwith "peer closed mid-body";
+      body_bytes (got ^ Bytes.sub_string chunk 0 n)
+    end
+  in
+  let already = String.sub all (hd_end + 4) (String.length all - hd_end - 4) in
+  (status, head, body_bytes already)
+
+let send_all fd s =
+  let rec go off len =
+    if len > 0 then
+      let n = Unix.write_substring fd s off len in
+      go (off + n) (len - n)
+  in
+  go 0 (String.length s)
+
+let with_loopback_server f =
+  with_server_state @@ fun () ->
+  let port_box = Atomic.make 0 in
+  let cfg =
+    {
+      Server.Service.default_config with
+      port = 0;
+      idle_poll_s = 0.01;
+      drain_grace_s = 0.5;
+      log = ignore;
+    }
+  in
+  let server =
+    Domain.spawn (fun () ->
+        Server.Service.run ~on_ready:(fun ~port -> Atomic.set port_box port) cfg)
+  in
+  let rec wait_port tries =
+    if Atomic.get port_box <> 0 then Atomic.get port_box
+    else if tries = 0 then failwith "server never became ready"
+    else begin
+      Unix.sleepf 0.01;
+      wait_port (tries - 1)
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Service.stop ();
+      Domain.join server)
+    (fun () -> f (wait_port 500))
+
+let with_client port f =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      f fd)
+
+let post_simulate port body =
+  with_client port @@ fun fd ->
+  send_all fd
+    (Printf.sprintf
+       "POST /simulate HTTP/1.1\r\ncontent-length: %d\r\nconnection: close\r\n\r\n%s"
+       (String.length body) body);
+  read_response fd
+
+let test_loopback_end_to_end () =
+  with_loopback_server @@ fun port ->
+  (* healthz over a real socket *)
+  (with_client port @@ fun fd ->
+   send_all fd "GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n";
+   let status, _head, body = read_response fd in
+   Alcotest.(check int) "healthz status" 200 status;
+   Alcotest.(check string) "healthz body" "{\"status\":\"ok\"}\n" body);
+  (* two identical POSTs: byte-identical bodies, trials ran once *)
+  let req_body = "{\"trials\":4,\"seed\":11}" in
+  let s1, _, b1 = post_simulate port req_body in
+  let trials_after_first = counter_value "plan.trials" in
+  let s2, _, b2 = post_simulate port req_body in
+  Alcotest.(check int) "first simulate" 200 s1;
+  Alcotest.(check int) "second simulate" 200 s2;
+  Alcotest.(check string) "byte-identical responses" b1 b2;
+  Alcotest.(check int) "repeat served from cache" trials_after_first
+    (counter_value "plan.trials");
+  Alcotest.(check bool) "cache hit counted" true (counter_value "server.cache.hits" >= 1);
+  (* the HTTP body matches the shared encoder output exactly *)
+  (match
+     Server.Api.params_of_body ~base:Server.Api.sim_defaults
+       ~of_json:Server.Api.sim_of_json req_body
+   with
+  | Ok p -> Alcotest.(check string) "CLI/HTTP parity" (Server.Api.simulate_body p) b1
+  | Error e -> Alcotest.fail e);
+  (* /metrics shows the live counters *)
+  (with_client port @@ fun fd ->
+   send_all fd "GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n";
+   let status, head, body = read_response fd in
+   Alcotest.(check int) "metrics status" 200 status;
+   Alcotest.(check bool) "prometheus content type" true
+     (contains (String.lowercase_ascii head) "content-type: text/plain");
+   Alcotest.(check bool) "request counter exported" true
+     (contains body "server_requests");
+   Alcotest.(check bool) "cache hit exported" true (contains body "server_cache_hits 1"));
+  (* keep-alive: two requests on one connection, then a bad one *)
+  with_client port @@ fun fd ->
+  send_all fd "GET /healthz HTTP/1.1\r\n\r\n";
+  let s1, _, _ = read_response fd in
+  send_all fd "GET /nope HTTP/1.1\r\n\r\n";
+  let s2, _, body2 = read_response fd in
+  Alcotest.(check int) "keep-alive first" 200 s1;
+  Alcotest.(check int) "keep-alive 404" 404 s2;
+  Alcotest.(check bool) "404 names the path" true (contains body2 "/nope")
+
+let test_loopback_rejects_garbage () =
+  with_loopback_server @@ fun port ->
+  with_client port @@ fun fd ->
+  send_all fd "NOT-HTTP-AT-ALL\r\n\r\n";
+  let status, _, body = read_response fd in
+  Alcotest.(check int) "garbage is 400" 400 status;
+  Alcotest.(check bool) "error body" true (contains body "\"error\"")
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "http",
+        [ Alcotest.test_case "valid GET" `Quick test_parse_valid_get;
+          Alcotest.test_case "valid POST body" `Quick test_parse_valid_post_body;
+          Alcotest.test_case "HTTP/1.0 closes" `Quick test_parse_http10_defaults_to_close;
+          Alcotest.test_case "truncated" `Quick test_parse_truncated;
+          Alcotest.test_case "garbage" `Quick test_parse_garbage;
+          Alcotest.test_case "oversized" `Quick test_parse_oversized;
+          Alcotest.test_case "pipelined" `Quick test_parse_pipelined;
+          Alcotest.test_case "stalled peer times out" `Quick test_parse_timeout;
+          Alcotest.test_case "response serialization" `Quick test_response_to_string ] );
+      ( "router",
+        [ Alcotest.test_case "404" `Quick test_router_not_found;
+          Alcotest.test_case "405 with allow" `Quick test_router_method_not_allowed;
+          Alcotest.test_case "400 on bad body" `Quick test_router_bad_body_is_400;
+          Alcotest.test_case "500 on crash" `Quick test_router_handler_crash_is_500;
+          Alcotest.test_case "healthz" `Quick test_router_healthz ] );
+      ( "lru",
+        [ Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "refresh" `Quick test_lru_refresh_existing;
+          Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity_disables ] );
+      ( "cache",
+        [ Alcotest.test_case "key canonicalization" `Quick test_cache_key_canonicalization;
+          Alcotest.test_case "hit skips trials" `Quick test_cache_hit_skips_trials;
+          Alcotest.test_case "errors not stored" `Quick test_cache_does_not_store_errors;
+          Alcotest.test_case "eviction counted" `Quick test_cache_eviction_is_counted;
+          Alcotest.test_case "body decoding defaults" `Quick test_params_of_body_defaults ] );
+      ( "loopback",
+        [ Alcotest.test_case "end to end" `Quick test_loopback_end_to_end;
+          Alcotest.test_case "garbage over socket" `Quick test_loopback_rejects_garbage ] );
+    ]
