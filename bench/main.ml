@@ -30,9 +30,40 @@ let print_figures () =
     (Report.Figures.all ctx);
   ctx
 
+(* A live loopback server for the serve.throughput kernel: one domain
+   running the real Service loop, an ephemeral port reported through
+   [on_ready].  The returned closure stops and joins it. *)
+let boot_server () =
+  let port_box = Atomic.make 0 in
+  let server =
+    Domain.spawn (fun () ->
+        Server.Service.run
+          ~on_ready:(fun ~port -> Atomic.set port_box port)
+          {
+            Server.Service.default_config with
+            Server.Service.port = 0;
+            idle_poll_s = 0.01;
+            drain_grace_s = 0.5;
+            log = ignore;
+          })
+  in
+  let rec wait () =
+    let p = Atomic.get port_box in
+    if p = 0 then begin
+      Domain.cpu_relax ();
+      wait ()
+    end
+    else p
+  in
+  let port = wait () in
+  ( port,
+    fun () ->
+      Server.Service.stop ();
+      Domain.join server )
+
 (* One kernel per table/figure, shared by the Bechamel pass and the
    single-run --fast timings. *)
-let kernels ctx : (string * (unit -> unit)) list =
+let kernels ctx ~port : (string * (unit -> unit)) list =
   let sub = Report.Figures.submarine ctx in
   let rng = Rng.create 99 in
   let uniform_plan =
@@ -145,6 +176,16 @@ let kernels ctx : (string * (unit -> unit)) list =
       fun () -> ignore (Server.Router.dispatch ~routes req) );
     ( "serve.metrics-render",
       fun () -> ignore (Obs.Export.prometheus (Obs.Metrics.snapshot ())) );
+    (* End-to-end serving over loopback: 32 pipelined cache-hit requests
+       against the live server domain per run — socket writes, the
+       select loop, parse, route, LRU replay and the response path all
+       included.  ns_per_run / 32 ≈ per-request service time. *)
+    ( "serve.throughput",
+      let target = { Server.Loadgen.host = "127.0.0.1"; port; path = "/simulate" } in
+      let body = Some "{\"trials\":4,\"seed\":11}" in
+      (* Warm the result cache so the kernel times the replay path. *)
+      ignore (Server.Loadgen.run ~requests:1 ~body target);
+      fun () -> ignore (Server.Loadgen.run ~pipeline:8 ~requests:32 ~body target) );
   ]
 
 (* (kernel, ns/run, estimator) rows for the JSON document. *)
@@ -240,12 +281,14 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   if !json <> None then Obs.enable ();
   let ctx = print_figures () in
-  let ks = kernels ctx in
+  let port, stop_server = boot_server () in
+  let ks = kernels ctx ~port in
   let kernel_rows =
     if not !fast then run_bechamel ks
     else if !json <> None || !baseline <> None then run_single ks
     else []
   in
+  stop_server ();
   (match !json with
   | None -> ()
   | Some path ->

@@ -34,7 +34,7 @@ for needle in '"schema":"solarstorm-bench/1"' '"kernels":[{' '"ns_per_run":' '"m
               '"name":"plan.compile"' '"name":"plan.sample"' '"name":"plan.sample-recompute"' \
               '"name":"plan.trials-seq"' '"name":"plan.trials-par1"' '"name":"plan.trials-par4"' \
               '"name":"serve.parse-request"' '"name":"serve.request-cached"' \
-              '"name":"serve.metrics-render"'; do
+              '"name":"serve.metrics-render"' '"name":"serve.throughput"'; do
   grep -q -F "$needle" "$BENCH_JSON" \
     || { echo "check.sh: $BENCH_JSON malformed (missing $needle)" >&2; exit 1; }
 done
@@ -54,7 +54,8 @@ assert isinstance(doc["metrics"], dict), "bad metrics"
 names = {k["name"] for k in doc["kernels"]}
 for required in ("plan.compile", "plan.sample", "plan.sample-recompute",
                  "plan.trials-seq", "plan.trials-par1", "plan.trials-par4",
-                 "serve.parse-request", "serve.request-cached", "serve.metrics-render"):
+                 "serve.parse-request", "serve.request-cached", "serve.metrics-render",
+                 "serve.throughput"):
     assert required in names, f"missing kernel {required}"
 EOF
 fi
@@ -170,4 +171,105 @@ grep -q 'solarstorm serve: stopped' "$SERVE_LOG" \
   || { echo "check.sh: serve did not log a clean drain" >&2; exit 1; }
 rm -f /tmp/serve_sim1.json /tmp/serve_sim2.json /tmp/serve_cli.json /tmp/serve_metrics.txt
 
-echo "check.sh: all green ($BENCH_JSON, $PROFILE_JSON, serve ok)"
+echo "== solarstorm serve: observability gate =="
+# Boot with the full observability surface on (--log, --trace-seed,
+# --profile), prove the access log and the X-Trace-Id header agree, that
+# the id survives into the Chrome trace, that /statusz answers, that
+# loadgen reports a well-formed bench document — and that none of it
+# changes a single response byte.
+ACCESS_LOG=/tmp/serve_access.jsonl
+SERVE_TRACE=/tmp/serve_trace.json
+OBS_LOG=/tmp/serve_obs.log
+rm -f "$ACCESS_LOG" "$SERVE_TRACE" "$OBS_LOG" /tmp/serve_obs_headers.txt \
+  /tmp/serve_obs_sim.json /tmp/serve_obs_cli.json /tmp/loadgen_gate.json
+_build/default/bin/solarstorm.exe serve --port 0 --trace-seed 42 \
+  --log "$ACCESS_LOG" --profile "$SERVE_TRACE" > "$OBS_LOG" 2>&1 &
+SERVE_PID=$!
+i=0
+until grep -q 'listening on' "$OBS_LOG" 2> /dev/null; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "check.sh: observability serve never became ready" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+  sleep 0.1
+done
+SERVE_PORT=$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$OBS_LOG")
+BASE="http://127.0.0.1:$SERVE_PORT"
+
+# One traced request, response headers captured.
+curl -fsS -D /tmp/serve_obs_headers.txt -d "$SERVE_BODY" "$BASE/simulate" > /tmp/serve_obs_sim.json
+TRACE_ID=$(tr -d '\r' < /tmp/serve_obs_headers.txt | sed -n 's/^[Xx]-[Tt]race-[Ii]d: *//p')
+case "$TRACE_ID" in
+  [0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f][0-9a-f]) ;;
+  *) echo "check.sh: X-Trace-Id missing or not 16 hex chars: '$TRACE_ID'" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1 ;;
+esac
+
+# Logging and tracing must not change a single body byte.
+dune exec bin/solarstorm.exe -- simulate --json --trials "$SERVE_TRIALS" --seed 11 > /tmp/serve_obs_cli.json
+cmp /tmp/serve_obs_sim.json /tmp/serve_obs_cli.json \
+  || { echo "check.sh: --log/--trace-seed changed the /simulate body" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+# The access log carries the same id the client saw.
+grep -q '"event":"http.access"' "$ACCESS_LOG" \
+  || { echo "check.sh: $ACCESS_LOG has no http.access line" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+grep -q "\"trace\":\"$TRACE_ID\"" "$ACCESS_LOG" \
+  || { echo "check.sh: access log does not carry trace $TRACE_ID" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$ACCESS_LOG" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "empty access log"
+for line in lines:
+    doc = json.loads(line)  # every line must be one valid JSON object
+    assert {"ts_ns", "level", "event"} <= doc.keys(), doc
+access = [d for d in map(json.loads, lines) if d["event"] == "http.access"]
+assert any(d["path"] == "/simulate" and d["status"] == 200 for d in access), access
+EOF
+fi
+
+# /statusz: uptime, request counts, latency quantiles, cache occupancy.
+curl -fsS "$BASE/statusz" | grep -q '"status":"ok"' \
+  || { echo "check.sh: /statusz not ok" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+curl -fsS "$BASE/statusz" | grep -q '"latency_ms":{"count"' \
+  || { echo "check.sh: /statusz missing latency block" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+# /metrics now renders the SLO quantile family next to the histogram.
+curl -fsS "$BASE/metrics" | grep -q 'server_request_ms_quantile{q="0.99"}' \
+  || { echo "check.sh: /metrics missing latency quantile gauges" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+# loadgen smoke run: the report must be a solarstorm-bench/1 document.
+_build/default/bin/solarstorm.exe loadgen --url "$BASE/healthz" \
+  --connections 2 --requests 40 > /tmp/loadgen_gate.json 2> /dev/null \
+  || { echo "check.sh: loadgen run failed" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+for needle in '"schema":"solarstorm-bench/1"' '"mode":"loadgen"' \
+              '"name":"loadgen.latency-p50"' '"name":"loadgen.latency-p99"' \
+              '"loadgen.req_per_s"'; do
+  grep -q -F "$needle" /tmp/loadgen_gate.json \
+    || { echo "check.sh: loadgen report malformed (missing $needle)" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+done
+if command -v python3 > /dev/null 2>&1; then
+  python3 - /tmp/loadgen_gate.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "solarstorm-bench/1" and doc["mode"] == "loadgen"
+assert doc["metrics"]["loadgen.requests"] == 40, doc["metrics"]
+assert doc["metrics"]["loadgen.errors"] == 0, doc["metrics"]
+assert doc["metrics"]["loadgen.req_per_s"] > 0, doc["metrics"]
+names = {k["name"] for k in doc["kernels"]}
+assert {"loadgen.latency-mean", "loadgen.latency-p50",
+        "loadgen.latency-p95", "loadgen.latency-p99"} <= names, names
+EOF
+fi
+
+# Drain; the profile is written after the listener stops.
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+  echo "check.sh: observability serve did not exit 0 on SIGTERM" >&2
+  exit 1
+fi
+test -s "$SERVE_TRACE" || { echo "check.sh: $SERVE_TRACE missing or empty" >&2; exit 1; }
+grep -q "\"args\":{\"trace\":\"$TRACE_ID\"}" "$SERVE_TRACE" \
+  || { echo "check.sh: trace $TRACE_ID not findable in $SERVE_TRACE" >&2; exit 1; }
+grep -q '"name":"server.request"' "$SERVE_TRACE" \
+  || { echo "check.sh: $SERVE_TRACE has no server.request span" >&2; exit 1; }
+rm -f /tmp/serve_obs_headers.txt /tmp/serve_obs_sim.json /tmp/serve_obs_cli.json /tmp/loadgen_gate.json
+
+echo "check.sh: all green ($BENCH_JSON, $PROFILE_JSON, serve ok, observability ok)"

@@ -9,7 +9,8 @@
      solarstorm systems            AS / data-center / DNS analysis
      solarstorm mitigate           shutdown + augmentation + partitions
      solarstorm probability        occurrence-probability table
-     solarstorm serve              long-running HTTP simulation service *)
+     solarstorm serve              long-running HTTP simulation service
+     solarstorm loadgen            hammer a live server, report req/s + tails *)
 
 open Cmdliner
 
@@ -76,6 +77,12 @@ let progress_t =
                Monte-Carlo trial loops on stderr.  Stdout stays \
                byte-identical.")
 
+let log_t =
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
+         ~doc:"Write structured JSONL logs (one JSON object per line) to \
+               $(docv) ($(b,-) = stderr).  Independent of the other \
+               observability switches; stdout stays byte-identical.")
+
 let write_dump dst content =
   match dst with
   | "-" ->
@@ -86,10 +93,46 @@ let write_dump dst content =
       output_string oc content;
       close_out oc
 
-let with_obs jobs progress metrics trace profile run =
+(* --log: route Obs.Log at a file (or stderr) for the duration of [run].
+   The sink flushes per line so a crash loses at most the line being
+   written. *)
+let with_log log run =
+  match log with
+  | None -> run ()
+  | Some dst ->
+      let sink, cleanup =
+        match dst with
+        | "-" -> ((fun s -> output_string stderr s; flush stderr), fun () -> ())
+        | path ->
+            let oc = open_out path in
+            ((fun s -> output_string oc s; flush oc), fun () -> close_out oc)
+      in
+      Obs.Log.set_sink sink;
+      Obs.Log.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Log.disable ();
+          cleanup ())
+        run
+
+let with_obs ~cmd jobs progress metrics trace profile log run =
   Option.iter Exec.set_default_jobs jobs;
   if progress then Obs.Progress.enable ();
-  if metrics = None && trace = None && profile = None then run ()
+  with_log log @@ fun () ->
+  Obs.Log.info "cmd.start" [ ("cmd", Obs.Json.String cmd) ];
+  let t0 = Obs.Span.now () in
+  let finish () =
+    Obs.Log.info "cmd.done"
+      [
+        ("cmd", Obs.Json.String cmd);
+        ( "dur_ms",
+          Obs.Json.Number (Int64.to_float (Int64.sub (Obs.Span.now ()) t0) /. 1e6) );
+      ]
+  in
+  if metrics = None && trace = None && profile = None then begin
+    run ();
+    finish ()
+  end
   else begin
     Obs.enable ();
     run ();
@@ -102,19 +145,20 @@ let with_obs jobs progress metrics trace profile run =
     Option.iter (fun dst -> write_dump dst (Obs.Export.jsonl (Obs.Span.events ()))) trace;
     Option.iter
       (fun dst -> write_dump dst (Obs.Export.chrome_trace (Obs.Span.events ())))
-      profile
+      profile;
+    finish ()
   end
 
 let obs_args term =
-  Cmdliner.Term.(term $ jobs_t $ progress_t $ metrics_t $ trace_t $ profile_t)
+  Cmdliner.Term.(term $ jobs_t $ progress_t $ metrics_t $ trace_t $ profile_t $ log_t)
 
 (* figures *)
 let figures_cmd =
   let id_t =
     Arg.(value & opt (some string) None & info [ "id" ] ~doc:"Only this figure id.")
   in
-  let run seed trials itu_scale caida_ases id out_dir markdown jobs progress metrics trace profile =
-    with_obs jobs progress metrics trace profile @@ fun () ->
+  let run seed trials itu_scale caida_ases id out_dir markdown jobs progress metrics trace profile log =
+    with_obs ~cmd:"figures" jobs progress metrics trace profile log @@ fun () ->
     let ctx = ctx_of ~seed ~itu_scale ~caida_ases in
     let all = Report.Figures.all ~trials ctx in
     (* Validate the id before any side effect: a failed invocation must not
@@ -175,8 +219,8 @@ let map_cmd =
   let net_t =
     Arg.(value & opt network_conv `Submarine & info [ "network" ] ~doc:"Network to draw.")
   in
-  let run seed net jobs progress metrics trace profile =
-    with_obs jobs progress metrics trace profile @@ fun () ->
+  let run seed net jobs progress metrics trace profile log =
+    with_obs ~cmd:"map" jobs progress metrics trace profile log @@ fun () ->
     let network =
       match net with
       | `Submarine -> Datasets.Cache.submarine ~seed ()
@@ -220,8 +264,8 @@ let simulate_cmd =
   let net_t =
     Arg.(value & opt network_conv `Submarine & info [ "network" ] ~doc:"Network.")
   in
-  let run seed trials itu_scale model spacing net json jobs progress metrics trace profile =
-    with_obs jobs progress metrics trace profile @@ fun () ->
+  let run seed trials itu_scale model spacing net json jobs progress metrics trace profile log =
+    with_obs ~cmd:"simulate" jobs progress metrics trace profile log @@ fun () ->
     if json then
       print_string
         (Server.Api.simulate_body
@@ -263,8 +307,8 @@ let scenario_cmd =
   let physical_t =
     Arg.(value & flag & info [ "physical" ] ~doc:"Also run the GIC-physical model.")
   in
-  let run seed trials event speed physical json jobs progress metrics trace profile =
-    with_obs jobs progress metrics trace profile @@ fun () ->
+  let run seed trials event speed physical json jobs progress metrics trace profile log =
+    with_obs ~cmd:"scenario" jobs progress metrics trace profile log @@ fun () ->
     if json then begin
       let source =
         match speed with
@@ -306,8 +350,8 @@ let scenario_cmd =
 
 (* countries *)
 let countries_cmd =
-  let run seed trials json jobs progress metrics trace profile =
-    with_obs jobs progress metrics trace profile @@ fun () ->
+  let run seed trials json jobs progress metrics trace profile log =
+    with_obs ~cmd:"countries" jobs progress metrics trace profile log @@ fun () ->
     if json then
       print_string
         (Server.Api.countries_body { Server.Api.co_seed = seed; co_trials = trials })
@@ -329,8 +373,8 @@ let countries_cmd =
 
 (* systems *)
 let systems_cmd =
-  let run seed caida_ases jobs progress metrics trace profile =
-    with_obs jobs progress metrics trace profile @@ fun () ->
+  let run seed caida_ases jobs progress metrics trace profile log =
+    with_obs ~cmd:"systems" jobs progress metrics trace profile log @@ fun () ->
     let ctx = ctx_of ~seed ~itu_scale:0.05 ~caida_ases in
     print_string (Report.Figures.systems ctx)
   in
@@ -339,8 +383,8 @@ let systems_cmd =
 
 (* mitigate *)
 let mitigate_cmd =
-  let run seed jobs progress metrics trace profile =
-    with_obs jobs progress metrics trace profile @@ fun () ->
+  let run seed jobs progress metrics trace profile log =
+    with_obs ~cmd:"mitigate" jobs progress metrics trace profile log @@ fun () ->
     let ctx = ctx_of ~seed ~itu_scale:0.05 ~caida_ases:1000 in
     print_string (Report.Figures.mitigation ctx)
   in
@@ -356,8 +400,8 @@ let leo_cmd =
     Arg.(value & opt (some float) None
          & info [ "batch" ] ~docv:"ALT" ~doc:"Also assess an injection batch parked at ALT km.")
   in
-  let run dst batch jobs progress metrics trace profile =
-    with_obs jobs progress metrics trace profile @@ fun () ->
+  let run dst batch jobs progress metrics trace profile log =
+    with_obs ~cmd:"leo" jobs progress metrics trace profile log @@ fun () ->
     let r =
       Leo.Storm_impact.assess ?injection_batch:batch ~dst_nt:dst
         Leo.Constellation.starlink_phase1
@@ -372,8 +416,8 @@ let decision_cmd =
   let event_t =
     Arg.(value & opt string "carrington" & info [ "event" ] ~doc:"Historical event name.")
   in
-  let run seed event jobs progress metrics trace profile =
-    with_obs jobs progress metrics trace profile @@ fun () ->
+  let run seed event jobs progress metrics trace profile log =
+    with_obs ~cmd:"decision" jobs progress metrics trace profile log @@ fun () ->
     match Spaceweather.Storm_catalog.find event with
     | None ->
         Printf.eprintf "unknown event %s\n" event;
@@ -428,7 +472,15 @@ let serve_cmd =
          & info [ "read-timeout" ] ~docv:"SECONDS"
              ~doc:"How long a peer may stall mid-request before it gets 408.")
   in
-  let run port host cache_entries max_body max_pending read_timeout jobs =
+  let trace_seed_t =
+    Arg.(value & opt (some int) None
+         & info [ "trace-seed" ] ~docv:"N"
+             ~doc:"Seed the per-request trace-id stream so the n-th request \
+                   gets the same $(b,X-Trace-Id) on every run (tests, CI).  \
+                   Default: seeded from wall clock and pid.")
+  in
+  let run port host cache_entries max_body max_pending read_timeout trace_seed log
+      profile jobs =
     Option.iter Exec.set_default_jobs jobs;
     if cache_entries < 0 then begin
       Printf.eprintf "serve: --cache-entries must be >= 0\n";
@@ -443,28 +495,88 @@ let serve_cmd =
        carriage returns into the server log. *)
     Obs.Progress.disable ();
     Obs.enable ();
+    with_log log @@ fun () ->
     Server.Api.set_cache_capacity cache_entries;
     Server.Service.install_signal_handlers ();
     Server.Service.run
       { Server.Service.default_config with
         Server.Service.host; port; max_pending; max_body;
-        read_timeout_s = read_timeout }
+        read_timeout_s = read_timeout; trace_seed };
+    (* After the drain: every request span (tagged with its trace id) is
+       still in the rings, so the profile covers the whole serving run. *)
+    Option.iter
+      (fun dst -> write_dump dst (Obs.Export.chrome_trace (Obs.Span.events ())))
+      profile
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Long-running HTTP simulation service (GET /healthz, GET /metrics, \
-             POST /simulate, POST /scenario, POST /countries).  Datasets and \
-             compiled plans are built once and shared across requests; \
-             identical requests are served byte-identically from an LRU \
-             result cache.  SIGINT/SIGTERM drain in-flight requests and exit \
-             0.")
+             GET /statusz, POST /simulate, POST /scenario, POST /countries).  \
+             Datasets and compiled plans are built once and shared across \
+             requests; identical requests are served byte-identically from an \
+             LRU result cache.  Every response carries an $(b,X-Trace-Id) \
+             header; $(b,--log) adds one access-log line per request with the \
+             same id.  SIGINT/SIGTERM drain in-flight requests and exit 0.")
     Term.(const run $ port_t $ host_t $ cache_t $ max_body_t $ max_pending_t
-          $ timeout_t $ jobs_t)
+          $ timeout_t $ trace_seed_t $ log_t $ profile_t $ jobs_t)
+
+(* loadgen *)
+let loadgen_cmd =
+  let url_t =
+    Arg.(required & opt (some string) None
+         & info [ "url" ] ~docv:"URL"
+             ~doc:"Target endpoint, $(b,http://HOST:PORT/PATH) (a live \
+                   $(b,solarstorm serve) instance).")
+  in
+  let connections_t =
+    Arg.(value & opt int 4
+         & info [ "connections"; "c" ] ~docv:"N"
+             ~doc:"Concurrent keep-alive connections (one domain each).")
+  in
+  let requests_t =
+    Arg.(value & opt int 200
+         & info [ "requests"; "n" ] ~docv:"N"
+             ~doc:"Total requests, spread evenly over the connections.")
+  in
+  let body_t =
+    Arg.(value & opt (some string) None
+         & info [ "body" ] ~docv:"JSON"
+             ~doc:"Request body: sends $(b,POST) $(docv) (empty string for \
+                   all-defaults).  Without it requests are $(b,GET).")
+  in
+  let pipeline_t =
+    Arg.(value & opt int 1
+         & info [ "pipeline" ] ~docv:"DEPTH"
+             ~doc:"Requests kept in flight per connection (HTTP/1.1 \
+                   pipelining); 1 = strict request/response.")
+  in
+  let run url connections requests body pipeline =
+    if connections <= 0 || requests <= 0 || pipeline <= 0 then begin
+      Printf.eprintf "loadgen: --connections, --requests and --pipeline must be positive\n";
+      exit 2
+    end;
+    match Server.Loadgen.parse_url url with
+    | Error msg ->
+        Printf.eprintf "loadgen: %s\n" msg;
+        exit 2
+    | Ok target ->
+        let r = Server.Loadgen.run ~connections ~pipeline ~requests ~body target in
+        prerr_string (Server.Loadgen.summary r);
+        print_string (Server.Loadgen.to_bench_json r);
+        if r.Server.Loadgen.errors > 0 || r.Server.Loadgen.requests = 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Hammer a live server over loopback and report throughput.  \
+             Stdout is a $(b,solarstorm-bench/1) JSON document (latency \
+             mean/p50/p95/p99 as kernels, req/s under metrics); a human \
+             summary line goes to stderr.  Exits 1 if any request failed.")
+    Term.(const run $ url_t $ connections_t $ requests_t $ body_t $ pipeline_t)
 
 (* probability *)
 let probability_cmd =
-  let run () jobs progress metrics trace profile =
-    with_obs jobs progress metrics trace profile @@ fun () -> print_string (Report.Figures.probability ())
+  let run () jobs progress metrics trace profile log =
+    with_obs ~cmd:"probability" jobs progress metrics trace profile log @@ fun () -> print_string (Report.Figures.probability ())
   in
   Cmd.v (Cmd.info "probability" ~doc:"Occurrence-probability table")
     (obs_args Term.(const run $ const ()))
@@ -473,6 +585,6 @@ let main_cmd =
   let doc = "solar-superstorm Internet resilience simulator (SIGCOMM '21 reproduction)" in
   Cmd.group (Cmd.info "solarstorm" ~version:"1.0.0" ~doc)
     [ figures_cmd; map_cmd; simulate_cmd; scenario_cmd; countries_cmd; systems_cmd;
-      mitigate_cmd; probability_cmd; leo_cmd; decision_cmd; serve_cmd ]
+      mitigate_cmd; probability_cmd; leo_cmd; decision_cmd; serve_cmd; loadgen_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

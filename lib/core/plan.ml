@@ -73,6 +73,7 @@ let expected_cables_failed_pct t =
 
 let run_trials t ~trials ~seed ~init ~f =
   if trials <= 0 then invalid_arg "Plan.run_trials: trials <= 0";
+  Obs.Span.with_ ~name:"plan.run_trials" @@ fun () ->
   Obs.Progress.start ~label:"trials" ~total:trials;
   let master = Rng.create seed in
   let dead = Array.make (Array.length t.death) false in
@@ -96,6 +97,7 @@ let run_trials_par t ?jobs ~trials ~seed ~init ~map ~merge =
     | Some j -> if j <= 0 then invalid_arg "Plan.run_trials_par: jobs <= 0" else j
   in
   Obs.Metrics.incr par_runs;
+  Obs.Span.with_ ~name:"plan.run_trials" @@ fun () ->
   (* Determinism, part 1 — sequential pre-split: every trial RNG is split
      off the master on the calling domain, in trial order, exactly as the
      sequential [run_trials] loop interleaves them.  The master only

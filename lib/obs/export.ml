@@ -16,16 +16,21 @@ let prom_float v =
   else if v = Float.neg_infinity then "-Inf"
   else finite_repr v
 
+(* Events recorded outside any trace context keep the historical line
+   shape; only traced events grow the extra field. *)
+let trace_suffix (e : Span.event) =
+  if e.Span.trace = "" then "" else Printf.sprintf ",\"trace\":\"%s\"" (json_escape e.Span.trace)
+
 let jsonl events =
   let buf = Buffer.create 4096 in
   List.iter
     (fun (e : Span.event) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":\"%s\",\"ph\":\"%s\",\"ts_ns\":%Ld,\"depth\":%d,\"domain\":%d}\n"
+           "{\"name\":\"%s\",\"ph\":\"%s\",\"ts_ns\":%Ld,\"depth\":%d,\"domain\":%d%s}\n"
            (json_escape e.Span.name)
            (match e.Span.phase with Span.Begin -> "B" | Span.End -> "E")
-           e.Span.t_ns e.Span.depth e.Span.domain))
+           e.Span.t_ns e.Span.depth e.Span.domain (trace_suffix e)))
     events;
   Buffer.contents buf
 
@@ -64,13 +69,20 @@ let chrome_trace ?(process_name = "solarstorm") events =
     tids;
   List.iter
     (fun (e : Span.event) ->
+      (* Traced events carry the request id as an arg, so Perfetto's
+         search box ("args.trace:<id>" or plain <id>) jumps straight to
+         one request's spans across every domain row. *)
+      let args =
+        if e.Span.trace = "" then ""
+        else Printf.sprintf ",\"args\":{\"trace\":\"%s\"}" (json_escape e.Span.trace)
+      in
       emit
         (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+           "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d%s}"
            (json_escape e.Span.name)
            (match e.Span.phase with Span.Begin -> "B" | Span.End -> "E")
            (Int64.to_float (Int64.sub e.Span.t_ns base) /. 1e3)
-           e.Span.domain))
+           e.Span.domain args))
     events;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf
@@ -107,7 +119,22 @@ let prometheus (snap : Metrics.snapshot) =
           cum := !cum + counts.(Array.length counts - 1);
           Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pname !cum);
           Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" pname (prom_float sum));
-          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" pname count))
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" pname count);
+          (* Pre-computed SLO quantiles as a companion gauge family, so
+             scrapers without histogram_quantile (and humans reading
+             /metrics) get p50/p95/p99 directly.  Empty histograms skip
+             the family — there is nothing to estimate. *)
+          if count > 0 then begin
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s_quantile gauge\n" pname);
+            List.iter
+              (fun (label, q) ->
+                match Metrics.quantile ~bounds ~counts q with
+                | Some v ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_quantile{q=\"%s\"} %s\n" pname label (prom_float v))
+                | None -> ())
+              [ ("0.5", 0.5); ("0.95", 0.95); ("0.99", 0.99) ]
+          end)
     snap;
   Buffer.contents buf
 

@@ -2,13 +2,17 @@
 
     - [jsonl]: one JSON object per span event
       ([{"name":…,"ph":"B"|"E","ts_ns":…,"depth":…,"domain":…}]),
-      suitable for line-oriented trace tooling;
+      suitable for line-oriented trace tooling; events recorded under a
+      {!Span.with_trace} context gain a trailing ["trace"] field;
     - [chrome_trace]: Chrome/Perfetto trace-event JSON (duration events,
       [pid] 1, [tid] = recording domain id), what [solarstorm --profile]
-      writes;
+      writes; traced events carry [{"args":{"trace":…}}] so Perfetto's
+      search finds one request's spans by its [X-Trace-Id];
     - [prometheus]: Prometheus text exposition format (names are
       sanitised, histograms expand to cumulative [_bucket]/[_sum]/[_count]
-      series, non-finite values spelled [NaN]/[+Inf]/[-Inf]);
+      series plus a [_quantile{q=…}] gauge family with estimated
+      p50/p95/p99 when non-empty, non-finite values spelled
+      [NaN]/[+Inf]/[-Inf]);
     - [json_of_snapshot]: a single JSON object keyed by metric name, the
       form embedded in [bench --json] documents.
 

@@ -130,6 +130,41 @@ let observe h v =
 
 let counter_total c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.c_counts
 
+let quantile ~bounds ~counts q =
+  (* Prometheus-style histogram_quantile: find the bucket holding the
+     q-th rank and interpolate linearly inside it, assuming observations
+     are uniform within a bucket.  [counts] is per-bucket (the snapshot
+     layout), with the overflow slot last.  Estimates land in the +Inf
+     bucket collapse to the last finite bound — the histogram records
+     nothing about the tail beyond it. *)
+  if not (Float.is_finite q) || q < 0.0 || q > 1.0 then
+    invalid_arg "Obs.Metrics.quantile: q outside [0, 1]";
+  if Array.length counts <> Array.length bounds + 1 then
+    invalid_arg "Obs.Metrics.quantile: counts length must be bounds length + 1";
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then None
+  else begin
+    let rank = q *. float_of_int total in
+    let n = Array.length bounds in
+    (* First bucket whose cumulative count reaches the rank; skipping
+       empty buckets (cum' only moves on non-empty ones) also keeps
+       [rank = 0] out of a 0/0 interpolation. *)
+    let rec locate i cum =
+      if i > n then (n, cum) (* unreachable: cum reaches total by the last slot *)
+      else
+        let cum' = cum + counts.(i) in
+        if counts.(i) > 0 && float_of_int cum' >= rank then (i, cum)
+        else locate (i + 1) cum'
+    in
+    let i, below = locate 0 0 in
+    if i = n then Some bounds.(n - 1)
+    else
+      let lower = if i = 0 then Float.min 0.0 bounds.(0) else bounds.(i - 1) in
+      let width = bounds.(i) -. lower in
+      let inside = (rank -. float_of_int below) /. float_of_int counts.(i) in
+      Some (lower +. (width *. inside))
+  end
+
 let value_of = function
   | C c -> Counter (counter_total c)
   | G g -> Gauge (Atomic.get g.g_value)

@@ -55,6 +55,17 @@ val observe : histogram -> float -> unit
 
 val snapshot : unit -> snapshot
 
+val quantile : bounds:float array -> counts:int array -> float -> float option
+(** [quantile ~bounds ~counts q] estimates the [q]-quantile (0 ≤ q ≤ 1)
+    of a histogram from its bucket counts, Prometheus-style: locate the
+    bucket holding rank [q·total] and interpolate linearly inside it
+    (observations assumed uniform within a bucket).  [counts] is the
+    snapshot layout — one slot per bound plus the overflow slot.
+    Returns [None] on an empty histogram.  A quantile landing in the
+    overflow bucket collapses to the last finite bound.
+    @raise Invalid_argument if [q] is outside [0, 1] or the array
+    lengths disagree. *)
+
 val reset : unit -> unit
 (** Zero every registered metric (registrations are kept). *)
 

@@ -15,6 +15,7 @@ module Span = Span
 module Export = Export
 module Resource = Resource
 module Progress = Progress
+module Log = Log
 module Json = Json
 
 let enable = Control.enable

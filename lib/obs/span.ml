@@ -1,10 +1,31 @@
 type phase = Begin | End
 
-type event = { name : string; phase : phase; t_ns : int64; depth : int; domain : int }
+type event = {
+  name : string;
+  phase : phase;
+  t_ns : int64;
+  depth : int;
+  domain : int;
+  trace : string; (* "" = no trace context *)
+}
 
 let clock = ref Clock.monotonic
 let set_clock c = clock := c
 let now () = !clock ()
+
+(* Process-wide trace context.  The service serves one request at a time
+   (single worker loop), so a single slot is enough; worker domains
+   spawned while a trace is active read it at push time, which is how a
+   request's id reaches [exec.worker]/[mc.trial] spans without threading
+   an argument through every layer.  An atomic (not DLS) on purpose:
+   workers must see the main domain's value. *)
+let trace_ctx = Atomic.make ""
+
+let current_trace () = Atomic.get trace_ctx
+
+let with_trace id f =
+  let prev = Atomic.exchange trace_ctx id in
+  Fun.protect ~finally:(fun () -> Atomic.set trace_ctx prev) f
 
 let default_capacity = 65_536
 
@@ -18,7 +39,7 @@ let default_capacity = 65_536
    the total number ever spawned — and events recorded by exited domains
    stay readable until their slots are overwritten (each event carries
    its own domain id, so reuse never mis-attributes). *)
-let dummy = { name = ""; phase = Begin; t_ns = 0L; depth = 0; domain = -1 }
+let dummy = { name = ""; phase = Begin; t_ns = 0L; depth = 0; domain = -1; trace = "" }
 
 type ring = {
   mutable buf : event array;
@@ -124,12 +145,15 @@ let with_ ~name f =
        (Gc.quick_stat, no heap walk) and coarse enough to stay off the
        per-trial hot path of worker domains. *)
     if d = 0 && Domain.is_main_domain () then Resource.sample ();
-    push r { name; phase = Begin; t_ns = now (); depth = d; domain = dom };
+    (* Capture the trace once so Begin and End always agree, even if [f]
+       switches contexts. *)
+    let trace = Atomic.get trace_ctx in
+    push r { name; phase = Begin; t_ns = now (); depth = d; domain = dom; trace };
     r.depth <- d + 1;
     Fun.protect
       ~finally:(fun () ->
         r.depth <- d;
-        push r { name; phase = End; t_ns = now (); depth = d; domain = dom };
+        push r { name; phase = End; t_ns = now (); depth = d; domain = dom; trace };
         if d = 0 && Domain.is_main_domain () then Resource.sample ())
       f
   end

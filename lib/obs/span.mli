@@ -25,7 +25,14 @@
 
 type phase = Begin | End
 
-type event = { name : string; phase : phase; t_ns : int64; depth : int; domain : int }
+type event = {
+  name : string;
+  phase : phase;
+  t_ns : int64;
+  depth : int;
+  domain : int;
+  trace : string;  (** trace context captured when the span opened; [""] = none *)
+}
 
 val set_clock : Clock.t -> unit
 (** Install the clock used to stamp events (default {!Clock.monotonic}).
@@ -34,6 +41,18 @@ val set_clock : Clock.t -> unit
 
 val now : unit -> int64
 (** Read the installed clock. *)
+
+val with_trace : string -> (unit -> 'a) -> 'a
+(** [with_trace id f] runs [f] with [id] as the process-wide trace
+    context, restoring the previous context afterwards (even on raise).
+    Every event pushed while the context is set carries it, including
+    events from worker domains spawned inside [f] — that is how a
+    request id set by the service reaches [exec.worker]/[mc.trial]
+    spans.  Works whether or not the span layer is enabled, so
+    {!Log} lines pick the id up even when tracing is off. *)
+
+val current_trace : unit -> string
+(** The active trace context ([""] when none). *)
 
 val with_ : name:string -> (unit -> 'a) -> 'a
 

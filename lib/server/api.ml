@@ -224,18 +224,38 @@ let countries_key p =
 let hits = Obs.Metrics.counter "server.cache.hits"
 let misses = Obs.Metrics.counter "server.cache.misses"
 let evictions = Obs.Metrics.counter "server.cache.evictions"
+let entries_gauge = Obs.Metrics.gauge "server.cache.entries"
 let plan_reuses = Obs.Metrics.counter "server.plan.reuses"
 
 let result_cache = ref (Lru.create ~capacity:128)
 
-let set_cache_capacity n = result_cache := Lru.create ~capacity:n
+let sync_entries () =
+  Obs.Metrics.set entries_gauge (float_of_int (Lru.length !result_cache))
+
+let set_cache_capacity n =
+  result_cache := Lru.create ~capacity:n;
+  sync_entries ()
 
 let cache_length () = Lru.length !result_cache
+
+let cache_capacity () = Lru.capacity !result_cache
+
+(* The outcome of the most recent [with_cache] call, for the service's
+   access log.  A plain ref is fine: the cache itself is only touched
+   from the single worker loop. *)
+let last_outcome : [ `Hit | `Miss ] option ref = ref None
+
+let take_cache_outcome () =
+  let o = !last_outcome in
+  last_outcome := None;
+  o
 
 let plans : (string, Stormsim.Plan.t) Hashtbl.t = Hashtbl.create 16
 
 let reset () =
   Lru.clear !result_cache;
+  sync_entries ();
+  last_outcome := None;
   Hashtbl.reset plans
 
 let plan_for ~plan_key ~network ~model ~spacing_km =
@@ -252,15 +272,18 @@ let with_cache ~key compute =
   match Lru.find !result_cache key with
   | Some body ->
       Obs.Metrics.incr hits;
+      last_outcome := Some `Hit;
       Ok body
   | None -> (
       Obs.Metrics.incr misses;
+      last_outcome := Some `Miss;
       match compute () with
       | Error _ as e -> e
       | Ok body ->
           (match Lru.add !result_cache key body with
           | Some _ -> Obs.Metrics.incr evictions
           | None -> ());
+          sync_entries ();
           Ok body)
 
 (* --- compute + encode --- *)

@@ -91,14 +91,21 @@ val params_of_body :
 val with_cache : key:string -> (unit -> (string, string) result) -> (string, string) result
 (** Serve [key] from the LRU result cache, or compute, cache (successes
     only) and count.  Hits/misses/evictions land on the
-    [server.cache.*] metrics; a hit returns the stored bytes without
-    running any trial. *)
+    [server.cache.*] metrics (occupancy on the [server.cache.entries]
+    gauge); a hit returns the stored bytes without running any trial. *)
+
+val take_cache_outcome : unit -> [ `Hit | `Miss ] option
+(** Outcome of the most recent {!with_cache} call, cleared on read —
+    the service reads it once per request for the access log ([None]
+    when the request never consulted the cache, e.g. [/healthz]). *)
 
 val set_cache_capacity : int -> unit
 (** Replace the result cache with an empty one of the given capacity
     (the [--cache-entries] flag).  @raise Invalid_argument if negative. *)
 
 val cache_length : unit -> int
+
+val cache_capacity : unit -> int
 
 val reset : unit -> unit
 (** Drop the result cache and the compiled-plan memo (tests). *)

@@ -1,5 +1,76 @@
 let healthz _req = Http.response ~status:200 "{\"status\":\"ok\"}\n"
 
+(* Process start, for /statusz uptime.  Module-initialisation time is
+   close enough to exec time and needs no plumbing through Service. *)
+let started_ns = Obs.Clock.monotonic ()
+
+let statusz _req =
+  Obs.Resource.sample ();
+  let snap = Obs.Metrics.snapshot () in
+  let counter name =
+    match List.assoc_opt name snap with Some (Obs.Metrics.Counter n) -> n | _ -> 0
+  in
+  let gauge name =
+    match List.assoc_opt name snap with Some (Obs.Metrics.Gauge v) -> v | _ -> 0.0
+  in
+  let open Obs.Json in
+  let int n = Number (float_of_int n) in
+  let latency =
+    match List.assoc_opt "server.request.ms" snap with
+    | Some (Obs.Metrics.Histogram { bounds; counts; sum; count }) ->
+        let q p =
+          match Obs.Metrics.quantile ~bounds ~counts p with
+          | Some v -> Number v
+          | None -> Null
+        in
+        Object
+          [
+            ("count", int count);
+            ("sum_ms", Number sum);
+            ("p50", q 0.5);
+            ("p95", q 0.95);
+            ("p99", q 0.99);
+          ]
+    | _ -> Object [ ("count", int 0); ("p50", Null); ("p95", Null); ("p99", Null) ]
+  in
+  let body =
+    Object
+      [
+        ("status", String "ok");
+        ( "uptime_s",
+          Number (Int64.to_float (Int64.sub (Obs.Clock.monotonic ()) started_ns) /. 1e9)
+        );
+        ( "requests",
+          Object
+            [
+              ("total", int (counter "server.requests"));
+              ("2xx", int (counter "server.resp.2xx"));
+              ("4xx", int (counter "server.resp.4xx"));
+              ("5xx", int (counter "server.resp.5xx"));
+              ("rejected_busy", int (counter "server.rejected.busy"));
+            ] );
+        ("latency_ms", latency);
+        ( "cache",
+          Object
+            [
+              ("entries", int (Api.cache_length ()));
+              ("capacity", int (Api.cache_capacity ()));
+              ("hits", int (counter "server.cache.hits"));
+              ("misses", int (counter "server.cache.misses"));
+              ("evictions", int (counter "server.cache.evictions"));
+            ] );
+        ( "gc",
+          Object
+            [
+              ("heap_words", Number (gauge "gc.heap_words"));
+              ("minor_collections", Number (gauge "gc.minor_collections"));
+              ("major_collections", Number (gauge "gc.major_collections"));
+              ("compactions", Number (gauge "gc.compactions"));
+            ] );
+      ]
+  in
+  Http.response ~status:200 (Obs.Json.to_string body ^ "\n")
+
 let metrics _req =
   (* Sample the GC/wall-clock gauges per scrape so /metrics reflects the
      process as of this request, exactly like the CLI dump paths do. *)
@@ -40,6 +111,7 @@ let routes () =
   [
     { Router.meth = Http.GET; route_path = "/healthz"; handler = healthz };
     { Router.meth = Http.GET; route_path = "/metrics"; handler = metrics };
+    { Router.meth = Http.GET; route_path = "/statusz"; handler = statusz };
     { Router.meth = Http.POST; route_path = "/simulate"; handler = simulate };
     { Router.meth = Http.POST; route_path = "/scenario"; handler = scenario };
     { Router.meth = Http.POST; route_path = "/countries"; handler = countries };

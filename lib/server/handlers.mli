@@ -2,7 +2,12 @@
 
     - [GET /healthz] — liveness: [{"status":"ok"}];
     - [GET /metrics] — live Prometheus exposition of the Obs registry
-      (resource gauges sampled per scrape);
+      (resource gauges sampled per scrape), with
+      [Content-Type: text/plain; version=0.0.4];
+    - [GET /statusz] — one JSON health document: uptime, request counts
+      by status class, request-latency p50/p95/p99 (estimated from the
+      [server.request.ms] histogram), result-cache occupancy and GC
+      gauges;
     - [POST /simulate], [POST /scenario], [POST /countries] — run (or
       serve from the result cache) the corresponding analysis; the JSON
       request body overlays {!Api} defaults, and the response body is

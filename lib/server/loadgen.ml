@@ -1,0 +1,265 @@
+(* Loopback load generator: N keep-alive connections, each pushing a
+   window of pipelined requests at the server and timing every response.
+
+   Per connection the driver keeps up to [pipeline] requests in flight:
+   send timestamps queue up FIFO, responses are read strictly in order
+   (HTTP/1.1 pipelining), and a request's latency is the gap between
+   writing its bytes and finishing the read of its response.  Each
+   connection runs on its own domain, matching the repo's Domain-based
+   concurrency idiom; the last connection runs inline so the common
+   [connections = 1] case (the bench kernel) spawns nothing.
+
+   Results aggregate into exact quantiles over the individual request
+   latencies — unlike the server's histogram this samples every request,
+   so it is the ground truth the bucket-interpolated estimates are
+   judged against. *)
+
+type target = { host : string; port : int; path : string }
+
+let parse_url url =
+  let fail () =
+    Error (Printf.sprintf "cannot parse %S (expected http://HOST:PORT[/PATH])" url)
+  in
+  match
+    if String.length url >= 7 && String.sub url 0 7 = "http://" then
+      Some (String.sub url 7 (String.length url - 7))
+    else None
+  with
+  | None -> fail ()
+  | Some rest ->
+      let hostport, path =
+        match String.index_opt rest '/' with
+        | None -> (rest, "/")
+        | Some i ->
+            (String.sub rest 0 i, String.sub rest i (String.length rest - i))
+      in
+      (match String.index_opt hostport ':' with
+      | None -> fail ()
+      | Some i -> (
+          let host = String.sub hostport 0 i in
+          let port_s = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+          match int_of_string_opt port_s with
+          | Some port when port > 0 && port < 65536 && host <> "" ->
+              Ok { host; port; path }
+          | _ -> fail ()))
+
+type result = {
+  requests : int;  (* completed OK *)
+  errors : int;
+  elapsed_s : float;
+  latencies_ns : float array;  (* sorted ascending, one per completed request *)
+  bytes : int;  (* response body bytes received *)
+}
+
+let req_per_s r = if r.elapsed_s > 0.0 then float_of_int r.requests /. r.elapsed_s else 0.0
+
+(* Exact quantile over sorted samples (nearest-rank with interpolation,
+   the "linear" convention). *)
+let quantile_exact sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Loadgen.quantile_exact: no samples";
+  if not (Float.is_finite q) || q < 0.0 || q > 1.0 then
+    invalid_arg "Loadgen.quantile_exact: q outside [0, 1]";
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = Int.min (n - 1) (lo + 1) in
+  let frac = pos -. float_of_int lo in
+  sorted.(lo) +. ((sorted.(hi) -. sorted.(lo)) *. frac)
+
+let request_bytes ~target ~body =
+  match body with
+  | None ->
+      Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s:%d\r\n\r\n" target.path target.host
+        target.port
+  | Some b ->
+      Printf.sprintf
+        "POST %s HTTP/1.1\r\nHost: %s:%d\r\nContent-Length: %d\r\nContent-Type: application/json\r\n\r\n%s"
+        target.path target.host target.port (String.length b) b
+
+(* Minimal in-order response reader over one connection.  Returns the
+   body length; raises [Failure] on protocol surprises and
+   [End_of_file] when the peer closes mid-response. *)
+let rec index_of_terminator buf from =
+  if from + 3 >= Buffer.length buf then None
+  else if
+    Buffer.nth buf from = '\r'
+    && Buffer.nth buf (from + 1) = '\n'
+    && Buffer.nth buf (from + 2) = '\r'
+    && Buffer.nth buf (from + 3) = '\n'
+  then Some from
+  else index_of_terminator buf (from + 1)
+
+type rconn = { fd : Unix.file_descr; pending : Buffer.t; chunk : Bytes.t }
+
+let fill rc =
+  let n = Unix.read rc.fd rc.chunk 0 (Bytes.length rc.chunk) in
+  if n = 0 then raise End_of_file;
+  Buffer.add_subbytes rc.pending rc.chunk 0 n
+
+let read_response rc =
+  let rec head_end () =
+    match index_of_terminator rc.pending 0 with
+    | Some i -> i
+    | None ->
+        fill rc;
+        head_end ()
+  in
+  let he = head_end () in
+  let head = Buffer.sub rc.pending 0 he in
+  let status =
+    (* "HTTP/1.1 200 OK" *)
+    match String.split_on_char ' ' head with
+    | _ :: code :: _ -> (
+        match int_of_string_opt code with
+        | Some s -> s
+        | None -> failwith ("bad status line: " ^ head))
+    | _ -> failwith ("bad status line: " ^ head)
+  in
+  let content_length =
+    String.split_on_char '\n' head
+    |> List.find_map (fun line ->
+           match String.index_opt line ':' with
+           | Some i
+             when String.lowercase_ascii (String.trim (String.sub line 0 i))
+                  = "content-length" ->
+               int_of_string_opt
+                 (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+           | _ -> None)
+  in
+  let len = match content_length with Some l -> l | None -> failwith "no content-length" in
+  let total = he + 4 + len in
+  while Buffer.length rc.pending < total do
+    fill rc
+  done;
+  let rest = Buffer.sub rc.pending total (Buffer.length rc.pending - total) in
+  Buffer.clear rc.pending;
+  Buffer.add_string rc.pending rest;
+  (status, len)
+
+(* One connection's share of the run.  Latencies are reported in send
+   order; an error (connect failure, protocol surprise, non-2xx) stops
+   this connection and forfeits its remaining requests. *)
+let drive_connection ~target ~pipeline ~request ~n =
+  let latencies = ref [] and completed = ref 0 and errors = ref 0 and bytes = ref 0 in
+  (try
+     let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+       (fun () ->
+         Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string target.host, target.port));
+         let rc = { fd; pending = Buffer.create 8192; chunk = Bytes.create 8192 } in
+         let sent = ref 0 and sent_at = Queue.create () in
+         let send_one () =
+           let rec write off len =
+             if len > 0 then begin
+               match Unix.write_substring fd request off len with
+               | n -> write (off + n) (len - n)
+               | exception Unix.Unix_error (Unix.EINTR, _, _) -> write off len
+             end
+           in
+           Queue.push (Obs.Span.now ()) sent_at;
+           write 0 (String.length request);
+           incr sent
+         in
+         let receive_one () =
+           let status, len = read_response rc in
+           let t0 = Queue.pop sent_at in
+           if status >= 200 && status < 300 then begin
+             latencies :=
+               Int64.to_float (Int64.sub (Obs.Span.now ()) t0) :: !latencies;
+             bytes := !bytes + len;
+             incr completed
+           end
+           else failwith (Printf.sprintf "HTTP %d" status)
+         in
+         while !completed + !errors < n do
+           while !sent < n && !sent - !completed < pipeline do
+             send_one ()
+           done;
+           receive_one ()
+         done)
+   with _ -> errors := n - !completed);
+  (!latencies, !completed, !errors, !bytes)
+
+let run ?(connections = 1) ?(pipeline = 1) ~requests ~body target =
+  if connections <= 0 then invalid_arg "Loadgen.run: connections <= 0";
+  if pipeline <= 0 then invalid_arg "Loadgen.run: pipeline <= 0";
+  if requests <= 0 then invalid_arg "Loadgen.run: requests <= 0";
+  let connections = Int.min connections requests in
+  let request = request_bytes ~target ~body in
+  (* Split requests as evenly as possible; the first [requests mod
+     connections] connections take one extra. *)
+  let share i = (requests / connections) + if i < requests mod connections then 1 else 0 in
+  let t_start = Obs.Span.now () in
+  let worker i () = drive_connection ~target ~pipeline ~request ~n:(share i) in
+  let handles =
+    List.init (connections - 1) (fun i -> Domain.spawn (worker i))
+  in
+  let last = worker (connections - 1) () in
+  let parts = List.map Domain.join handles @ [ last ] in
+  let elapsed_s = Int64.to_float (Int64.sub (Obs.Span.now ()) t_start) /. 1e9 in
+  let latencies =
+    List.concat_map (fun (ls, _, _, _) -> ls) parts |> Array.of_list
+  in
+  Array.sort compare latencies;
+  {
+    requests = List.fold_left (fun a (_, c, _, _) -> a + c) 0 parts;
+    errors = List.fold_left (fun a (_, _, e, _) -> a + e) 0 parts;
+    elapsed_s;
+    latencies_ns = latencies;
+    bytes = List.fold_left (fun a (_, _, _, b) -> a + b) 0 parts;
+  }
+
+(* Report as a solarstorm-bench/1 document so the existing bench tooling
+   (and check.sh's schema gate) consumes loadgen output unchanged:
+   latency quantiles are kernels (ns_per_run = that quantile), counts
+   and rates are metrics. *)
+let to_bench_json r =
+  let open Obs.Json in
+  let kernel name est v =
+    Object
+      [ ("name", String name); ("ns_per_run", Number v); ("estimator", String est) ]
+  in
+  let q p = quantile_exact r.latencies_ns p in
+  let mean =
+    Array.fold_left ( +. ) 0.0 r.latencies_ns
+    /. float_of_int (Int.max 1 (Array.length r.latencies_ns))
+  in
+  let kernels =
+    if Array.length r.latencies_ns = 0 then []
+    else
+      [
+        kernel "loadgen.latency-mean" "mean" mean;
+        kernel "loadgen.latency-p50" "exact-quantile" (q 0.5);
+        kernel "loadgen.latency-p95" "exact-quantile" (q 0.95);
+        kernel "loadgen.latency-p99" "exact-quantile" (q 0.99);
+      ]
+  in
+  to_string
+    (Object
+       [
+         ("schema", String "solarstorm-bench/1");
+         ("mode", String "loadgen");
+         ("kernels", Array kernels);
+         ( "metrics",
+           Object
+             [
+               ("loadgen.requests", Number (float_of_int r.requests));
+               ("loadgen.errors", Number (float_of_int r.errors));
+               ("loadgen.bytes", Number (float_of_int r.bytes));
+               ("loadgen.elapsed_s", Number r.elapsed_s);
+               ("loadgen.req_per_s", Number (req_per_s r));
+             ] );
+       ])
+  ^ "\n"
+
+let summary r =
+  if Array.length r.latencies_ns = 0 then
+    Printf.sprintf "loadgen: %d/%d requests failed, nothing to report\n" r.errors
+      (r.requests + r.errors)
+  else
+    let ms p = quantile_exact r.latencies_ns p /. 1e6 in
+    Printf.sprintf
+      "loadgen: %d requests in %.2fs (%.0f req/s), p50 %.2fms p95 %.2fms p99 %.2fms%s\n"
+      r.requests r.elapsed_s (req_per_s r) (ms 0.5) (ms 0.95) (ms 0.99)
+      (if r.errors > 0 then Printf.sprintf ", %d errors" r.errors else "")

@@ -1,0 +1,53 @@
+(** Loopback load generator behind [solarstorm loadgen] and the
+    [serve.throughput] bench kernel.
+
+    Hammers a live server with [connections] keep-alive connections
+    (one domain each; a single connection runs inline), keeping up to
+    [pipeline] requests in flight per connection, and times every
+    request individually — send-to-response-complete, reads strictly in
+    pipeline order.  Quantiles over the collected latencies are exact
+    (every request is a sample), the ground truth against which the
+    server's bucket-interpolated [server.request.ms] estimates can be
+    judged. *)
+
+type target = { host : string; port : int; path : string }
+
+val parse_url : string -> (target, string) result
+(** Accepts [http://HOST:PORT] and [http://HOST:PORT/PATH] only — this
+    drives lab servers by address, not the open web. *)
+
+type result = {
+  requests : int;  (** completed with a 2xx response *)
+  errors : int;  (** forfeited: connect/protocol failures or non-2xx *)
+  elapsed_s : float;  (** wall time for the whole run *)
+  latencies_ns : float array;  (** sorted; one sample per completed request *)
+  bytes : int;  (** response body bytes received *)
+}
+
+val run :
+  ?connections:int ->
+  ?pipeline:int ->
+  requests:int ->
+  body:string option ->
+  target ->
+  result
+(** [run ~requests ~body target] spreads [requests] evenly over
+    [connections] (default 1, clamped to [requests]).  [body = Some b]
+    sends [POST] with [b] (JSON content type); [None] sends [GET].
+    An error on a connection forfeits that connection's remaining
+    requests (counted in [errors]) without aborting the others.
+    @raise Invalid_argument on non-positive parameters. *)
+
+val req_per_s : result -> float
+
+val quantile_exact : float array -> float -> float
+(** Linear-interpolated quantile over sorted samples.
+    @raise Invalid_argument on an empty array or [q] outside [0, 1]. *)
+
+val to_bench_json : result -> string
+(** The run as a [solarstorm-bench/1] document (mode ["loadgen"]):
+    latency mean/p50/p95/p99 as kernels ([ns_per_run] = nanoseconds),
+    request/error/throughput figures under ["metrics"]. *)
+
+val summary : result -> string
+(** One human-readable line (req/s and millisecond quantiles). *)

@@ -2,8 +2,9 @@
     a hardened HTTP/1.1 layer ({!Http}), method × path routing
     ({!Router}), the endpoint handlers ({!Handlers}), a canonical-key
     LRU result cache plus the shared compute/encode path ({!Api},
-    {!Lru}), and the single-worker socket loop with backpressure and
-    graceful drain ({!Service}).
+    {!Lru}), the single-worker socket loop with backpressure and
+    graceful drain ({!Service}), and the pipelined loopback load
+    generator ({!Loadgen}).
 
     Design notes in DESIGN.md §8; quickstart in README "Serving". *)
 
@@ -13,3 +14,4 @@ module Api = Api
 module Router = Router
 module Handlers = Handlers
 module Service = Service
+module Loadgen = Loadgen

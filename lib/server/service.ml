@@ -25,6 +25,7 @@ type config = {
   idle_poll_s : float;
   drain_grace_s : float;
   log : string -> unit;
+  trace_seed : int option;
 }
 
 let default_config =
@@ -39,7 +40,33 @@ let default_config =
     idle_poll_s = 0.25;
     drain_grace_s = 2.0;
     log = (fun s -> print_string s; flush stdout);
+    trace_seed = None;
   }
+
+(* Per-request trace ids: one SplitMix64 stream, rendered as 16 hex
+   chars.  With [trace_seed] set the n-th request of every run gets the
+   same id (reproducible tests and CI gates); otherwise the stream is
+   seeded from wall clock ⊕ pid at [run] time.  A plain ref: ids are
+   only drawn from the single worker loop. *)
+let trace_state = ref 0L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let seed_traces = function
+  | Some seed -> trace_state := mix64 (Int64.of_int seed)
+  | None ->
+      trace_state :=
+        mix64
+          (Int64.logxor
+             (Int64.of_float (Unix.gettimeofday () *. 1e6))
+             (Int64.of_int (Unix.getpid ())))
+
+let next_trace_id () =
+  trace_state := Int64.add !trace_state 0x9e3779b97f4a7c15L;
+  Printf.sprintf "%016Lx" (mix64 !trace_state)
 
 let m_requests = Obs.Metrics.counter "server.requests"
 let m_accepted = Obs.Metrics.counter "server.conns.accepted"
@@ -83,21 +110,54 @@ let send_response fd ~close resp =
 
 let close_client c = try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()
 
+let meth_string = function Http.GET -> "GET" | Http.POST -> "POST" | Http.Other s -> s
+
+(* One access-log line per request ({!Obs.Log} is a no-op unless the
+   serve CLI enabled it with [--log]).  Emitted inside the request's
+   trace context, so the line carries the same id as the [X-Trace-Id]
+   header and the request's spans. *)
+let access_log ~meth ~path ~status ~bytes ~dur_ms ~cache =
+  Obs.Log.info "http.access"
+    [
+      ("method", Obs.Json.String meth);
+      ("path", Obs.Json.String path);
+      ("status", Obs.Json.Number (float_of_int status));
+      ("bytes", Obs.Json.Number (float_of_int bytes));
+      ("dur_ms", Obs.Json.Number dur_ms);
+      ( "cache",
+        Obs.Json.String
+          (match cache with Some `Hit -> "hit" | Some `Miss -> "miss" | None -> "-") );
+    ]
+
 (* Serve one request off a ready connection.  [force_close] is the drain
    path: whatever happens, the peer is told the connection is done. *)
 let serve_one ~routes ~limits ~force_close c =
   match Http.parse_request ~limits c.conn with
   | Error Http.Eof -> `Close
   | Error e ->
-      ignore (send_response c.fd ~close:true (Http.error_response e));
+      let resp = Http.error_response e in
+      access_log ~meth:"-" ~path:"-" ~status:resp.Http.status
+        ~bytes:(String.length resp.Http.body) ~dur_ms:0.0 ~cache:None;
+      ignore (send_response c.fd ~close:true resp);
       `Close
   | Ok req ->
       Obs.Metrics.incr m_requests;
+      let trace = next_trace_id () in
+      Obs.Span.with_trace trace @@ fun () ->
       Obs.Span.with_ ~name:"server.request" @@ fun () ->
       let t0 = Obs.Span.now () in
       let resp = Router.dispatch ~routes req in
-      Obs.Metrics.observe h_request_ms
-        (Int64.to_float (Int64.sub (Obs.Span.now ()) t0) /. 1e6);
+      let dur_ms = Int64.to_float (Int64.sub (Obs.Span.now ()) t0) /. 1e6 in
+      Obs.Metrics.observe h_request_ms dur_ms;
+      (* Echo the id so a slow response can be chased into the trace
+         ([--profile]) and the access log without any server-side
+         lookup. *)
+      let resp =
+        { resp with Http.extra_headers = ("X-Trace-Id", trace) :: resp.Http.extra_headers }
+      in
+      access_log ~meth:(meth_string req.Http.meth) ~path:(Http.path req)
+        ~status:resp.Http.status ~bytes:(String.length resp.Http.body) ~dur_ms
+        ~cache:(Api.take_cache_outcome ());
       let close = force_close || Http.wants_close req in
       c.last_active <- Unix.gettimeofday ();
       if send_response c.fd ~close resp && not close then `Keep else `Close
@@ -177,6 +237,7 @@ let drain cfg routes limits clients =
 
 let run ?on_ready cfg =
   Atomic.set stop_flag false;
+  seed_traces cfg.trace_seed;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let limits = { Http.max_head = cfg.max_head; Http.max_body = cfg.max_body } in
   let routes = Handlers.routes () in

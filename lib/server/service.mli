@@ -32,6 +32,10 @@ type config = {
   idle_poll_s : float;  (** readiness-poll tick; bounds stop latency *)
   drain_grace_s : float;  (** budget for serving in-flight requests on stop *)
   log : string -> unit;  (** service log lines (default: stdout) *)
+  trace_seed : int option;
+      (** seed for per-request trace ids: [Some s] makes the n-th
+          request's id identical across runs (tests, CI); [None]
+          (default) seeds from wall clock ⊕ pid at {!run} time *)
 }
 
 val default_config : config

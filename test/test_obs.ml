@@ -106,6 +106,226 @@ let test_merge () =
       Alcotest.(check int) "count" 3 count
   | _ -> Alcotest.fail "not a histogram"
 
+(* --- histogram quantile estimation --- *)
+
+let test_quantile_empty_is_none () =
+  let bounds = [| 1.0; 2.0 |] and counts = [| 0; 0; 0 |] in
+  List.iter
+    (fun q ->
+      Alcotest.(check (option (float 1e-9)))
+        (Printf.sprintf "empty q=%g" q) None
+        (Obs.Metrics.quantile ~bounds ~counts q))
+    [ 0.0; 0.5; 1.0 ]
+
+let test_quantile_single_observation () =
+  (* One observation in the (50, 100] bucket: every quantile interpolates
+     inside that bucket under the uniform-within-bucket assumption. *)
+  let bounds = [| 25.0; 50.0; 100.0 |] and counts = [| 0; 0; 1; 0 |] in
+  let q v = Obs.Metrics.quantile ~bounds ~counts v in
+  Alcotest.(check (option (float 1e-9))) "p50 mid-bucket" (Some 75.0) (q 0.5);
+  Alcotest.(check (option (float 1e-9))) "p0 bucket floor" (Some 50.0) (q 0.0);
+  Alcotest.(check (option (float 1e-9))) "p100 bucket top" (Some 100.0) (q 1.0)
+
+let test_quantile_overflow_collapses () =
+  (* Everything past the last finite bound: the histogram knows nothing
+     about the tail, so the estimate is the last bound itself. *)
+  let bounds = [| 1.0; 2.0 |] and counts = [| 0; 0; 5 |] in
+  List.iter
+    (fun v ->
+      Alcotest.(check (option (float 1e-9)))
+        (Printf.sprintf "overflow q=%g" v) (Some 2.0)
+        (Obs.Metrics.quantile ~bounds ~counts v))
+    [ 0.5; 0.99 ]
+
+let test_quantile_interpolates_within_bucket () =
+  (* First bucket interpolates from 0 (latency histograms have no
+     negative observations)... *)
+  let q1 = Obs.Metrics.quantile ~bounds:[| 10.0 |] ~counts:[| 4; 0 |] in
+  Alcotest.(check (option (float 1e-9))) "first bucket p50" (Some 5.0) (q1 0.5);
+  Alcotest.(check (option (float 1e-9))) "first bucket p25" (Some 2.5) (q1 0.25);
+  (* ... later buckets from their lower bound. *)
+  let q2 = Obs.Metrics.quantile ~bounds:[| 10.0; 20.0 |] ~counts:[| 2; 2; 0 |] in
+  Alcotest.(check (option (float 1e-9))) "middle bucket p75" (Some 15.0) (q2 0.75);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Obs.Metrics.quantile: q outside [0, 1]") (fun () ->
+      ignore (q2 1.5));
+  Alcotest.check_raises "shape mismatch"
+    (Invalid_argument "Obs.Metrics.quantile: counts length must be bounds length + 1")
+    (fun () -> ignore (Obs.Metrics.quantile ~bounds:[| 1.0 |] ~counts:[| 1 |] 0.5))
+
+let exact_quantile sorted q =
+  (* Linear interpolation over n-1 intervals — the loadgen convention. *)
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = min (n - 1) (lo + 1) in
+  sorted.(lo) +. ((pos -. float_of_int lo) *. (sorted.(hi) -. sorted.(lo)))
+
+let test_quantile_tracks_exact_on_sample () =
+  with_obs_enabled @@ fun () ->
+  (* A seeded LCG sample in [0, 100): the bucket estimate must stay
+     within one bucket width of the exact sample quantile. *)
+  let bounds = Array.init 20 (fun i -> 5.0 *. float_of_int (i + 1)) in
+  let h = Obs.Metrics.histogram "q.sample" ~buckets:bounds in
+  let state = ref 12345 in
+  let sample =
+    Array.init 200 (fun _ ->
+        state := ((!state * 1103515245) + 12347) land 0x3FFFFFFF;
+        float_of_int (!state mod 10_000) /. 100.0)
+  in
+  Array.iter (Obs.Metrics.observe h) sample;
+  let sorted = Array.copy sample in
+  Array.sort compare sorted;
+  match List.assoc "q.sample" (Obs.Metrics.snapshot ()) with
+  | Obs.Metrics.Histogram { bounds; counts; _ } ->
+      List.iter
+        (fun q ->
+          match Obs.Metrics.quantile ~bounds ~counts q with
+          | None -> Alcotest.fail "estimate missing"
+          | Some est ->
+              let exact = exact_quantile sorted q in
+              Alcotest.(check bool)
+                (Printf.sprintf "q=%g est %.2f vs exact %.2f" q est exact)
+                true
+                (Float.abs (est -. exact) <= 5.0))
+        [ 0.5; 0.9; 0.95; 0.99 ]
+  | _ -> Alcotest.fail "not a histogram"
+
+(* --- structured log --- *)
+
+let with_log_captured f =
+  let buf = Buffer.create 256 in
+  Obs.Log.enable ();
+  Obs.Log.set_sink (Buffer.add_string buf);
+  Obs.Log.set_clock (Obs.Clock.fake ~start:42L ~step:1L ());
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.disable ();
+      Obs.Log.set_level Obs.Log.Debug;
+      Obs.Log.set_clock Obs.Clock.monotonic;
+      Obs.Log.set_sink (fun s ->
+          output_string stderr s;
+          flush stderr))
+    (fun () -> f buf)
+
+let test_log_line_golden () =
+  with_log_captured @@ fun buf ->
+  Obs.Log.info "http.access"
+    [
+      ("method", Obs.Json.String "GET");
+      ("status", Obs.Json.Number 200.0);
+      ("dur_ms", Obs.Json.Number 1.5);
+    ];
+  let line = Buffer.contents buf in
+  Alcotest.(check string) "exact line"
+    "{\"ts_ns\":42,\"level\":\"info\",\"event\":\"http.access\",\"method\":\"GET\",\"status\":200,\"dur_ms\":1.5}\n"
+    line;
+  (* Every emitted line must parse back with the JSON reader. *)
+  match Obs.Json.parse (String.trim line) with
+  | Error e -> Alcotest.fail ("unparseable log line: " ^ e)
+  | Ok doc ->
+      Alcotest.(check (option string)) "event" (Some "http.access")
+        (Option.bind (Obs.Json.member "event" doc) Obs.Json.string_);
+      Alcotest.(check (option (float 1e-9))) "status" (Some 200.0)
+        (Option.bind (Obs.Json.member "status" doc) Obs.Json.number)
+
+let test_log_disabled_is_silent () =
+  let buf = Buffer.create 16 in
+  Obs.Log.disable ();
+  Obs.Log.set_sink (Buffer.add_string buf);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.set_sink (fun s ->
+          output_string stderr s;
+          flush stderr))
+    (fun () ->
+      Obs.Log.info "hidden" [];
+      Obs.Log.error "also hidden" [ ("k", Obs.Json.Null) ];
+      Alcotest.(check string) "no output" "" (Buffer.contents buf))
+
+let test_log_level_filter () =
+  with_log_captured @@ fun buf ->
+  Obs.Log.set_level Obs.Log.Warn;
+  Obs.Log.debug "d" [];
+  Obs.Log.info "i" [];
+  Obs.Log.warn "w" [];
+  Obs.Log.error "e" [];
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "debug dropped" false (contains out "\"event\":\"d\"");
+  Alcotest.(check bool) "info dropped" false (contains out "\"event\":\"i\"");
+  Alcotest.(check bool) "warn kept" true (contains out "\"level\":\"warn\",\"event\":\"w\"");
+  Alcotest.(check bool) "error kept" true (contains out "\"level\":\"error\",\"event\":\"e\"")
+
+let test_log_carries_trace_context () =
+  with_log_captured @@ fun buf ->
+  Obs.Span.with_trace "abc123def4567890" (fun () -> Obs.Log.info "traced" []);
+  Obs.Log.info "untraced" [];
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "trace field" true
+    (contains out "\"event\":\"traced\",\"trace\":\"abc123def4567890\"");
+  Alcotest.(check bool) "no stale trace" false
+    (contains out "\"event\":\"untraced\",\"trace\"")
+
+(* --- trace context --- *)
+
+let test_with_trace_tags_spans () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.set_clock (Obs.Clock.fake ~start:0L ~step:100L ());
+  Obs.Span.with_ ~name:"before" (fun () -> ());
+  Obs.Span.with_trace "t1" (fun () -> Obs.Span.with_ ~name:"req" (fun () -> ()));
+  let traces =
+    List.map (fun (e : Obs.Span.event) -> (e.Obs.Span.name, e.Obs.Span.trace))
+      (Obs.Span.events ())
+  in
+  Alcotest.(check (list (pair string string)))
+    "only in-context spans tagged"
+    [ ("before", ""); ("before", ""); ("req", "t1"); ("req", "t1") ]
+    traces
+
+let test_with_trace_nests_and_restores () =
+  Obs.reset ();
+  Obs.disable ();
+  (* Works without the span layer (the log picks the id up either way). *)
+  let inner = ref "" and restored = ref "?" in
+  Obs.Span.with_trace "outer" (fun () ->
+      Obs.Span.with_trace "inner" (fun () -> inner := Obs.Span.current_trace ());
+      restored := Obs.Span.current_trace ());
+  Alcotest.(check string) "inner wins inside" "inner" !inner;
+  Alcotest.(check string) "outer restored" "outer" !restored;
+  Alcotest.(check string) "cleared after" "" (Obs.Span.current_trace ());
+  (try Obs.Span.with_trace "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check string) "restored on raise" "" (Obs.Span.current_trace ())
+
+let test_with_trace_reaches_worker_domains () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.with_trace "wtrace" (fun () ->
+      let d = Domain.spawn (fun () -> Obs.Span.with_ ~name:"wk" (fun () -> ())) in
+      Domain.join d);
+  let wk =
+    List.filter (fun (e : Obs.Span.event) -> e.Obs.Span.name = "wk") (Obs.Span.events ())
+  in
+  Alcotest.(check int) "worker span recorded" 2 (List.length wk);
+  List.iter
+    (fun (e : Obs.Span.event) ->
+      Alcotest.(check string) "worker event tagged" "wtrace" e.Obs.Span.trace)
+    wk
+
+let test_trace_in_exports () =
+  with_obs_enabled @@ fun () ->
+  Obs.Span.set_clock (Obs.Clock.fake ~start:5L ~step:10L ());
+  Obs.Span.with_trace "deadbeef" (fun () -> Obs.Span.with_ ~name:"a.b" (fun () -> ()));
+  let evs = Obs.Span.events () in
+  Alcotest.(check string) "jsonl gains trace field"
+    "{\"name\":\"a.b\",\"ph\":\"B\",\"ts_ns\":5,\"depth\":0,\"domain\":0,\"trace\":\"deadbeef\"}\n\
+     {\"name\":\"a.b\",\"ph\":\"E\",\"ts_ns\":15,\"depth\":0,\"domain\":0,\"trace\":\"deadbeef\"}\n"
+    (Obs.Export.jsonl evs);
+  let chrome = Obs.Export.chrome_trace evs in
+  Alcotest.(check bool) "chrome args.trace" true
+    (contains chrome "\"args\":{\"trace\":\"deadbeef\"}");
+  match Obs.Json.parse chrome with
+  | Error e -> Alcotest.fail ("chrome trace unparseable: " ^ e)
+  | Ok _ -> ()
+
 (* --- spans --- *)
 
 let test_nested_spans_fake_clock () =
@@ -263,7 +483,11 @@ let test_prometheus_golden () =
      gold_hist_bucket{le=\"2.0\"} 2\n\
      gold_hist_bucket{le=\"+Inf\"} 3\n\
      gold_hist_sum 11.0\n\
-     gold_hist_count 3\n"
+     gold_hist_count 3\n\
+     # TYPE gold_hist_quantile gauge\n\
+     gold_hist_quantile{q=\"0.5\"} 1.5\n\
+     gold_hist_quantile{q=\"0.95\"} 2.0\n\
+     gold_hist_quantile{q=\"0.99\"} 2.0\n"
     (Obs.Export.prometheus snap)
 
 let test_json_snapshot_golden () =
@@ -695,6 +919,24 @@ let () =
           Alcotest.test_case "histogram boundaries" `Quick test_histogram_bucket_boundaries;
           Alcotest.test_case "histogram bad buckets" `Quick test_histogram_rejects_bad_buckets;
           Alcotest.test_case "merge" `Quick test_merge ] );
+      ( "quantile",
+        [ Alcotest.test_case "empty is none" `Quick test_quantile_empty_is_none;
+          Alcotest.test_case "single observation" `Quick test_quantile_single_observation;
+          Alcotest.test_case "overflow collapses" `Quick test_quantile_overflow_collapses;
+          Alcotest.test_case "interpolation" `Quick test_quantile_interpolates_within_bucket;
+          Alcotest.test_case "tracks exact quantiles" `Quick
+            test_quantile_tracks_exact_on_sample ] );
+      ( "log",
+        [ Alcotest.test_case "line golden" `Quick test_log_line_golden;
+          Alcotest.test_case "disabled is silent" `Quick test_log_disabled_is_silent;
+          Alcotest.test_case "level filter" `Quick test_log_level_filter;
+          Alcotest.test_case "carries trace context" `Quick test_log_carries_trace_context ] );
+      ( "trace",
+        [ Alcotest.test_case "tags spans" `Quick test_with_trace_tags_spans;
+          Alcotest.test_case "nests and restores" `Quick test_with_trace_nests_and_restores;
+          Alcotest.test_case "reaches worker domains" `Quick
+            test_with_trace_reaches_worker_domains;
+          Alcotest.test_case "in exports" `Quick test_trace_in_exports ] );
       ( "spans",
         [ Alcotest.test_case "nesting under fake clock" `Quick test_nested_spans_fake_clock;
           Alcotest.test_case "end on raise" `Quick test_span_end_recorded_on_raise;

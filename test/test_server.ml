@@ -412,7 +412,7 @@ let send_all fd s =
   in
   go 0 (String.length s)
 
-let with_loopback_server f =
+let with_loopback_server ?trace_seed f =
   with_server_state @@ fun () ->
   let port_box = Atomic.make 0 in
   let cfg =
@@ -422,6 +422,7 @@ let with_loopback_server f =
       idle_poll_s = 0.01;
       drain_grace_s = 0.5;
       log = ignore;
+      trace_seed;
     }
   in
   let server =
@@ -489,8 +490,8 @@ let test_loopback_end_to_end () =
    send_all fd "GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n";
    let status, head, body = read_response fd in
    Alcotest.(check int) "metrics status" 200 status;
-   Alcotest.(check bool) "prometheus content type" true
-     (contains (String.lowercase_ascii head) "content-type: text/plain");
+   Alcotest.(check bool) "prometheus exposition content type" true
+     (contains (String.lowercase_ascii head) "content-type: text/plain; version=0.0.4");
    Alcotest.(check bool) "request counter exported" true
      (contains body "server_requests");
    Alcotest.(check bool) "cache hit exported" true (contains body "server_cache_hits 1"));
@@ -511,6 +512,269 @@ let test_loopback_rejects_garbage () =
   let status, _, body = read_response fd in
   Alcotest.(check int) "garbage is 400" 400 status;
   Alcotest.(check bool) "error body" true (contains body "\"error\"")
+
+(* --- /statusz --- *)
+
+let jmem path doc =
+  List.fold_left (fun acc k -> Option.bind acc (Obs.Json.member k)) (Some doc) path
+
+let jnum path doc = Option.bind (jmem path doc) Obs.Json.number
+
+let test_statusz_shape () =
+  with_server_state @@ fun () ->
+  let routes = Server.Handlers.routes () in
+  let resp = Server.Router.dispatch ~routes (request "/statusz") in
+  Alcotest.(check int) "status" 200 resp.Server.Http.status;
+  match Obs.Json.parse resp.Server.Http.body with
+  | Error e -> Alcotest.fail ("statusz unparseable: " ^ e)
+  | Ok doc ->
+      Alcotest.(check (option string)) "status ok" (Some "ok")
+        (Option.bind (Obs.Json.member "status" doc) Obs.Json.string_);
+      Alcotest.(check bool) "uptime counts" true
+        (match jnum [ "uptime_s" ] doc with Some v -> v >= 0.0 | None -> false);
+      List.iter
+        (fun path ->
+          Alcotest.(check bool) (String.concat "." path ^ " present") true
+            (jnum path doc <> None))
+        [
+          [ "requests"; "total" ];
+          [ "requests"; "2xx" ];
+          [ "requests"; "rejected_busy" ];
+          [ "latency_ms"; "count" ];
+          [ "cache"; "entries" ];
+          [ "cache"; "capacity" ];
+          [ "cache"; "hits" ];
+          [ "gc"; "heap_words" ];
+        ];
+      (* No traffic yet: quantiles have nothing to estimate. *)
+      Alcotest.(check bool) "empty latency p50 is null" true
+        (jmem [ "latency_ms"; "p50" ] doc = Some Obs.Json.Null)
+
+let test_statusz_end_to_end () =
+  with_loopback_server @@ fun port ->
+  let s, _, _ = post_simulate port "{\"trials\":2,\"seed\":9}" in
+  Alcotest.(check int) "simulate ok" 200 s;
+  let status, _, body =
+    with_client port @@ fun fd ->
+    send_all fd "GET /statusz HTTP/1.1\r\nconnection: close\r\n\r\n";
+    read_response fd
+  in
+  Alcotest.(check int) "statusz status" 200 status;
+  match Obs.Json.parse body with
+  | Error e -> Alcotest.fail ("statusz unparseable: " ^ e)
+  | Ok doc ->
+      Alcotest.(check bool) "requests counted" true
+        (match jnum [ "requests"; "total" ] doc with Some v -> v >= 2.0 | None -> false);
+      Alcotest.(check bool) "latency observed" true
+        (match jnum [ "latency_ms"; "count" ] doc with Some v -> v >= 1.0 | None -> false);
+      Alcotest.(check bool) "p50 estimated" true (jnum [ "latency_ms"; "p50" ] doc <> None);
+      Alcotest.(check (option (float 1e-9))) "one cache entry" (Some 1.0)
+        (jnum [ "cache"; "entries" ] doc)
+
+(* --- cache occupancy gauge --- *)
+
+let gauge_value name =
+  match List.assoc_opt name (Obs.Metrics.snapshot ()) with
+  | Some (Obs.Metrics.Gauge v) -> Some v
+  | _ -> None
+
+let test_cache_entries_gauge () =
+  with_server_state @@ fun () ->
+  Alcotest.(check (option (float 1e-9))) "starts empty" (Some 0.0)
+    (gauge_value "server.cache.entries");
+  ignore (Server.Api.with_cache ~key:"g1" (fun () -> Ok "x"));
+  ignore (Server.Api.with_cache ~key:"g2" (fun () -> Ok "y"));
+  Alcotest.(check (option (float 1e-9))) "tracks additions" (Some 2.0)
+    (gauge_value "server.cache.entries");
+  (* Hits do not change occupancy. *)
+  ignore (Server.Api.with_cache ~key:"g1" (fun () -> Ok "x"));
+  Alcotest.(check (option (float 1e-9))) "hit leaves it" (Some 2.0)
+    (gauge_value "server.cache.entries");
+  Server.Api.reset ();
+  Alcotest.(check (option (float 1e-9))) "reset clears it" (Some 0.0)
+    (gauge_value "server.cache.entries")
+
+(* --- trace ids --- *)
+
+let header_value head name =
+  let needle = String.lowercase_ascii name ^ ":" in
+  let nn = String.length needle in
+  String.split_on_char '\n' (String.lowercase_ascii head)
+  |> List.find_map (fun line ->
+         let line = String.trim line in
+         if String.length line > nn && String.sub line 0 nn = needle then
+           Some (String.trim (String.sub line nn (String.length line - nn)))
+         else None)
+
+let is_hex16 s =
+  String.length s = 16
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) s
+
+let get_response port path =
+  with_client port @@ fun fd ->
+  send_all fd (Printf.sprintf "GET %s HTTP/1.1\r\nconnection: close\r\n\r\n" path);
+  read_response fd
+
+let test_trace_id_header () =
+  let first_of_run () =
+    with_loopback_server ~trace_seed:42 @@ fun port ->
+    let _, h1, _ = get_response port "/healthz" in
+    let _, h2, _ = get_response port "/healthz" in
+    let id h =
+      match header_value h "x-trace-id" with
+      | Some s -> s
+      | None -> Alcotest.fail "response carries no X-Trace-Id"
+    in
+    Alcotest.(check bool) "16 hex chars" true (is_hex16 (id h1) && is_hex16 (id h2));
+    Alcotest.(check bool) "distinct per request" false (String.equal (id h1) (id h2));
+    id h1
+  in
+  (* Same seed, fresh server: the n-th request gets the same id. *)
+  Alcotest.(check string) "deterministic under --trace-seed" (first_of_run ())
+    (first_of_run ())
+
+let test_access_log_matches_trace_header () =
+  let log_buf = Buffer.create 512 in
+  let log_lock = Mutex.create () in
+  Obs.Log.enable ();
+  Obs.Log.set_sink (fun s ->
+      Mutex.lock log_lock;
+      Buffer.add_string log_buf s;
+      Mutex.unlock log_lock);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.disable ();
+      Obs.Log.set_sink (fun s ->
+          output_string stderr s;
+          flush stderr))
+    (fun () ->
+      with_loopback_server ~trace_seed:7 @@ fun port ->
+      let status, head, _ = post_simulate port "{\"trials\":2,\"seed\":5}" in
+      Alcotest.(check int) "simulate ok" 200 status;
+      let id =
+        match header_value head "x-trace-id" with
+        | Some s -> s
+        | None -> Alcotest.fail "no X-Trace-Id header"
+      in
+      let captured =
+        Mutex.lock log_lock;
+        let s = Buffer.contents log_buf in
+        Mutex.unlock log_lock;
+        s
+      in
+      let access =
+        String.split_on_char '\n' (String.trim captured)
+        |> List.filter (fun l -> contains l "\"event\":\"http.access\"")
+      in
+      Alcotest.(check int) "one access line" 1 (List.length access);
+      match Obs.Json.parse (List.hd access) with
+      | Error e -> Alcotest.fail ("access line unparseable: " ^ e)
+      | Ok doc ->
+          let str k = Option.bind (Obs.Json.member k doc) Obs.Json.string_ in
+          Alcotest.(check (option string)) "log trace = header trace" (Some id)
+            (str "trace");
+          Alcotest.(check (option string)) "method" (Some "POST") (str "method");
+          Alcotest.(check (option string)) "path" (Some "/simulate") (str "path");
+          Alcotest.(check (option string)) "cold request is a miss" (Some "miss")
+            (str "cache");
+          Alcotest.(check (option (float 1e-9))) "status" (Some 200.0)
+            (Option.bind (Obs.Json.member "status" doc) Obs.Json.number))
+
+(* --- load generator --- *)
+
+let test_loadgen_parse_url () =
+  (match Server.Loadgen.parse_url "http://127.0.0.1:8080" with
+  | Ok t ->
+      Alcotest.(check string) "host" "127.0.0.1" t.Server.Loadgen.host;
+      Alcotest.(check int) "port" 8080 t.Server.Loadgen.port;
+      Alcotest.(check string) "default path" "/" t.Server.Loadgen.path
+  | Error e -> Alcotest.fail e);
+  (match Server.Loadgen.parse_url "http://localhost:9/metrics" with
+  | Ok t ->
+      Alcotest.(check string) "path kept" "/metrics" t.Server.Loadgen.path;
+      Alcotest.(check int) "small port" 9 t.Server.Loadgen.port
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun url ->
+      match Server.Loadgen.parse_url url with
+      | Ok _ -> Alcotest.fail ("accepted " ^ url)
+      | Error e -> Alcotest.(check bool) "names the shape" true (contains e "HOST:PORT"))
+    [ "https://x:1"; "http://noport"; "http://:8080"; "http://h:0"; "http://h:99999"; "http://h:x"; "" ]
+
+let test_loadgen_quantile_exact () =
+  let s = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "q0 is min" 1.0 (Server.Loadgen.quantile_exact s 0.0);
+  Alcotest.(check (float 1e-9)) "q1 is max" 4.0 (Server.Loadgen.quantile_exact s 1.0);
+  Alcotest.(check (float 1e-9)) "median interpolates" 2.5 (Server.Loadgen.quantile_exact s 0.5);
+  Alcotest.(check (float 1e-9)) "q25" 1.75 (Server.Loadgen.quantile_exact s 0.25);
+  Alcotest.(check (float 1e-9)) "single sample" 7.0
+    (Server.Loadgen.quantile_exact [| 7.0 |] 0.99);
+  Alcotest.check_raises "empty" (Invalid_argument "Loadgen.quantile_exact: no samples")
+    (fun () -> ignore (Server.Loadgen.quantile_exact [||] 0.5));
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Loadgen.quantile_exact: q outside [0, 1]") (fun () ->
+      ignore (Server.Loadgen.quantile_exact s 1.5))
+
+let test_loadgen_end_to_end () =
+  with_loopback_server @@ fun port ->
+  let target = { Server.Loadgen.host = "127.0.0.1"; port; path = "/healthz" } in
+  let r = Server.Loadgen.run ~connections:2 ~pipeline:2 ~requests:10 ~body:None target in
+  Alcotest.(check int) "all requests completed" 10 r.Server.Loadgen.requests;
+  Alcotest.(check int) "no errors" 0 r.Server.Loadgen.errors;
+  Alcotest.(check int) "one latency per request" 10
+    (Array.length r.Server.Loadgen.latencies_ns);
+  Alcotest.(check int) "healthz body bytes" (10 * String.length "{\"status\":\"ok\"}\n")
+    r.Server.Loadgen.bytes;
+  Alcotest.(check bool) "elapsed counts" true (r.Server.Loadgen.elapsed_s > 0.0);
+  Alcotest.(check bool) "throughput computed" true (Server.Loadgen.req_per_s r > 0.0);
+  let l = r.Server.Loadgen.latencies_ns in
+  Array.iteri
+    (fun i v -> if i > 0 then Alcotest.(check bool) "latencies sorted" true (l.(i - 1) <= v))
+    l;
+  (* The report is a parseable solarstorm-bench/1 document. *)
+  (match Obs.Json.parse (Server.Loadgen.to_bench_json r) with
+  | Error e -> Alcotest.fail ("bench doc unparseable: " ^ e)
+  | Ok doc ->
+      Alcotest.(check (option string)) "schema" (Some "solarstorm-bench/1")
+        (Option.bind (Obs.Json.member "schema" doc) Obs.Json.string_);
+      Alcotest.(check (option string)) "mode" (Some "loadgen")
+        (Option.bind (Obs.Json.member "mode" doc) Obs.Json.string_);
+      let kernel_names =
+        match Option.bind (Obs.Json.member "kernels" doc) Obs.Json.array with
+        | Some ks ->
+            List.filter_map
+              (fun k -> Option.bind (Obs.Json.member "name" k) Obs.Json.string_)
+              ks
+        | None -> []
+      in
+      List.iter
+        (fun n -> Alcotest.(check bool) (n ^ " kernel") true (List.mem n kernel_names))
+        [ "loadgen.latency-mean"; "loadgen.latency-p50"; "loadgen.latency-p95"; "loadgen.latency-p99" ];
+      Alcotest.(check (option (float 1e-9))) "request metric" (Some 10.0)
+        (jnum [ "metrics"; "loadgen.requests" ] doc));
+  let line = Server.Loadgen.summary r in
+  Alcotest.(check bool) "summary req/s" true (contains line "req/s");
+  Alcotest.(check bool) "summary p99" true (contains line "p99")
+
+let test_loadgen_counts_failures () =
+  with_loopback_server @@ fun port ->
+  (* POSTs through the analysis path complete... *)
+  let target = { Server.Loadgen.host = "127.0.0.1"; port; path = "/simulate" } in
+  let ok =
+    Server.Loadgen.run ~requests:4 ~body:(Some "{\"trials\":2,\"seed\":3}") target
+  in
+  Alcotest.(check int) "posts completed" 4 ok.Server.Loadgen.requests;
+  Alcotest.(check int) "no errors" 0 ok.Server.Loadgen.errors;
+  (* ...while a 404 target forfeits the connection's remaining share. *)
+  let bad =
+    Server.Loadgen.run ~requests:3 ~body:None
+      { target with Server.Loadgen.path = "/nope" }
+  in
+  Alcotest.(check int) "nothing completed" 0 bad.Server.Loadgen.requests;
+  Alcotest.(check int) "all forfeited" 3 bad.Server.Loadgen.errors;
+  Alcotest.check_raises "bad requests count"
+    (Invalid_argument "Loadgen.run: requests <= 0") (fun () ->
+      ignore (Server.Loadgen.run ~requests:0 ~body:None target))
 
 let () =
   Alcotest.run "server"
@@ -544,4 +808,17 @@ let () =
       ( "loopback",
         [ Alcotest.test_case "end to end" `Quick test_loopback_end_to_end;
           Alcotest.test_case "garbage over socket" `Quick test_loopback_rejects_garbage ] );
+      ( "statusz",
+        [ Alcotest.test_case "shape" `Quick test_statusz_shape;
+          Alcotest.test_case "end to end" `Quick test_statusz_end_to_end;
+          Alcotest.test_case "cache entries gauge" `Quick test_cache_entries_gauge ] );
+      ( "trace",
+        [ Alcotest.test_case "X-Trace-Id header" `Quick test_trace_id_header;
+          Alcotest.test_case "access log matches header" `Quick
+            test_access_log_matches_trace_header ] );
+      ( "loadgen",
+        [ Alcotest.test_case "parse url" `Quick test_loadgen_parse_url;
+          Alcotest.test_case "exact quantiles" `Quick test_loadgen_quantile_exact;
+          Alcotest.test_case "end to end" `Quick test_loadgen_end_to_end;
+          Alcotest.test_case "counts failures" `Quick test_loadgen_counts_failures ] );
     ]
