@@ -30,10 +30,11 @@ let print_figures () =
     (Report.Figures.all ctx);
   ctx
 
-(* A live loopback server for the serve.throughput kernel: one domain
-   running the real Service loop, an ephemeral port reported through
-   [on_ready].  The returned closure stops and joins it. *)
-let boot_server () =
+(* A live loopback server for the serve.throughput kernels: one domain
+   running the real Service acceptor loop (plus [workers] handler
+   domains), an ephemeral port reported through [on_ready].  The
+   returned closure stops and joins it. *)
+let boot_server ~workers () =
   let port_box = Atomic.make 0 in
   let server =
     Domain.spawn (fun () ->
@@ -42,6 +43,7 @@ let boot_server () =
           {
             Server.Service.default_config with
             Server.Service.port = 0;
+            workers;
             idle_poll_s = 0.01;
             drain_grace_s = 0.5;
             log = ignore;
@@ -63,7 +65,7 @@ let boot_server () =
 
 (* One kernel per table/figure, shared by the Bechamel pass and the
    single-run --fast timings. *)
-let kernels ctx ~port : (string * (unit -> unit)) list =
+let kernels ctx ~port ~port_par : (string * (unit -> unit)) list =
   let sub = Report.Figures.submarine ctx in
   let rng = Rng.create 99 in
   let uniform_plan =
@@ -186,6 +188,20 @@ let kernels ctx ~port : (string * (unit -> unit)) list =
       (* Warm the result cache so the kernel times the replay path. *)
       ignore (Server.Loadgen.run ~requests:1 ~body target);
       fun () -> ignore (Server.Loadgen.run ~pipeline:8 ~requests:32 ~body target) );
+    (* Same replay workload against the 4-worker pool, driven by four
+       pipelining connections — the multicore headline.  On a machine
+       with >= 4 cores its per-request time should undercut
+       serve.throughput's (128 requests here vs 32 above, so compare
+       ns_per_run / requests, which the baseline gate does per-kernel). *)
+    ( "serve.throughput-par",
+      let target =
+        { Server.Loadgen.host = "127.0.0.1"; port = port_par; path = "/simulate" }
+      in
+      let body = Some "{\"trials\":4,\"seed\":11}" in
+      ignore (Server.Loadgen.run ~requests:1 ~body target);
+      fun () ->
+        ignore (Server.Loadgen.run ~connections:4 ~pipeline:8 ~requests:128 ~body target)
+    );
   ]
 
 (* (kernel, ns/run, estimator) rows for the JSON document. *)
@@ -281,14 +297,19 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   if !json <> None then Obs.enable ();
   let ctx = print_figures () in
-  let port, stop_server = boot_server () in
-  let ks = kernels ctx ~port in
+  (* Two live servers: the single-worker reference and the 4-worker
+     pool.  Service.stop is process-wide, so stop both only after every
+     kernel has run. *)
+  let port, stop_server = boot_server ~workers:1 () in
+  let port_par, stop_server_par = boot_server ~workers:4 () in
+  let ks = kernels ctx ~port ~port_par in
   let kernel_rows =
     if not !fast then run_bechamel ks
     else if !json <> None || !baseline <> None then run_single ks
     else []
   in
   stop_server ();
+  stop_server_par ();
   (match !json with
   | None -> ()
   | Some path ->

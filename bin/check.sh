@@ -34,7 +34,8 @@ for needle in '"schema":"solarstorm-bench/1"' '"kernels":[{' '"ns_per_run":' '"m
               '"name":"plan.compile"' '"name":"plan.sample"' '"name":"plan.sample-recompute"' \
               '"name":"plan.trials-seq"' '"name":"plan.trials-par1"' '"name":"plan.trials-par4"' \
               '"name":"serve.parse-request"' '"name":"serve.request-cached"' \
-              '"name":"serve.metrics-render"' '"name":"serve.throughput"'; do
+              '"name":"serve.metrics-render"' '"name":"serve.throughput"' \
+              '"name":"serve.throughput-par"'; do
   grep -q -F "$needle" "$BENCH_JSON" \
     || { echo "check.sh: $BENCH_JSON malformed (missing $needle)" >&2; exit 1; }
 done
@@ -55,7 +56,7 @@ names = {k["name"] for k in doc["kernels"]}
 for required in ("plan.compile", "plan.sample", "plan.sample-recompute",
                  "plan.trials-seq", "plan.trials-par1", "plan.trials-par4",
                  "serve.parse-request", "serve.request-cached", "serve.metrics-render",
-                 "serve.throughput"):
+                 "serve.throughput", "serve.throughput-par"):
     assert required in names, f"missing kernel {required}"
 EOF
 fi
@@ -241,7 +242,8 @@ _build/default/bin/solarstorm.exe loadgen --url "$BASE/healthz" \
   || { echo "check.sh: loadgen run failed" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
 for needle in '"schema":"solarstorm-bench/1"' '"mode":"loadgen"' \
               '"name":"loadgen.latency-p50"' '"name":"loadgen.latency-p99"' \
-              '"loadgen.req_per_s"'; do
+              '"name":"loadgen.ns-per-request"' '"loadgen.req_per_s"' \
+              '"loadgen.elapsed_s"'; do
   grep -q -F "$needle" /tmp/loadgen_gate.json \
     || { echo "check.sh: loadgen report malformed (missing $needle)" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
 done
@@ -253,9 +255,11 @@ assert doc["schema"] == "solarstorm-bench/1" and doc["mode"] == "loadgen"
 assert doc["metrics"]["loadgen.requests"] == 40, doc["metrics"]
 assert doc["metrics"]["loadgen.errors"] == 0, doc["metrics"]
 assert doc["metrics"]["loadgen.req_per_s"] > 0, doc["metrics"]
+assert doc["metrics"]["loadgen.elapsed_s"] > 0, doc["metrics"]
 names = {k["name"] for k in doc["kernels"]}
 assert {"loadgen.latency-mean", "loadgen.latency-p50",
-        "loadgen.latency-p95", "loadgen.latency-p99"} <= names, names
+        "loadgen.latency-p95", "loadgen.latency-p99",
+        "loadgen.ns-per-request"} <= names, names
 EOF
 fi
 
@@ -272,4 +276,113 @@ grep -q '"name":"server.request"' "$SERVE_TRACE" \
   || { echo "check.sh: $SERVE_TRACE has no server.request span" >&2; exit 1; }
 rm -f /tmp/serve_obs_headers.txt /tmp/serve_obs_sim.json /tmp/serve_obs_cli.json /tmp/loadgen_gate.json
 
-echo "check.sh: all green ($BENCH_JSON, $PROFILE_JSON, serve ok, observability ok)"
+echo "== solarstorm serve: worker pool gate =="
+# The acceptor + worker-domain pool must be invisible in the bytes: every
+# analysis endpoint answers byte-identically whether one worker or four
+# are running, the pool survives more client concurrency than workers,
+# per-worker /statusz counters sum to the request total, and the shared
+# cache counts one hit per concurrent repeated POST — exactly.
+W1_LOG=/tmp/serve_w1.log
+W4_LOG=/tmp/serve_w4.log
+rm -f "$W1_LOG" "$W4_LOG" /tmp/w1_*.json /tmp/w4_*.json /tmp/conc_*.json \
+  /tmp/pool_warm.json /tmp/pool_statusz.json /tmp/loadgen_pool.json /tmp/pool_metrics.txt
+
+_build/default/bin/solarstorm.exe serve --port 0 --workers 1 > "$W1_LOG" 2>&1 &
+SERVE_PID=$!
+i=0
+until grep -q 'listening on' "$W1_LOG" 2> /dev/null; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "check.sh: --workers 1 serve never became ready" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+  sleep 0.1
+done
+SERVE_PORT=$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$W1_LOG")
+BASE="http://127.0.0.1:$SERVE_PORT"
+curl -fsS -d "$SERVE_BODY" "$BASE/simulate" > /tmp/w1_sim.json
+curl -fsS -d '{"event":"carrington","trials":25}' "$BASE/scenario" > /tmp/w1_scn.json
+curl -fsS -d '{"trials":25}' "$BASE/countries" > /tmp/w1_cty.json
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "check.sh: --workers 1 serve did not exit 0" >&2; exit 1; }
+
+_build/default/bin/solarstorm.exe serve --port 0 --workers 4 > "$W4_LOG" 2>&1 &
+SERVE_PID=$!
+i=0
+until grep -q 'listening on' "$W4_LOG" 2> /dev/null; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "check.sh: --workers 4 serve never became ready" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+  sleep 0.1
+done
+grep -q 'listening on .*(4 workers)' "$W4_LOG" \
+  || { echo "check.sh: --workers 4 serve did not report its pool size" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+SERVE_PORT=$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$W4_LOG")
+BASE="http://127.0.0.1:$SERVE_PORT"
+
+curl -fsS -d "$SERVE_BODY" "$BASE/simulate" > /tmp/w4_sim.json
+curl -fsS -d '{"event":"carrington","trials":25}' "$BASE/scenario" > /tmp/w4_scn.json
+curl -fsS -d '{"trials":25}' "$BASE/countries" > /tmp/w4_cty.json
+for ep in sim scn cty; do
+  cmp "/tmp/w1_$ep.json" "/tmp/w4_$ep.json" \
+    || { echo "check.sh: --workers 4 changed the $ep response bytes" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+done
+
+# Concurrent repeated POSTs of one fresh body: the warm-up is the only
+# miss, every concurrent repeat is one counted hit with the warm bytes.
+CONC_BODY='{"trials":7,"seed":3}'
+curl -fsS -d "$CONC_BODY" "$BASE/simulate" > /tmp/pool_warm.json
+CONC_PIDS=""
+for i in 1 2 3 4 5 6 7 8; do
+  curl -fsS -d "$CONC_BODY" "$BASE/simulate" > "/tmp/conc_$i.json" &
+  CONC_PIDS="$CONC_PIDS $!"
+done
+for p in $CONC_PIDS; do
+  wait "$p" || { echo "check.sh: a concurrent POST failed" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+done
+for i in 1 2 3 4 5 6 7 8; do
+  cmp /tmp/pool_warm.json "/tmp/conc_$i.json" \
+    || { echo "check.sh: concurrent POST $i returned different bytes" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+done
+curl -fsS "$BASE/metrics" > /tmp/pool_metrics.txt
+grep -q '^server_cache_hits 8$' /tmp/pool_metrics.txt \
+  || { echo "check.sh: expected exactly 8 cache hits under concurrency, got: $(grep '^server_cache_hits' /tmp/pool_metrics.txt)" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+# More client concurrency than workers: 8 pipelining connections against
+# a 4-worker pool must complete every request without an error.
+_build/default/bin/solarstorm.exe loadgen --url "$BASE/healthz" \
+  --connections 8 --requests 80 > /tmp/loadgen_pool.json 2> /dev/null \
+  || { echo "check.sh: loadgen vs worker pool failed" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+if command -v python3 > /dev/null 2>&1; then
+  python3 - /tmp/loadgen_pool.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["metrics"]["loadgen.requests"] == 80, doc["metrics"]
+assert doc["metrics"]["loadgen.errors"] == 0, doc["metrics"]
+EOF
+else
+  grep -q '"loadgen.requests":80' /tmp/loadgen_pool.json \
+    || { echo "check.sh: loadgen vs worker pool dropped requests" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+fi
+
+# /statusz: one row per worker, and their request counts sum to the
+# process-wide total (both counters are bumped at the same instruction).
+curl -fsS "$BASE/statusz" > /tmp/pool_statusz.json
+if command -v python3 > /dev/null 2>&1; then
+  python3 - /tmp/pool_statusz.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = doc["workers"]
+assert len(rows) == 4, f"expected 4 worker rows, got {rows}"
+assert sum(r["requests"] for r in rows) == doc["requests"]["total"], doc
+assert all(isinstance(r["busy_ms"], (int, float)) for r in rows), rows
+EOF
+else
+  grep -q '"workers":\[{' /tmp/pool_statusz.json \
+    || { echo "check.sh: /statusz has no worker rows" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+fi
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "check.sh: --workers 4 serve did not exit 0 on SIGTERM" >&2; exit 1; }
+grep -q 'solarstorm serve: stopped' "$W4_LOG" \
+  || { echo "check.sh: --workers 4 serve did not log a clean drain" >&2; exit 1; }
+rm -f /tmp/w1_*.json /tmp/w4_*.json /tmp/conc_*.json /tmp/pool_warm.json \
+  /tmp/pool_statusz.json /tmp/loadgen_pool.json /tmp/pool_metrics.txt "$W1_LOG" "$W4_LOG"
+
+echo "check.sh: all green ($BENCH_JSON, $PROFILE_JSON, serve ok, observability ok, worker pool ok)"

@@ -479,9 +479,20 @@ let serve_cmd =
                    gets the same $(b,X-Trace-Id) on every run (tests, CI).  \
                    Default: seeded from wall clock and pid.")
   in
-  let run port host cache_entries max_body max_pending read_timeout trace_seed log
-      profile jobs =
+  let workers_t =
+    Arg.(value & opt int 0
+         & info [ "workers"; "w" ] ~docv:"N"
+             ~doc:"Worker domains serving requests in parallel (responses are \
+                   byte-identical for any count).  0 (default) follows \
+                   $(b,--jobs)/$(b,SOLARSTORM_JOBS), else 1.")
+  in
+  let run port host workers cache_entries max_body max_pending read_timeout trace_seed
+      log profile jobs =
     Option.iter Exec.set_default_jobs jobs;
+    if workers < 0 then begin
+      Printf.eprintf "serve: --workers must be >= 0\n";
+      exit 2
+    end;
     if cache_entries < 0 then begin
       Printf.eprintf "serve: --cache-entries must be >= 0\n";
       exit 2
@@ -500,7 +511,7 @@ let serve_cmd =
     Server.Service.install_signal_handlers ();
     Server.Service.run
       { Server.Service.default_config with
-        Server.Service.host; port; max_pending; max_body;
+        Server.Service.host; port; workers; max_pending; max_body;
         read_timeout_s = read_timeout; trace_seed };
     (* After the drain: every request span (tagged with its trace id) is
        still in the rings, so the profile covers the whole serving run. *)
@@ -516,9 +527,11 @@ let serve_cmd =
              requests; identical requests are served byte-identically from an \
              LRU result cache.  Every response carries an $(b,X-Trace-Id) \
              header; $(b,--log) adds one access-log line per request with the \
-             same id.  SIGINT/SIGTERM drain in-flight requests and exit 0.")
-    Term.(const run $ port_t $ host_t $ cache_t $ max_body_t $ max_pending_t
-          $ timeout_t $ trace_seed_t $ log_t $ profile_t $ jobs_t)
+             same id.  $(b,--workers) spreads requests over a pool of domains \
+             with byte-identical responses.  SIGINT/SIGTERM drain in-flight \
+             requests across all workers and exit 0.")
+    Term.(const run $ port_t $ host_t $ workers_t $ cache_t $ max_body_t
+          $ max_pending_t $ timeout_t $ trace_seed_t $ log_t $ profile_t $ jobs_t)
 
 (* loadgen *)
 let loadgen_cmd =

@@ -1,6 +1,16 @@
 let builds = ref 0
 
+(* One mutex over every table, held across the build itself
+   (single-flight): concurrent server workers asking for the same
+   dataset must get one build and one shared value, not a race that
+   builds twice and doubles resident memory.  Builds are rare (a
+   handful per process) and reads are one probe, so a single lock is
+   plenty. *)
+let mu = Mutex.create ()
+
 let memo tbl key build =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) @@ fun () ->
   match Hashtbl.find_opt tbl key with
   | Some v -> v
   | None ->
@@ -36,9 +46,15 @@ let dns_roots ?(seed = 42) () =
 
 let ixp ?(seed = 42) () = memo ixp_tbl seed (fun () -> Ixp.build ~seed ())
 
-let build_count () = !builds
+let build_count () =
+  Mutex.lock mu;
+  let n = !builds in
+  Mutex.unlock mu;
+  n
 
 let clear () =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) @@ fun () ->
   builds := 0;
   Hashtbl.reset submarine_tbl;
   Hashtbl.reset intertubes_tbl;

@@ -7,8 +7,10 @@
     for the same parameters, building at most once per [(params)] key.
 
     The cache is per-process and unbounded; keys are the full parameter
-    tuples, so differently-parameterized builds never collide.  Not
-    thread-safe (nothing in this repository is). *)
+    tuples, so differently-parameterized builds never collide.  Safe to
+    call from concurrent domains: one mutex guards the tables and is
+    held across the build (single-flight), so two workers asking for
+    the same dataset share one build and one physical value. *)
 
 val submarine : ?seed:int -> unit -> Infra.Network.t
 val intertubes : ?seed:int -> unit -> Infra.Network.t

@@ -42,6 +42,12 @@ let parallel_for ?chunk ~jobs ~n body =
     in
     let nchunks = (n + chunk - 1) / chunk in
     let cursor = Atomic.make 0 in
+    (* Trace context is domain-local (see {!Obs.Span.with_trace}), so a
+       freshly spawned domain starts without the caller's request id.
+       Capture it here and re-install it in every spawned worker so one
+       request's [exec.worker]/[mc.trial] spans stay attributable when N
+       requests run plans concurrently on N server domains. *)
+    let trace = Obs.Span.current_trace () in
     let worker () =
       (* The span makes every participating domain visible to the
          profiler (per-domain rings) even when work-stealing leaves a
@@ -59,7 +65,10 @@ let parallel_for ?chunk ~jobs ~n body =
     in
     Obs.Metrics.incr par_sections;
     Obs.Metrics.add domains_spawned (jobs - 1);
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    let spawned_worker () =
+      if trace = "" then worker () else Obs.Span.with_trace trace worker
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn spawned_worker) in
     (* The calling domain is worker [jobs - 1]; hold its exception until
        every spawned domain is joined so no domain outlives the call. *)
     let first_exn = ref None in

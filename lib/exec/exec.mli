@@ -21,8 +21,12 @@
     domains it spawned), and every participating domain — spawned or
     calling — runs its stealing loop under an ["exec.worker"] span, so a
     profile ([solarstorm --profile]) shows one trace row per active
-    domain even when work-stealing left a domain without a chunk.  All
-    of it is off-by-default obs, one branch when disabled. *)
+    domain even when work-stealing left a domain without a chunk.  The
+    caller's trace context ({!Obs.Span.current_trace}, domain-local) is
+    captured at section start and re-installed in every spawned domain,
+    so a request id set by the serving layer follows the work onto
+    worker domains.  All of it is off-by-default obs, one branch when
+    disabled. *)
 
 val available_jobs : unit -> int
 (** What the hardware offers: [Domain.recommended_domain_count ()]. *)

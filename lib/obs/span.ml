@@ -13,19 +13,25 @@ let clock = ref Clock.monotonic
 let set_clock c = clock := c
 let now () = !clock ()
 
-(* Process-wide trace context.  The service serves one request at a time
-   (single worker loop), so a single slot is enough; worker domains
-   spawned while a trace is active read it at push time, which is how a
-   request's id reaches [exec.worker]/[mc.trial] spans without threading
-   an argument through every layer.  An atomic (not DLS) on purpose:
-   workers must see the main domain's value. *)
-let trace_ctx = Atomic.make ""
+(* Per-domain trace context.  The serving layer runs N requests
+   concurrently on N worker domains, each under its own trace id, so the
+   context must be domain-local: a process-wide slot would let one
+   request's id bleed into another's spans.  Domain-local storage (one
+   mutable cell per domain, single-writer) makes [with_trace] safe under
+   any concurrency; spawning a domain does NOT inherit the parent's
+   context — whoever spawns must capture [current_trace] and re-install
+   it in the child ({!Exec.parallel_for} does exactly that for its
+   workers, which is how a request's id still reaches
+   [exec.worker]/[mc.trial] spans). *)
+let trace_key : string ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref "")
 
-let current_trace () = Atomic.get trace_ctx
+let current_trace () = !(Domain.DLS.get trace_key)
 
 let with_trace id f =
-  let prev = Atomic.exchange trace_ctx id in
-  Fun.protect ~finally:(fun () -> Atomic.set trace_ctx prev) f
+  let cell = Domain.DLS.get trace_key in
+  let prev = !cell in
+  cell := id;
+  Fun.protect ~finally:(fun () -> cell := prev) f
 
 let default_capacity = 65_536
 
@@ -147,7 +153,7 @@ let with_ ~name f =
     if d = 0 && Domain.is_main_domain () then Resource.sample ();
     (* Capture the trace once so Begin and End always agree, even if [f]
        switches contexts. *)
-    let trace = Atomic.get trace_ctx in
+    let trace = current_trace () in
     push r { name; phase = Begin; t_ns = now (); depth = d; domain = dom; trace };
     r.depth <- d + 1;
     Fun.protect

@@ -43,16 +43,19 @@ val now : unit -> int64
 (** Read the installed clock. *)
 
 val with_trace : string -> (unit -> 'a) -> 'a
-(** [with_trace id f] runs [f] with [id] as the process-wide trace
-    context, restoring the previous context afterwards (even on raise).
-    Every event pushed while the context is set carries it, including
-    events from worker domains spawned inside [f] — that is how a
-    request id set by the service reaches [exec.worker]/[mc.trial]
-    spans.  Works whether or not the span layer is enabled, so
-    {!Log} lines pick the id up even when tracing is off. *)
+(** [with_trace id f] runs [f] with [id] as the {e calling domain's}
+    trace context, restoring the previous context afterwards (even on
+    raise).  The context is domain-local, so N worker domains can each
+    serve a different request under a different id concurrently without
+    interfering.  Spawned domains start with no context: a spawner that
+    wants the id to follow must capture {!current_trace} and re-install
+    it in the child — {!Exec.parallel_for} does, which is how a request
+    id set by the service reaches [exec.worker]/[mc.trial] spans.  Works
+    whether or not the span layer is enabled, so {!Log} lines pick the
+    id up even when tracing is off. *)
 
 val current_trace : unit -> string
-(** The active trace context ([""] when none). *)
+(** The calling domain's active trace context ([""] when none). *)
 
 val with_ : name:string -> (unit -> 'a) -> 'a
 

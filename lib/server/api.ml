@@ -227,38 +227,55 @@ let evictions = Obs.Metrics.counter "server.cache.evictions"
 let entries_gauge = Obs.Metrics.gauge "server.cache.entries"
 let plan_reuses = Obs.Metrics.counter "server.plan.reuses"
 
-let result_cache = ref (Lru.create ~capacity:128)
+(* The result cache is lock-striped ({!Lru.Sharded}) because N worker
+   domains consult it concurrently; the ref swap in [set_cache_capacity]
+   happens before the service boots its workers. *)
+let result_cache = ref (Lru.Sharded.create ~capacity:128 ())
 
 let sync_entries () =
-  Obs.Metrics.set entries_gauge (float_of_int (Lru.length !result_cache))
+  Obs.Metrics.set entries_gauge (float_of_int (Lru.Sharded.length !result_cache))
 
-let set_cache_capacity n =
-  result_cache := Lru.create ~capacity:n;
+let set_cache_capacity ?shards n =
+  result_cache := Lru.Sharded.create ?shards ~capacity:n ();
   sync_entries ()
 
-let cache_length () = Lru.length !result_cache
+let cache_length () = Lru.Sharded.length !result_cache
 
-let cache_capacity () = Lru.capacity !result_cache
+let cache_capacity () = Lru.Sharded.capacity !result_cache
+
+let cache_shards () = Lru.Sharded.shard_count !result_cache
 
 (* The outcome of the most recent [with_cache] call, for the service's
-   access log.  A plain ref is fine: the cache itself is only touched
-   from the single worker loop. *)
-let last_outcome : [ `Hit | `Miss ] option ref = ref None
+   access log.  Domain-local: each worker domain serves one request at
+   a time, so its own cell is single-writer, and workers never see each
+   other's outcomes. *)
+let outcome_key : [ `Hit | `Miss ] option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let take_cache_outcome () =
-  let o = !last_outcome in
-  last_outcome := None;
+  let cell = Domain.DLS.get outcome_key in
+  let o = !cell in
+  cell := None;
   o
 
+(* Compiled-plan memo.  The mutex is held across [Plan.compile]
+   (single-flight): compiles take orders of magnitude longer than the
+   table probe, and letting two workers race the same key would burn a
+   core per duplicate compile for no byte of benefit. *)
 let plans : (string, Stormsim.Plan.t) Hashtbl.t = Hashtbl.create 16
+let plans_mu = Mutex.create ()
 
 let reset () =
-  Lru.clear !result_cache;
+  Lru.Sharded.clear !result_cache;
   sync_entries ();
-  last_outcome := None;
-  Hashtbl.reset plans
+  Domain.DLS.get outcome_key := None;
+  Mutex.lock plans_mu;
+  Hashtbl.reset plans;
+  Mutex.unlock plans_mu
 
 let plan_for ~plan_key ~network ~model ~spacing_km =
+  Mutex.lock plans_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock plans_mu) @@ fun () ->
   match Hashtbl.find_opt plans plan_key with
   | Some plan ->
       Obs.Metrics.incr plan_reuses;
@@ -269,18 +286,19 @@ let plan_for ~plan_key ~network ~model ~spacing_km =
       plan
 
 let with_cache ~key compute =
-  match Lru.find !result_cache key with
+  let outcome = Domain.DLS.get outcome_key in
+  match Lru.Sharded.find !result_cache key with
   | Some body ->
       Obs.Metrics.incr hits;
-      last_outcome := Some `Hit;
+      outcome := Some `Hit;
       Ok body
   | None -> (
       Obs.Metrics.incr misses;
-      last_outcome := Some `Miss;
+      outcome := Some `Miss;
       match compute () with
       | Error _ as e -> e
       | Ok body ->
-          (match Lru.add !result_cache key body with
+          (match Lru.Sharded.add !result_cache key body with
           | Some _ -> Obs.Metrics.incr evictions
           | None -> ());
           sync_entries ();

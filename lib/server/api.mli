@@ -11,10 +11,12 @@
     Process-wide reuse: dataset builds go through {!Datasets.Cache},
     compiled {!Stormsim.Plan}s are memoized here per canonical
     [(network, model, spacing)] key, and whole response bodies live in
-    an LRU keyed by the canonical request ({!sim_key} & friends) — a
-    repeated request is answered byte-identically without re-running
-    trials.  All mutable state is touched only from the service's single
-    worker loop (or the one CLI invocation), never concurrently. *)
+    a lock-striped LRU ({!Lru.Sharded}) keyed by the canonical request
+    ({!sim_key} & friends) — a repeated request is answered
+    byte-identically without re-running trials.  Every entry point is
+    safe to call from any number of worker domains concurrently: the
+    result cache is sharded, the plan memo is mutex-single-flighted,
+    and the per-request cache outcome is domain-local. *)
 
 type network = Submarine | Intertubes | Itu
 
@@ -89,23 +91,33 @@ val params_of_body :
     anything else must parse as JSON and overlay cleanly. *)
 
 val with_cache : key:string -> (unit -> (string, string) result) -> (string, string) result
-(** Serve [key] from the LRU result cache, or compute, cache (successes
-    only) and count.  Hits/misses/evictions land on the
+(** Serve [key] from the sharded LRU result cache, or compute, cache
+    (successes only) and count.  Hits/misses/evictions land on the
     [server.cache.*] metrics (occupancy on the [server.cache.entries]
-    gauge); a hit returns the stored bytes without running any trial. *)
+    gauge); a hit returns the stored bytes without running any trial.
+    Safe from any domain — the counters are domain-sharded and exact,
+    the cache lock-striped. *)
 
 val take_cache_outcome : unit -> [ `Hit | `Miss ] option
-(** Outcome of the most recent {!with_cache} call, cleared on read —
-    the service reads it once per request for the access log ([None]
-    when the request never consulted the cache, e.g. [/healthz]). *)
+(** Outcome of the calling domain's most recent {!with_cache} call,
+    cleared on read — each worker reads it once per request for the
+    access log ([None] when the request never consulted the cache,
+    e.g. [/healthz]).  Domain-local, so concurrent workers never see
+    each other's outcomes. *)
 
-val set_cache_capacity : int -> unit
+val set_cache_capacity : ?shards:int -> int -> unit
 (** Replace the result cache with an empty one of the given capacity
-    (the [--cache-entries] flag).  @raise Invalid_argument if negative. *)
+    (the [--cache-entries] flag) and stripe count (default
+    {!Lru.Sharded.default_shards}; tests that assert exact eviction
+    order pass [~shards:1]).  Call before worker domains are running —
+    the swap itself is not synchronized.
+    @raise Invalid_argument if the capacity is negative. *)
 
 val cache_length : unit -> int
 
 val cache_capacity : unit -> int
+
+val cache_shards : unit -> int
 
 val reset : unit -> unit
 (** Drop the result cache and the compiled-plan memo (tests). *)

@@ -1,0 +1,34 @@
+(** A small multi-producer multi-consumer FIFO channel for moving work
+    between the service's acceptor and its worker domains.
+
+    Two flavours share one type: bounded ([capacity > 0]) for the
+    acceptor → worker job queue, where {!try_push} refusing is the
+    backpressure signal (the acceptor answers 503 instead of queueing
+    without bound), and unbounded ([capacity = 0]) for the worker →
+    acceptor completion queue, where {!push} must never block a worker.
+
+    FIFO order is total across producers; {!pop} blocks until an
+    element is available (workers park here between requests and are
+    woken by the [Stop] sentinel at shutdown). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] bounds the queue; [0] (default) means unbounded.
+    @raise Invalid_argument if negative. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue, or return [false] when a bounded channel is full.  Never
+    blocks (beyond the internal lock). *)
+
+val push : 'a t -> 'a -> unit
+(** Enqueue unconditionally, ignoring any bound — for unbounded
+    channels and for shutdown sentinels that must not be droppable. *)
+
+val pop : 'a t -> 'a
+(** Block until an element is available and dequeue it. *)
+
+val try_pop : 'a t -> 'a option
+(** Dequeue if an element is available, never blocking. *)
+
+val length : 'a t -> int

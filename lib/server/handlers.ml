@@ -33,6 +33,27 @@ let statusz _req =
           ]
     | _ -> Object [ ("count", int 0); ("p50", Null); ("p95", Null); ("p99", Null) ]
   in
+  (* One row per worker domain that has registered its counters this
+     process (the pool registers them at boot), derived from the metric
+     names themselves so this handler needs no channel to Service.  The
+     rows' [requests] sum to [requests.total]: both counters are bumped
+     at the same instruction in the worker. *)
+  let workers =
+    let worker_id name =
+      match String.split_on_char '.' name with
+      | [ "server"; "worker"; i; "requests" ] -> int_of_string_opt i
+      | _ -> None
+    in
+    List.filter_map (fun (name, _) -> worker_id name) snap
+    |> List.sort_uniq compare
+    |> List.map (fun i ->
+           Object
+             [
+               ("id", int i);
+               ("requests", int (counter (Printf.sprintf "server.worker.%d.requests" i)));
+               ("busy_ms", Number (gauge (Printf.sprintf "server.worker.%d.busy_ms" i)));
+             ])
+  in
   let body =
     Object
       [
@@ -50,6 +71,7 @@ let statusz _req =
               ("rejected_busy", int (counter "server.rejected.busy"));
             ] );
         ("latency_ms", latency);
+        ("workers", Array workers);
         ( "cache",
           Object
             [

@@ -233,6 +233,12 @@ let to_bench_json r =
         kernel "loadgen.latency-p50" "exact-quantile" (q 0.5);
         kernel "loadgen.latency-p95" "exact-quantile" (q 0.95);
         kernel "loadgen.latency-p99" "exact-quantile" (q 0.99);
+        (* Throughput as a kernel (inverse rate: wall ns per completed
+           request), so req/s trajectories ride the same baseline/gate
+           tooling as every other kernel instead of needing
+           post-processing of the metrics block. *)
+        kernel "loadgen.ns-per-request" "wall-per-request"
+          (r.elapsed_s *. 1e9 /. float_of_int (Int.max 1 r.requests));
       ]
   in
   to_string

@@ -46,8 +46,11 @@ val quantile_exact : float array -> float -> float
 
 val to_bench_json : result -> string
 (** The run as a [solarstorm-bench/1] document (mode ["loadgen"]):
-    latency mean/p50/p95/p99 as kernels ([ns_per_run] = nanoseconds),
-    request/error/throughput figures under ["metrics"]. *)
+    latency mean/p50/p95/p99 plus throughput as an inverse-rate
+    [loadgen.ns-per-request] kernel ([ns_per_run] = nanoseconds), and
+    request/error/elapsed/req-per-s figures under ["metrics"] — wall
+    time and achieved rate are recorded in both places so throughput
+    trajectories need no post-processing. *)
 
 val summary : result -> string
 (** One human-readable line (req/s and millisecond quantiles). *)

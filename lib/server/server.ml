@@ -1,8 +1,9 @@
 (** The dependency-free simulation service behind [solarstorm serve]:
     a hardened HTTP/1.1 layer ({!Http}), method × path routing
-    ({!Router}), the endpoint handlers ({!Handlers}), a canonical-key
-    LRU result cache plus the shared compute/encode path ({!Api},
-    {!Lru}), the single-worker socket loop with backpressure and
+    ({!Router}), the endpoint handlers ({!Handlers}), a lock-striped
+    canonical-key LRU result cache plus the shared compute/encode path
+    ({!Api}, {!Lru}), the bounded MPSC channel ({!Chan}) feeding an
+    acceptor + worker-domain-pool socket loop with backpressure and
     graceful drain ({!Service}), and the pipelined loopback load
     generator ({!Loadgen}).
 
@@ -10,6 +11,7 @@
 
 module Http = Http
 module Lru = Lru
+module Chan = Chan
 module Api = Api
 module Router = Router
 module Handlers = Handlers

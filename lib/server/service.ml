@@ -1,22 +1,38 @@
-(* Single-worker readiness loop.  Every iteration:
+(* Acceptor + worker-pool serving loop.
 
-     1. select() over the listen socket plus every pending connection
-        (zero timeout when some connection still buffers pipelined
-        bytes — that work needs no socket readiness);
-     2. accept everything waiting, 503-ing the overflow past
-        [max_pending];
-     3. serve ONE request per ready connection, in connection order —
-        round-robin fairness so a pipelining client cannot starve the
-        rest;
-     4. close connections that are done (peer EOF, Connection: close,
-        protocol error, write failure) or idle past [idle_timeout_s].
+   The calling domain is the ACCEPTOR: it owns the listen socket and
+   every idle connection, selects for readiness, and hands each
+   parse-ready connection — together with a pre-drawn trace id — to a
+   pool of WORKER domains over a bounded job queue.  A worker owns the
+   connection end-to-end for one request (parse, dispatch, write), then
+   returns it through an unbounded completion queue and wakes the
+   acceptor via a self-pipe.  Ownership is strict: a connection is
+   touched by exactly one domain at any moment, so the HTTP conn buffer
+   needs no lock.
 
+   Every iteration of the acceptor:
+
+     1. select() over the listen socket, the wake pipe and every idle
+        connection;
+     2. drain the completion queue — closed connections die, kept ones
+        with buffered pipelined bytes are re-handed immediately, the
+        rest rejoin the idle set;
+     3. accept everything waiting, 503-ing the overflow past
+        [max_pending] (idle + in flight);
+     4. hand off readable idle connections — one request per handoff,
+        so a pipelining client cannot starve the rest — and reap those
+        idle past [idle_timeout_s].
+
+   Backpressure is the job queue's bound: when [try_push] refuses, the
+   acceptor answers 503 and closes instead of queueing without bound.
    The loop re-checks the stop flag each tick, so SIGINT/SIGTERM latency
-   is bounded by [idle_poll_s] plus the request in flight. *)
+   is bounded by [idle_poll_s] plus the requests in flight. *)
 
 type config = {
   host : string;
   port : int;
+  workers : int;
+  queue_depth : int;
   max_pending : int;
   max_head : int;
   max_body : int;
@@ -32,6 +48,8 @@ let default_config =
   {
     host = "127.0.0.1";
     port = 8080;
+    workers = 0;
+    queue_depth = 0;
     max_pending = 64;
     max_head = Http.default_limits.Http.max_head;
     max_body = Http.default_limits.Http.max_body;
@@ -44,10 +62,12 @@ let default_config =
   }
 
 (* Per-request trace ids: one SplitMix64 stream, rendered as 16 hex
-   chars.  With [trace_seed] set the n-th request of every run gets the
+   chars.  With [trace_seed] set the n-th handoff of every run gets the
    same id (reproducible tests and CI gates); otherwise the stream is
-   seeded from wall clock ⊕ pid at [run] time.  A plain ref: ids are
-   only drawn from the single worker loop. *)
+   seeded from wall clock ⊕ pid at [run] time.  A plain ref is still
+   correct with N workers because ids are only drawn by the single
+   acceptor domain, BEFORE handoff — the id travels with the job and the
+   worker installs it as its domain-local trace context. *)
 let trace_state = ref 0L
 
 let mix64 z =
@@ -75,10 +95,15 @@ let m_2xx = Obs.Metrics.counter "server.resp.2xx"
 let m_4xx = Obs.Metrics.counter "server.resp.4xx"
 let m_5xx = Obs.Metrics.counter "server.resp.5xx"
 let g_pending = Obs.Metrics.gauge "server.pending"
+let g_workers = Obs.Metrics.gauge "server.workers"
 
+(* Sub-millisecond buckets matter here: cached hits answer in tens of
+   microseconds, and with 1.0 as the lowest bound nearly every request
+   landed in one bucket, flattening the interpolated p50/p95 into
+   noise. *)
 let h_request_ms =
   Obs.Metrics.histogram "server.request.ms"
-    ~buckets:[| 1.0; 5.0; 25.0; 100.0; 500.0; 2000.0; 10000.0 |]
+    ~buckets:[| 0.05; 0.25; 0.5; 1.0; 5.0; 25.0; 100.0; 500.0; 2000.0; 10000.0 |]
 
 let count_status status =
   Obs.Metrics.incr
@@ -93,6 +118,31 @@ let install_signal_handlers () =
   Sys.set_signal Sys.sigterm h
 
 type client = { fd : Unix.file_descr; conn : Http.conn; mutable last_active : float }
+
+(* Per-worker observability: [server.worker.<i>.requests] counts the
+   requests worker [i] parsed successfully (the same increment point as
+   [server.requests], so the per-worker counters sum to the total) and
+   [server.worker.<i>.busy_ms] gauges its cumulative time spent on
+   jobs.  [busy_ms] itself is worker-private state. *)
+type worker_slot = {
+  w_requests : Obs.Metrics.counter;
+  w_busy : Obs.Metrics.gauge;
+  mutable busy_ms : float;
+}
+
+let worker_slot i =
+  {
+    w_requests = Obs.Metrics.counter (Printf.sprintf "server.worker.%d.requests" i);
+    w_busy = Obs.Metrics.gauge (Printf.sprintf "server.worker.%d.busy_ms" i);
+    busy_ms = 0.0;
+  }
+
+(* A job is one connection, one request, one pre-drawn trace id.  [Stop]
+   is the shutdown sentinel: pushed once per worker, FIFO behind any
+   remaining jobs, so queued work is served before a worker parks. *)
+type job =
+  | Job of { c : client; trace : string; force_close : bool }
+  | Stop
 
 let rec write_all fd s off len =
   if len > 0 then begin
@@ -129,9 +179,13 @@ let access_log ~meth ~path ~status ~bytes ~dur_ms ~cache =
           (match cache with Some `Hit -> "hit" | Some `Miss -> "miss" | None -> "-") );
     ]
 
-(* Serve one request off a ready connection.  [force_close] is the drain
-   path: whatever happens, the peer is told the connection is done. *)
-let serve_one ~routes ~limits ~force_close c =
+(* Serve one request off a ready connection, on a worker domain.  The
+   whole exchange — parse included — runs under the handed-off trace id,
+   so even 4xx parse failures log with an id.  [force_close] is the
+   drain path: whatever happens, the peer is told the connection is
+   done. *)
+let serve_one ~routes ~limits ~force_close ~trace ~slot c =
+  Obs.Span.with_trace trace @@ fun () ->
   match Http.parse_request ~limits c.conn with
   | Error Http.Eof -> `Close
   | Error e ->
@@ -142,8 +196,7 @@ let serve_one ~routes ~limits ~force_close c =
       `Close
   | Ok req ->
       Obs.Metrics.incr m_requests;
-      let trace = next_trace_id () in
-      Obs.Span.with_trace trace @@ fun () ->
+      Obs.Metrics.incr slot.w_requests;
       Obs.Span.with_ ~name:"server.request" @@ fun () ->
       let t0 = Obs.Span.now () in
       let resp = Router.dispatch ~routes req in
@@ -162,78 +215,47 @@ let serve_one ~routes ~limits ~force_close c =
       c.last_active <- Unix.gettimeofday ();
       if send_response c.fd ~close resp && not close then `Keep else `Close
 
+(* Wake the acceptor out of select() after pushing to the completion
+   queue.  The pipe is non-blocking on both ends: a full pipe already
+   guarantees a pending wakeup, so EAGAIN is success. *)
+let wake fd =
+  match Unix.write_substring fd "w" 0 1 with
+  | _ -> ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) -> ()
+
+let drain_wake fd =
+  let buf = Bytes.create 512 in
+  let rec go () =
+    match Unix.read fd buf 0 512 with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  in
+  go ()
+
+let worker_loop ~routes ~limits ~slot ~work ~done_q ~wake_w () =
+  let rec loop () =
+    match Chan.pop work with
+    | Stop -> ()
+    | Job { c; trace; force_close } ->
+        let t0 = Obs.Span.now () in
+        let verdict = serve_one ~routes ~limits ~force_close ~trace ~slot c in
+        slot.busy_ms <-
+          slot.busy_ms +. (Int64.to_float (Int64.sub (Obs.Span.now ()) t0) /. 1e6);
+        Obs.Metrics.set slot.w_busy slot.busy_ms;
+        Chan.push done_q (c, verdict);
+        wake wake_w;
+        loop ()
+  in
+  loop ()
+
 let busy_response =
   Http.response ~status:503 (Http.error_body "server busy: pending queue full")
-
-(* Accept everything the listen socket has ready; the caller made it
-   non-blocking, so the burst ends at EWOULDBLOCK. *)
-let rec accept_burst cfg lsock clients =
-  match Unix.accept ~cloexec:true lsock with
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
-      clients
-  | fd, _addr ->
-      if List.length clients >= cfg.max_pending then begin
-        Obs.Metrics.incr m_busy;
-        ignore (send_response fd ~close:true busy_response);
-        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
-        accept_burst cfg lsock clients
-      end
-      else begin
-        Obs.Metrics.incr m_accepted;
-        let c =
-          {
-            fd;
-            conn = Http.conn_of_fd ~timeout_s:cfg.read_timeout_s fd;
-            last_active = Unix.gettimeofday ();
-          }
-        in
-        accept_burst cfg lsock (clients @ [ c ])
-      end
 
 let select_readable fds timeout =
   match Unix.select fds [] [] timeout with
   | ready, _, _ -> ready
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
-
-(* Serve whatever is already readable, then close everything.  A client
-   mid-request gets its response; idle keep-alive connections just get
-   closed. *)
-let drain cfg routes limits clients =
-  let deadline = Unix.gettimeofday () +. cfg.drain_grace_s in
-  let rec go clients =
-    if clients = [] then []
-    else
-      let now = Unix.gettimeofday () in
-      if now >= deadline then clients
-      else begin
-        let buffered, rest = List.partition (fun c -> Http.buffered c.conn) clients in
-        let ready_fds =
-          match rest with
-          | [] -> []
-          | _ ->
-              select_readable
-                (List.map (fun c -> c.fd) rest)
-                (if buffered <> [] then 0.0 else Float.min 0.05 (deadline -. now))
-        in
-        let ready, waiting =
-          List.partition
-            (fun c -> Http.buffered c.conn || List.mem c.fd ready_fds)
-            clients
-        in
-        if ready = [] then go waiting
-        else begin
-          List.iter
-            (fun c ->
-              (match serve_one ~routes ~limits ~force_close:true c with
-              | `Keep | `Close -> ());
-              close_client c)
-            ready;
-          go waiting
-        end
-      end
-  in
-  let leftover = go clients in
-  List.iter close_client leftover
 
 let run ?on_ready cfg =
   Atomic.set stop_flag false;
@@ -241,9 +263,22 @@ let run ?on_ready cfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let limits = { Http.max_head = cfg.max_head; Http.max_body = cfg.max_body } in
   let routes = Handlers.routes () in
+  let nworkers = if cfg.workers > 0 then cfg.workers else Exec.default_jobs () in
+  let depth = if cfg.queue_depth > 0 then cfg.queue_depth else cfg.max_pending in
+  let work : job Chan.t = Chan.create ~capacity:depth () in
+  let done_q : (client * [ `Keep | `Close ]) Chan.t = Chan.create () in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let slots = Array.init nworkers worker_slot in
+  Obs.Metrics.set g_workers (float_of_int nworkers);
   let lsock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let close_quietly fd = try Unix.close fd with Unix.Unix_error (_, _, _) -> () in
   Fun.protect
-    ~finally:(fun () -> try Unix.close lsock with Unix.Unix_error (_, _, _) -> ())
+    ~finally:(fun () ->
+      close_quietly lsock;
+      close_quietly wake_r;
+      close_quietly wake_w)
     (fun () ->
       Unix.setsockopt lsock Unix.SO_REUSEADDR true;
       Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
@@ -254,36 +289,151 @@ let run ?on_ready cfg =
         | Unix.ADDR_INET (_, p) -> p
         | _ -> cfg.port
       in
+      let domains =
+        Array.map
+          (fun slot -> Domain.spawn (worker_loop ~routes ~limits ~slot ~work ~done_q ~wake_w))
+          slots
+      in
+      let joined = ref false in
+      let join_workers () =
+        if not !joined then begin
+          joined := true;
+          for _ = 1 to nworkers do
+            Chan.push work Stop
+          done;
+          Array.iter Domain.join domains
+        end
+      in
+      Fun.protect ~finally:join_workers @@ fun () ->
       Option.iter (fun f -> f ~port) on_ready;
-      cfg.log (Printf.sprintf "solarstorm serve: listening on http://%s:%d\n" cfg.host port);
-      let clients = ref [] in
+      cfg.log
+        (Printf.sprintf "solarstorm serve: listening on http://%s:%d (%d workers)\n"
+           cfg.host port nworkers);
+      (* Acceptor state: [idle] connections are owned here; a handoff
+         transfers ownership to a worker until the connection comes back
+         through [done_q].  [in_flight] is only ever touched by this
+         domain (incremented at handoff, decremented at collection), so
+         a plain ref suffices. *)
+      let idle = ref [] in
+      let in_flight = ref 0 in
+      let handoff ~force_close c =
+        let trace = next_trace_id () in
+        if Chan.try_push work (Job { c; trace; force_close }) then incr in_flight
+        else begin
+          (* Queue full: shed load now rather than buffering a backlog
+             the workers are provably behind on. *)
+          Obs.Metrics.incr m_busy;
+          ignore (send_response c.fd ~close:true busy_response);
+          close_client c
+        end
+      in
+      let collect ~draining () =
+        let rec go () =
+          match Chan.try_pop done_q with
+          | None -> ()
+          | Some (c, verdict) ->
+              decr in_flight;
+              (match verdict with
+              | `Close -> close_client c
+              | `Keep ->
+                  if draining then close_client c
+                  else if Http.buffered c.conn then
+                    (* Pipelined bytes already parsed off the socket:
+                       re-hand immediately, no select needed. *)
+                    handoff ~force_close:false c
+                  else begin
+                    c.last_active <- Unix.gettimeofday ();
+                    idle := !idle @ [ c ]
+                  end);
+              go ()
+        in
+        go ()
+      in
+      let rec accept_burst () =
+        match Unix.accept ~cloexec:true lsock with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          -> ()
+        | fd, _addr ->
+            if List.length !idle + !in_flight >= cfg.max_pending then begin
+              Obs.Metrics.incr m_busy;
+              ignore (send_response fd ~close:true busy_response);
+              close_quietly fd;
+              accept_burst ()
+            end
+            else begin
+              Obs.Metrics.incr m_accepted;
+              let c =
+                {
+                  fd;
+                  conn = Http.conn_of_fd ~timeout_s:cfg.read_timeout_s fd;
+                  last_active = Unix.gettimeofday ();
+                }
+              in
+              idle := !idle @ [ c ];
+              accept_burst ()
+            end
+      in
       while not (Atomic.get stop_flag) do
-        Obs.Metrics.set g_pending (float_of_int (List.length !clients));
-        let any_buffered = List.exists (fun c -> Http.buffered c.conn) !clients in
+        Obs.Metrics.set g_pending (float_of_int (List.length !idle + !in_flight));
         let ready_fds =
           select_readable
-            (lsock :: List.map (fun c -> c.fd) !clients)
-            (if any_buffered then 0.0 else cfg.idle_poll_s)
+            (lsock :: wake_r :: List.map (fun c -> c.fd) !idle)
+            cfg.idle_poll_s
         in
-        if List.mem lsock ready_fds then clients := accept_burst cfg lsock !clients;
+        if List.mem wake_r ready_fds then drain_wake wake_r;
+        collect ~draining:false ();
+        if List.mem lsock ready_fds then accept_burst ();
         let now = Unix.gettimeofday () in
-        clients :=
-          List.filter_map
+        idle :=
+          List.filter
             (fun c ->
-              if Http.buffered c.conn || List.mem c.fd ready_fds then
-                match serve_one ~routes ~limits ~force_close:false c with
-                | `Keep -> Some c
-                | `Close ->
-                    close_client c;
-                    None
+              if List.mem c.fd ready_fds then begin
+                handoff ~force_close:false c;
+                false
+              end
               else if now -. c.last_active > cfg.idle_timeout_s then begin
                 close_client c;
-                None
+                false
               end
-              else Some c)
-            !clients
+              else true)
+            !idle
       done;
       cfg.log "solarstorm serve: draining\n";
-      drain cfg routes limits !clients;
-      clients := [];
+      (* Serve what is in flight or already readable — every response
+         now announces [Connection: close] — until everything is
+         answered or the grace budget runs out.  Jobs still queued at
+         the deadline are not abandoned: the Stop sentinels queue
+         behind them, so workers finish them before parking. *)
+      let deadline = Unix.gettimeofday () +. cfg.drain_grace_s in
+      let rec drain_loop () =
+        collect ~draining:true ();
+        let now = Unix.gettimeofday () in
+        if now < deadline && (!in_flight > 0 || !idle <> []) then begin
+          let ready_fds =
+            select_readable
+              (wake_r :: List.map (fun c -> c.fd) !idle)
+              (Float.min 0.05 (deadline -. now))
+          in
+          if List.mem wake_r ready_fds then drain_wake wake_r;
+          collect ~draining:true ();
+          idle :=
+            List.filter
+              (fun c ->
+                if Http.buffered c.conn || List.mem c.fd ready_fds then begin
+                  handoff ~force_close:true c;
+                  false
+                end
+                else true)
+              !idle;
+          drain_loop ()
+        end
+      in
+      drain_loop ();
+      join_workers ();
+      (* Workers are parked; anything they completed after the last
+         collect is still in the queue, and unready idle connections
+         just close. *)
+      collect ~draining:true ();
+      List.iter close_client !idle;
+      idle := [];
       cfg.log "solarstorm serve: stopped\n")

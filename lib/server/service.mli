@@ -1,30 +1,50 @@
-(** The long-running simulation service: socket loop, backpressure and
-    graceful shutdown behind [solarstorm serve].
+(** The long-running simulation service: acceptor + worker-pool socket
+    loops, backpressure and graceful shutdown behind [solarstorm serve].
 
-    Concurrency model (DESIGN.md §8): one {e worker loop} on the calling
-    domain owns every connection and handles one request at a time —
-    requests themselves fan out across the Domain pool via
-    {!Stormsim.Plan.run_trials_par}, so parallelism lives inside a
-    request, where it is deterministic, and all process-wide caches
-    ({!Datasets.Cache}, compiled plans, the result LRU) are touched
-    single-threaded.  Concurrent clients are multiplexed by readiness:
-    accepted connections wait in a bounded pending set and are served
-    round-robin, one request per turn (keep-alive and pipelined requests
-    included).
+    Concurrency model (DESIGN.md §8): one {e acceptor} loop on the
+    calling domain owns the listen socket and every idle connection; a
+    pool of [workers] {e worker domains} owns requests.  The acceptor
+    selects for readiness and hands each parse-ready connection — plus a
+    trace id drawn before handoff — to the pool over a bounded job
+    queue; the receiving worker parses, dispatches and writes the
+    response end-to-end, then returns the connection through a
+    completion queue (self-pipe wakeup).  A connection is owned by
+    exactly one domain at any moment.  One request per handoff keeps
+    round-robin fairness: a pipelining client re-queues behind everyone
+    else after each response.
 
-    Backpressure: when the pending set is full, new connections are
-    answered [503 Service Unavailable] and closed immediately instead of
-    queueing without bound.
+    Requests on different workers run genuinely in parallel, so
+    everything they touch is domain-safe: the result cache is
+    lock-striped ({!Lru.Sharded} via {!Api}), plan/dataset memos are
+    single-flight mutexes, metrics are sharded atomics, and the trace
+    context is domain-local.  Responses are byte-identical to the
+    single-worker path for any worker count — simulation draws are
+    per-request state, exactly as {!Stormsim.Plan.run_trials_par}
+    proves per-trial.
 
-    Shutdown: {!stop} (or SIGINT/SIGTERM via
-    {!install_signal_handlers}) makes the loop stop accepting, serve
-    whatever is already readable for a grace period, close everything
-    and return — the CLI then exits 0. *)
+    Backpressure: accepted connections are capped at [max_pending]
+    (idle + in flight) and the job queue at [queue_depth]; past either,
+    new work is answered [503 Service Unavailable] immediately instead
+    of queueing without bound.
+
+    Shutdown: {!stop} (or SIGINT/SIGTERM via {!install_signal_handlers})
+    makes the acceptor stop accepting, serve in-flight and
+    already-readable work for a grace period with [Connection: close],
+    then park every worker (shutdown sentinels queue FIFO behind
+    remaining jobs, so accepted work is answered), join them and
+    return — the CLI then exits 0. *)
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
   port : int;  (** 0 = ephemeral (the OS picks; see [on_ready]) *)
-  max_pending : int;  (** accepted connections held at once; over → 503 *)
+  workers : int;
+      (** worker domains serving requests; [0] (default) =
+          {!Exec.default_jobs} — i.e. [--jobs]/[SOLARSTORM_JOBS], else 1 *)
+  queue_depth : int;
+      (** job-queue bound between acceptor and workers; [0] (default) =
+          [max_pending], which makes the queue bound unreachable (the
+          pending cap trips first) — set lower for earlier shedding *)
+  max_pending : int;  (** connections held at once (idle + in flight); over → 503 *)
   max_head : int;  (** request-line + header byte cap (431 over it) *)
   max_body : int;  (** body byte cap (413 over it) *)
   read_timeout_s : float;  (** per-read stall budget (408 past it) *)
@@ -35,16 +55,24 @@ type config = {
   trace_seed : int option;
       (** seed for per-request trace ids: [Some s] makes the n-th
           request's id identical across runs (tests, CI); [None]
-          (default) seeds from wall clock ⊕ pid at {!run} time *)
+          (default) seeds from wall clock ⊕ pid at {!run} time.  Ids are
+          drawn by the acceptor in handoff order, so they stay
+          deterministic for any worker count when requests arrive
+          sequentially *)
 }
 
 val default_config : config
 
 val run : ?on_ready:(port:int -> unit) -> config -> unit
-(** Bind, listen and serve until {!stop}.  [on_ready] fires once with
-    the actually-bound port (useful with [port = 0]) right before the
-    first accept.  @raise Unix.Unix_error when the bind/listen itself
-    fails (address in use, permission). *)
+(** Bind, listen, spawn the worker pool and serve until {!stop}; all
+    worker domains are joined before returning.  [on_ready] fires once
+    with the actually-bound port (useful with [port = 0]) right before
+    the first accept.  Per-worker activity lands on the
+    [server.worker.<i>.requests] counters and
+    [server.worker.<i>.busy_ms] gauges (surfaced by [/statusz]); the
+    pool size is on the [server.workers] gauge.
+    @raise Unix.Unix_error when the bind/listen itself fails (address
+    in use, permission). *)
 
 val stop : unit -> unit
 (** Ask a running {!run} to drain and return.  Safe to call from a

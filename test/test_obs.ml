@@ -298,17 +298,45 @@ let test_with_trace_nests_and_restores () =
 
 let test_with_trace_reaches_worker_domains () =
   with_obs_enabled @@ fun () ->
+  (* Trace context is domain-local, so a raw [Domain.spawn] starts
+     clean; Exec.parallel_for captures the caller's context and
+     re-installs it in the workers it spawns. *)
   Obs.Span.with_trace "wtrace" (fun () ->
-      let d = Domain.spawn (fun () -> Obs.Span.with_ ~name:"wk" (fun () -> ())) in
-      Domain.join d);
+      Exec.parallel_for ~jobs:2 ~n:2 ~chunk:1 (fun ~lo:_ ~hi:_ ->
+          Obs.Span.with_ ~name:"wk" (fun () -> ())));
   let wk =
     List.filter (fun (e : Obs.Span.event) -> e.Obs.Span.name = "wk") (Obs.Span.events ())
   in
-  Alcotest.(check int) "worker span recorded" 2 (List.length wk);
+  Alcotest.(check int) "worker spans recorded" 4 (List.length wk);
   List.iter
     (fun (e : Obs.Span.event) ->
       Alcotest.(check string) "worker event tagged" "wtrace" e.Obs.Span.trace)
-    wk
+    wk;
+  (* A raw spawn, by contrast, must NOT inherit the context: that is the
+     isolation that keeps N concurrent requests' ids from bleeding. *)
+  Obs.Span.with_trace "leaky?" (fun () ->
+      let d = Domain.spawn (fun () -> Obs.Span.current_trace ()) in
+      Alcotest.(check string) "raw spawn starts clean" "" (Domain.join d))
+
+let test_trace_isolated_across_domains () =
+  Obs.reset ();
+  Obs.disable ();
+  (* Two domains under different ids concurrently: each must read back
+     its own, and the main domain's context must be untouched. *)
+  let read_under id =
+    Obs.Span.with_trace id (fun () ->
+        (* Give the sibling a chance to interleave. *)
+        Domain.cpu_relax ();
+        Obs.Span.current_trace ())
+  in
+  Obs.Span.with_trace "main-ctx" (fun () ->
+      let a = Domain.spawn (fun () -> read_under "trace-a") in
+      let b = Domain.spawn (fun () -> read_under "trace-b") in
+      let ra = Domain.join a and rb = Domain.join b in
+      Alcotest.(check string) "domain a sees its own id" "trace-a" ra;
+      Alcotest.(check string) "domain b sees its own id" "trace-b" rb;
+      Alcotest.(check string) "main context untouched" "main-ctx"
+        (Obs.Span.current_trace ()))
 
 let test_trace_in_exports () =
   with_obs_enabled @@ fun () ->
@@ -936,6 +964,8 @@ let () =
           Alcotest.test_case "nests and restores" `Quick test_with_trace_nests_and_restores;
           Alcotest.test_case "reaches worker domains" `Quick
             test_with_trace_reaches_worker_domains;
+          Alcotest.test_case "isolated across domains" `Quick
+            test_trace_isolated_across_domains;
           Alcotest.test_case "in exports" `Quick test_trace_in_exports ] );
       ( "spans",
         [ Alcotest.test_case "nesting under fake clock" `Quick test_nested_spans_fake_clock;

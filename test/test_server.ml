@@ -321,7 +321,8 @@ let test_cache_does_not_store_errors () =
 
 let test_cache_eviction_is_counted () =
   with_server_state @@ fun () ->
-  Server.Api.set_cache_capacity 2;
+  (* One shard: global LRU order, so exactly the third insert evicts. *)
+  Server.Api.set_cache_capacity ~shards:1 2;
   List.iter
     (fun k -> ignore (Server.Api.with_cache ~key:k (fun () -> Ok k)))
     [ "k1"; "k2"; "k3" ];
@@ -412,13 +413,14 @@ let send_all fd s =
   in
   go 0 (String.length s)
 
-let with_loopback_server ?trace_seed f =
+let with_loopback_server ?trace_seed ?(workers = 1) f =
   with_server_state @@ fun () ->
   let port_box = Atomic.make 0 in
   let cfg =
     {
       Server.Service.default_config with
       port = 0;
+      workers;
       idle_poll_s = 0.01;
       drain_grace_s = 0.5;
       log = ignore;
@@ -749,7 +751,8 @@ let test_loadgen_end_to_end () =
       in
       List.iter
         (fun n -> Alcotest.(check bool) (n ^ " kernel") true (List.mem n kernel_names))
-        [ "loadgen.latency-mean"; "loadgen.latency-p50"; "loadgen.latency-p95"; "loadgen.latency-p99" ];
+        [ "loadgen.latency-mean"; "loadgen.latency-p50"; "loadgen.latency-p95";
+          "loadgen.latency-p99"; "loadgen.ns-per-request" ];
       Alcotest.(check (option (float 1e-9))) "request metric" (Some 10.0)
         (jnum [ "metrics"; "loadgen.requests" ] doc));
   let line = Server.Loadgen.summary r in
@@ -776,6 +779,262 @@ let test_loadgen_counts_failures () =
     (Invalid_argument "Loadgen.run: requests <= 0") (fun () ->
       ignore (Server.Loadgen.run ~requests:0 ~body:None target))
 
+(* --- Chan: the acceptor/worker handoff channel --- *)
+
+let test_chan_bounded_fifo () =
+  let c : int Server.Chan.t = Server.Chan.create ~capacity:2 () in
+  Alcotest.(check bool) "push 1" true (Server.Chan.try_push c 1);
+  Alcotest.(check bool) "push 2" true (Server.Chan.try_push c 2);
+  Alcotest.(check bool) "full refuses" false (Server.Chan.try_push c 3);
+  (* The unconditional push (shutdown sentinels) ignores the bound. *)
+  Server.Chan.push c 99;
+  Alcotest.(check int) "length" 3 (Server.Chan.length c);
+  Alcotest.(check int) "fifo 1" 1 (Server.Chan.pop c);
+  Alcotest.(check int) "fifo 2" 2 (Server.Chan.pop c);
+  Alcotest.(check int) "fifo 3" 99 (Server.Chan.pop c);
+  Alcotest.(check (option int)) "empty try_pop" None (Server.Chan.try_pop c);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Chan.create: negative capacity") (fun () ->
+      ignore (Server.Chan.create ~capacity:(-1) () : int Server.Chan.t))
+
+let test_chan_cross_domain () =
+  let c : int Server.Chan.t = Server.Chan.create () in
+  let producers = 3 and per = 100 in
+  let doms =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Server.Chan.push c ((p * per) + i)
+            done))
+  in
+  let seen = Hashtbl.create 512 in
+  for _ = 1 to producers * per do
+    Hashtbl.replace seen (Server.Chan.pop c) ()
+  done;
+  List.iter Domain.join doms;
+  Alcotest.(check int) "every push popped exactly once" (producers * per)
+    (Hashtbl.length seen);
+  Alcotest.(check (option int)) "nothing left" None (Server.Chan.try_pop c)
+
+(* --- sharded LRU --- *)
+
+let test_sharded_clamps_and_orders () =
+  let t : int Server.Lru.Sharded.t = Server.Lru.Sharded.create ~shards:8 ~capacity:3 () in
+  Alcotest.(check int) "shards clamp to capacity" 3 (Server.Lru.Sharded.shard_count t);
+  Alcotest.(check int) "capacity kept" 3 (Server.Lru.Sharded.capacity t);
+  let z : int Server.Lru.Sharded.t = Server.Lru.Sharded.create ~shards:4 ~capacity:0 () in
+  Alcotest.(check int) "zero capacity: one disabled shard" 1
+    (Server.Lru.Sharded.shard_count z);
+  Alcotest.(check (option (pair string int))) "zero capacity drops" None
+    (Server.Lru.Sharded.add z "a" 1);
+  Alcotest.(check int) "zero stays empty" 0 (Server.Lru.Sharded.length z);
+  (* One shard = exactly the plain LRU's global recency semantics. *)
+  let s1 = Server.Lru.Sharded.create ~shards:1 ~capacity:2 () in
+  ignore (Server.Lru.Sharded.add s1 "a" 1);
+  ignore (Server.Lru.Sharded.add s1 "b" 2);
+  Alcotest.(check (option int)) "find promotes" (Some 1) (Server.Lru.Sharded.find s1 "a");
+  Alcotest.(check (option (pair string int))) "lru evicted" (Some ("b", 2))
+    (Server.Lru.Sharded.add s1 "c" 3);
+  Alcotest.(check (list string)) "recency order" [ "c"; "a" ]
+    (Server.Lru.Sharded.keys_newest_first s1);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Lru.Sharded.create: negative capacity") (fun () ->
+      ignore (Server.Lru.Sharded.create ~capacity:(-1) () : int Server.Lru.Sharded.t))
+
+let test_sharded_multi_domain_stress () =
+  let domains = 4 and keys_per = 40 and rounds = 5 in
+  let key d i = Printf.sprintf "d%d-k%03d" d i in
+  (* Phase 1: every shard's slice exceeds the whole key population
+     (capacity is partitioned across shards, so hash skew could
+     otherwise evict) — no entry may be lost or corrupted, from any
+     domain's point of view, at any time. *)
+  let big : int Server.Lru.Sharded.t =
+    Server.Lru.Sharded.create ~shards:8 ~capacity:(domains * keys_per * 8) ()
+  in
+  let doms =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to rounds do
+              for i = 0 to keys_per - 1 do
+                ignore (Server.Lru.Sharded.add big (key d i) ((d * 1000) + i));
+                match Server.Lru.Sharded.find big (key d i) with
+                | Some v when v = (d * 1000) + i -> ()
+                | Some _ -> failwith "wrong value under concurrency"
+                | None -> failwith "entry lost under concurrency"
+              done
+            done))
+  in
+  List.iter Domain.join doms;
+  Alcotest.(check int) "no entries lost" (domains * keys_per)
+    (Server.Lru.Sharded.length big);
+  for d = 0 to domains - 1 do
+    for i = 0 to keys_per - 1 do
+      if Server.Lru.Sharded.find big (key d i) <> Some ((d * 1000) + i) then
+        Alcotest.fail (Printf.sprintf "key %s lost after join" (key d i))
+    done
+  done;
+  (* Phase 2: heavy eviction pressure — the capacity bound must hold at
+     every observable moment, and every add must be accounted for:
+     resident at the end or reported evicted exactly once. *)
+  let cap = 16 and adds_per = 200 in
+  let small : int Server.Lru.Sharded.t =
+    Server.Lru.Sharded.create ~shards:4 ~capacity:cap ()
+  in
+  let doms =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            let evicted = ref 0 in
+            for i = 0 to adds_per - 1 do
+              (match Server.Lru.Sharded.add small (Printf.sprintf "s%d-%04d" d i) i with
+              | Some _ -> incr evicted
+              | None -> ());
+              if i land 31 = 0 && Server.Lru.Sharded.length small > cap then
+                failwith "capacity exceeded under concurrency"
+            done;
+            !evicted))
+  in
+  let evictions = List.fold_left (fun a d -> a + Domain.join d) 0 doms in
+  let len = Server.Lru.Sharded.length small in
+  Alcotest.(check bool) "capacity never exceeded" true (len <= cap);
+  Alcotest.(check int) "adds = resident + evicted" (domains * adds_per) (len + evictions)
+
+let test_cache_counters_concurrent () =
+  with_server_state @@ fun () ->
+  Server.Api.set_cache_capacity 128;
+  let key = "concurrent-key" in
+  (match Server.Api.with_cache ~key (fun () -> Ok "warm") with
+  | Ok "warm" -> ()
+  | _ -> Alcotest.fail "warm miss failed");
+  let clients = 4 and reps = 25 in
+  let doms =
+    List.init clients (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to reps do
+              match Server.Api.with_cache ~key (fun () -> Ok "never") with
+              | Ok "warm" -> ()
+              | Ok _ -> failwith "hit returned wrong bytes"
+              | Error _ -> failwith "hit errored"
+            done))
+  in
+  List.iter Domain.join doms;
+  Alcotest.(check int) "hits exact across domains" (clients * reps)
+    (counter_value "server.cache.hits");
+  Alcotest.(check int) "one miss" 1 (counter_value "server.cache.misses");
+  (* Disjoint keys from concurrent domains: one miss each, no losses. *)
+  let per = 20 in
+  let doms =
+    List.init clients (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              ignore
+                (Server.Api.with_cache ~key:(Printf.sprintf "c%d-%d" d i) (fun () -> Ok "v"))
+            done))
+  in
+  List.iter Domain.join doms;
+  Alcotest.(check int) "misses exact" (1 + (clients * per))
+    (counter_value "server.cache.misses");
+  Alcotest.(check int) "no evictions" 0 (counter_value "server.cache.evictions");
+  Alcotest.(check int) "occupancy exact" (1 + (clients * per)) (Server.Api.cache_length ())
+
+(* --- worker pool e2e --- *)
+
+let post_path port path body =
+  with_client port @@ fun fd ->
+  send_all fd
+    (Printf.sprintf
+       "POST %s HTTP/1.1\r\ncontent-length: %d\r\nconnection: close\r\n\r\n%s"
+       path (String.length body) body);
+  read_response fd
+
+let test_workers_byte_identity () =
+  let fetch_all ~workers =
+    with_loopback_server ~workers @@ fun port ->
+    List.map
+      (fun (path, body) ->
+        let status, _, resp = post_path port path body in
+        Alcotest.(check int) (path ^ " ok") 200 status;
+        resp)
+      [
+        ("/simulate", "{\"trials\":4,\"seed\":11}");
+        ("/scenario", "{\"event\":\"carrington\",\"trials\":3}");
+        ("/countries", "{\"trials\":3}");
+      ]
+  in
+  let single = fetch_all ~workers:1 in
+  let pooled = fetch_all ~workers:4 in
+  List.iter2
+    (fun a b -> Alcotest.(check string) "workers=1 and workers=4 bytes equal" a b)
+    single pooled
+
+let test_workers_concurrent_cache_hits () =
+  with_loopback_server ~workers:4 @@ fun port ->
+  let body = "{\"trials\":4,\"seed\":11}" in
+  let s0, _, warm = post_simulate port body in
+  Alcotest.(check int) "warm ok" 200 s0;
+  let trials_after_warm = counter_value "plan.trials" in
+  let clients = 4 and reps = 8 in
+  let doms =
+    List.init clients (fun _ ->
+        Domain.spawn (fun () ->
+            List.init reps (fun _ ->
+                let status, head, resp = post_simulate port body in
+                (status, header_value head "x-trace-id", resp))))
+  in
+  let results = List.concat_map Domain.join doms in
+  List.iter
+    (fun (status, _, resp) ->
+      Alcotest.(check int) "concurrent repeat ok" 200 status;
+      Alcotest.(check string) "bytes match warm response" warm resp)
+    results;
+  let ids = List.filter_map (fun (_, id, _) -> id) results in
+  Alcotest.(check int) "every response carries a trace id" (clients * reps)
+    (List.length ids);
+  Alcotest.(check int) "trace ids distinct across concurrent requests" (clients * reps)
+    (List.length (List.sort_uniq String.compare ids));
+  Alcotest.(check int) "hits counted exactly once per repeat" (clients * reps)
+    (counter_value "server.cache.hits");
+  Alcotest.(check int) "trials never re-ran" trials_after_warm (counter_value "plan.trials")
+
+let test_statusz_worker_rows () =
+  with_loopback_server ~workers:2 @@ fun port ->
+  for _ = 1 to 3 do
+    ignore (get_response port "/healthz")
+  done;
+  let status, _, body = get_response port "/statusz" in
+  Alcotest.(check int) "statusz ok" 200 status;
+  match Obs.Json.parse body with
+  | Error e -> Alcotest.fail ("statusz unparseable: " ^ e)
+  | Ok doc -> (
+      let total = jnum [ "requests"; "total" ] doc in
+      match Option.bind (Obs.Json.member "workers" doc) Obs.Json.array with
+      | None | Some [] -> Alcotest.fail "no workers array"
+      | Some rows ->
+          (* The snapshot is taken inside the /statusz request itself,
+             after both counters were bumped, so the rows sum to the
+             total including this very request. *)
+          let sum =
+            List.fold_left
+              (fun acc row ->
+                acc
+                +. Option.value ~default:0.0
+                     (Option.bind (Obs.Json.member "requests" row) Obs.Json.number))
+              0.0 rows
+          in
+          Alcotest.(check (option (float 1e-9))) "worker requests sum to total" total
+            (Some sum);
+          List.iter
+            (fun row ->
+              Alcotest.(check bool) "busy_ms present" true
+                (Option.bind (Obs.Json.member "busy_ms" row) Obs.Json.number <> None))
+            rows)
+
+let test_loadgen_concurrency_exceeds_workers () =
+  with_loopback_server ~workers:2 @@ fun port ->
+  let target = { Server.Loadgen.host = "127.0.0.1"; port; path = "/healthz" } in
+  let r = Server.Loadgen.run ~connections:4 ~pipeline:2 ~requests:40 ~body:None target in
+  Alcotest.(check int) "all completed" 40 r.Server.Loadgen.requests;
+  Alcotest.(check int) "no errors" 0 r.Server.Loadgen.errors
+
 let () =
   Alcotest.run "server"
     [
@@ -798,12 +1057,21 @@ let () =
       ( "lru",
         [ Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
           Alcotest.test_case "refresh" `Quick test_lru_refresh_existing;
-          Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity_disables ] );
+          Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity_disables;
+          Alcotest.test_case "sharded clamps and orders" `Quick
+            test_sharded_clamps_and_orders;
+          Alcotest.test_case "sharded multi-domain stress" `Quick
+            test_sharded_multi_domain_stress ] );
+      ( "chan",
+        [ Alcotest.test_case "bounded fifo" `Quick test_chan_bounded_fifo;
+          Alcotest.test_case "cross domain" `Quick test_chan_cross_domain ] );
       ( "cache",
         [ Alcotest.test_case "key canonicalization" `Quick test_cache_key_canonicalization;
           Alcotest.test_case "hit skips trials" `Quick test_cache_hit_skips_trials;
           Alcotest.test_case "errors not stored" `Quick test_cache_does_not_store_errors;
           Alcotest.test_case "eviction counted" `Quick test_cache_eviction_is_counted;
+          Alcotest.test_case "counters under concurrency" `Quick
+            test_cache_counters_concurrent;
           Alcotest.test_case "body decoding defaults" `Quick test_params_of_body_defaults ] );
       ( "loopback",
         [ Alcotest.test_case "end to end" `Quick test_loopback_end_to_end;
@@ -821,4 +1089,12 @@ let () =
           Alcotest.test_case "exact quantiles" `Quick test_loadgen_quantile_exact;
           Alcotest.test_case "end to end" `Quick test_loadgen_end_to_end;
           Alcotest.test_case "counts failures" `Quick test_loadgen_counts_failures ] );
+      ( "workers",
+        [ Alcotest.test_case "byte identity vs single worker" `Quick
+            test_workers_byte_identity;
+          Alcotest.test_case "concurrent cache hits" `Quick
+            test_workers_concurrent_cache_hits;
+          Alcotest.test_case "statusz worker rows" `Quick test_statusz_worker_rows;
+          Alcotest.test_case "loadgen concurrency > workers" `Quick
+            test_loadgen_concurrency_exceeds_workers ] );
     ]
