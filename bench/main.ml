@@ -74,7 +74,7 @@ let kernels ctx ~port ~port_par : (string * (unit -> unit)) list =
   let tiered_plan = Stormsim.Plan.compile ~network:sub ~model:Stormsim.Failure_model.s1 () in
   (* Shared buffer so plan.sample vs plan.sample-recompute time pure
      sampling, not allocation. *)
-  let dead_buf = Array.make (Stormsim.Plan.nb_cables uniform_plan) false in
+  let dead_buf = Stormsim.Deadset.create (Stormsim.Plan.nb_cables uniform_plan) in
   let graph, _ = Infra.Network.to_graph sub in
   let storm = Gic.Disturbance.storm_of_dst (-1200.0) in
   (* The longest cable of the dataset (the SEA-ME-WE 3 analogue in the
@@ -98,6 +98,9 @@ let kernels ctx ~port ~port_par : (string * (unit -> unit)) list =
     ("plan.sample", fun () -> Stormsim.Plan.sample_into uniform_plan rng dead_buf);
     ( "plan.sample-recompute",
       fun () -> Stormsim.Plan.sample_recompute_into uniform_plan rng dead_buf );
+    (* Opt-in geometric skip-sampling: candidate gaps under the plan's
+       max death prob instead of one draw per cable. *)
+    ("plan.sample-skip", fun () -> Stormsim.Plan.sample_skip_into uniform_plan rng dead_buf);
     ( "fig6-uniform-trial",
       fun () -> ignore (Stormsim.Montecarlo.trial rng ~plan:uniform_plan) );
     (* The same 200-trial Monte-Carlo workload three ways: a plain
@@ -261,9 +264,15 @@ let write_json ~path ~mode ~kernel_rows ~metrics =
          kernel_rows)
   in
   let doc =
+    (* recommended_domain_count records the runner's parallel capacity so
+       a reader (or check.sh) can tell whether this machine could even
+       exercise the par kernels — a 1-core container's par4 number is a
+       scheduling artifact, not a regression. *)
     Printf.sprintf
-      "{\"schema\":\"solarstorm-bench/1\",\"mode\":\"%s\",\"kernels\":[%s],\"metrics\":%s}\n"
-      mode kernel_json
+      "{\"schema\":\"solarstorm-bench/1\",\"mode\":\"%s\",\"recommended_domain_count\":%d,\"kernels\":[%s],\"metrics\":%s}\n"
+      mode
+      (Exec.available_jobs ())
+      kernel_json
       (Obs.Export.json_of_snapshot metrics)
   in
   let oc = open_out path in

@@ -51,14 +51,16 @@ type corridor_report = {
 let group_nodes net countries =
   List.concat_map (Datasets.Submarine.nodes_in_country net) countries
 
+(* [dead] is a predicate on cable ids so the trial driver can pass its
+   bitvector dead-set without materializing a bool array per trial. *)
 let flow_between net ~dead ~sources ~sinks =
-  let g = Infra.Network.graph_without_cables net ~dead in
+  let g = Infra.Network.graph_surviving net ~dead in
   (* Rebuild the edge -> cable mapping with the same keep predicate the
      graph used, so capacities line up with edge ids. *)
   let edge_cable = Hashtbl.create 1024 in
   let next = ref 0 in
   for c = 0 to Infra.Network.nb_cables net - 1 do
-    if not dead.(c) then begin
+    if not (dead c) then begin
       let cable = Infra.Network.cable net c in
       let hops = Infra.Cable.hop_count cable in
       for _ = 1 to hops do
@@ -88,12 +90,11 @@ let analyze_corridor ?(trials = 10) ?(seed = 71) ?(spacing_km = 150.0) ?jobs ~ne
     { corridor; healthy_tbps = 0.0; expected_tbps = 0.0; surviving_pct = 0.0;
       min_cut_cables = [] }
   else begin
-    let none = Array.make (Infra.Network.nb_cables network) false in
-    let healthy = flow_between network ~dead:none ~sources ~sinks in
+    let healthy = flow_between network ~dead:(fun _ -> false) ~sources ~sinks in
     let p = Plan.compile ~spacing_km ~network ~model () in
     let acc =
-      Plan.run_trials_par p ?jobs ~trials ~seed ~init:0.0
-        ~map:(fun ~rng:_ ~dead -> flow_between network ~dead ~sources ~sinks)
+      Plan.run_trials_par ?jobs p ~trials ~seed ~init:0.0
+        ~map:(fun ~rng:_ ~dead -> flow_between network ~dead:(Deadset.get dead) ~sources ~sinks)
         ~merge:( +. )
     in
     let expected = acc /. float_of_int trials in

@@ -300,11 +300,12 @@ let long_haul_cables net group_a min_len =
   done;
   List.rev !out
 
+(* [dead] is a predicate on cable ids (see [Capacity.flow_between]). *)
 let routed_lost net dead group_a group_b =
   match (group_a, group_b) with
   | [], _ | _, [] -> true
   | a0 :: _, _ ->
-      let g = Infra.Network.graph_without_cables net ~dead in
+      let g = Infra.Network.graph_surviving net ~dead in
       let reach = Netgraph.Traversal.reachable_set g a0 in
       (* All of group_a is connected in the baseline (single fabric), so
          testing from one representative suffices for loss of the whole
@@ -322,15 +323,15 @@ let evaluate ?(trials = 50) ?(seed = 23) ?(spacing_km = 150.0) ?jobs net spec =
   in
   let plan = Plan.compile ~spacing_km ~network:net ~model:spec.state () in
   let losses =
-    Plan.run_trials_par plan ?jobs ~trials ~seed:(seed + Hashtbl.hash spec.id) ~init:0
+    Plan.run_trials_par ?jobs plan ~trials ~seed:(seed + Hashtbl.hash spec.id) ~init:0
       ~map:(fun ~rng:_ ~dead ->
         match spec.metric with
         | Direct_loss | Long_haul_isolated _ ->
             watched = []
             || List.for_all
-                 (fun (c : Infra.Cable.t) -> dead.(c.Infra.Cable.id))
+                 (fun (c : Infra.Cable.t) -> Deadset.get dead c.Infra.Cable.id)
                  watched
-        | Routed_loss -> routed_lost net dead group_a group_b)
+        | Routed_loss -> routed_lost net (Deadset.get dead) group_a group_b)
       ~merge:(fun losses lost -> if lost then losses + 1 else losses)
   in
   {

@@ -13,10 +13,7 @@ type series = {
 
 let cables_failed_pct net dead =
   let m = Infra.Network.nb_cables net in
-  if m = 0 then 0.0
-  else
-    let k = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 dead in
-    100.0 *. float_of_int k /. float_of_int m
+  if m = 0 then 0.0 else 100.0 *. float_of_int (Deadset.count_dead dead) /. float_of_int m
 
 let nodes_unreachable_pct net dead =
   let n = Infra.Network.nb_nodes net in
@@ -26,7 +23,7 @@ let nodes_unreachable_pct net dead =
     List.iter
       (fun l ->
         has_cable.(l) <- true;
-        if not dead.(c) then has_live.(l) <- true)
+        if not (Deadset.get dead c) then has_live.(l) <- true)
       cable.Infra.Cable.landings
   done;
   let total = ref 0 and unreachable = ref 0 in
@@ -44,19 +41,19 @@ let cables_failed_total = Obs.Metrics.counter "mc.cables_failed"
 let observe_trial dead =
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.incr trials_total;
-    Obs.Metrics.add cables_failed_total
-      (Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 dead)
+    Obs.Metrics.add cables_failed_total (Deadset.count_dead dead)
   end
 
 let trial rng ~plan =
   Obs.Span.with_ ~name:"mc.trial" (fun () ->
       let dead = Plan.sample plan rng in
       observe_trial dead;
-      let network = Plan.network plan in
       {
-        dead;
-        cables_failed_pct = cables_failed_pct network dead;
-        nodes_unreachable_pct = nodes_unreachable_pct network dead;
+        dead = Deadset.to_bool_array dead;
+        cables_failed_pct = cables_failed_pct (Plan.network plan) dead;
+        (* The compiled CSR incidence: same value as
+           [nodes_unreachable_pct], no per-trial allocation. *)
+        nodes_unreachable_pct = Plan.unreachable_attached_pct plan dead;
       })
 
 let run_plan ?(trials = 10) ?jobs ~seed plan =
@@ -64,11 +61,11 @@ let run_plan ?(trials = 10) ?jobs ~seed plan =
   Obs.Span.with_ ~name:"mc.run" @@ fun () ->
   let network = Plan.network plan in
   let cables, nodes =
-    Plan.run_trials_par plan ?jobs ~trials ~seed ~init:([], [])
+    Plan.run_trials_par ?jobs plan ~trials ~seed ~init:([], [])
       ~map:(fun ~rng:_ ~dead ->
         Obs.Span.with_ ~name:"mc.trial" @@ fun () ->
         observe_trial dead;
-        (cables_failed_pct network dead, nodes_unreachable_pct network dead))
+        (cables_failed_pct network dead, Plan.unreachable_attached_pct plan dead))
       ~merge:(fun (cables, nodes) (c, n) -> (c :: cables, n :: nodes))
   in
   let cables_mean, cables_std = Stats.mean_stddev cables in

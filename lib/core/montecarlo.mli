@@ -12,7 +12,9 @@
     compiles and immediately runs. *)
 
 type trial_result = {
-  dead : bool array;  (** per-cable death flags, indexed by cable id *)
+  dead : bool array;
+      (** per-cable death flags, indexed by cable id (a snapshot of the
+          trial's {!Deadset.t}, safe to keep) *)
   cables_failed_pct : float;
   nodes_unreachable_pct : float;
 }
@@ -28,11 +30,14 @@ type series = {
 val trial : Rng.t -> plan:Plan.t -> trial_result
 (** One trial against a compiled plan. *)
 
-val cables_failed_pct : Infra.Network.t -> bool array -> float
+val cables_failed_pct : Infra.Network.t -> Deadset.t -> float
 
-val nodes_unreachable_pct : Infra.Network.t -> bool array -> float
+val nodes_unreachable_pct : Infra.Network.t -> Deadset.t -> float
 (** Percentage of {e cable-bearing} nodes whose every incident cable is
-    dead (nodes without any cable are excluded from the denominator). *)
+    dead (nodes without any cable are excluded from the denominator).
+    Network-only reference path; trial loops holding a compiled plan use
+    the allocation-free {!Plan.unreachable_attached_pct}, which computes
+    the same value. *)
 
 val run_plan : ?trials:int -> ?jobs:int -> seed:int -> Plan.t -> series
 (** [run_plan plan] aggregates [trials] (default 10) independent trials

@@ -4,8 +4,18 @@ type t = {
   spacing_km : float;
   per_repeater : float array;
   death : float array;
+  death_max : float; (* max of [death]: the skip-sampler's envelope *)
   per_repeater_fn : Infra.Cable.t -> float;
       (* kept for [sample_recompute_into], the legacy reference path *)
+  (* Node→cable incidence in CSR form, computed eagerly at compile time
+     (a lazily published mutable field would be a data race under the
+     OCaml 5 memory model once worker domains read it).  Lets
+     [unreachable_attached_pct] walk each attached node's incident
+     cables with early exit instead of allocating two bool arrays and
+     chasing landing lists per trial. *)
+  node_off : int array; (* length nb_nodes + 1 *)
+  node_cables : int array; (* incident cable ids, grouped per node *)
+  attached : int; (* nodes with >= 1 incident cable *)
 }
 
 let compiles = Obs.Metrics.counter "plan.compiles"
@@ -19,13 +29,49 @@ let compile ?(spacing_km = 150.0) ~network ~model () =
   let m = Infra.Network.nb_cables network in
   let per_repeater = Array.make m 0.0 in
   let death = Array.make m 0.0 in
+  let death_max = ref 0.0 in
   for c = 0 to m - 1 do
     let cable = Infra.Network.cable network c in
     let p = per_repeater_fn cable in
     per_repeater.(c) <- p;
-    death.(c) <- Failure_model.cable_death_prob ~per_repeater:p ~spacing_km cable
+    let d = Failure_model.cable_death_prob ~per_repeater:p ~spacing_km cable in
+    death.(c) <- d;
+    if d > !death_max then death_max := d
   done;
-  { network; model; spacing_km; per_repeater; death; per_repeater_fn }
+  (* CSR incidence: two passes — per-node degree, prefix sum, fill. *)
+  let n = Infra.Network.nb_nodes network in
+  let deg = Array.make n 0 in
+  for c = 0 to m - 1 do
+    List.iter
+      (fun l -> deg.(l) <- deg.(l) + 1)
+      (Infra.Network.cable network c).Infra.Cable.landings
+  done;
+  let node_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    node_off.(v + 1) <- node_off.(v) + deg.(v)
+  done;
+  let node_cables = Array.make node_off.(n) 0 in
+  let cursor = Array.copy node_off in
+  for c = 0 to m - 1 do
+    List.iter
+      (fun l ->
+        node_cables.(cursor.(l)) <- c;
+        cursor.(l) <- cursor.(l) + 1)
+      (Infra.Network.cable network c).Infra.Cable.landings
+  done;
+  let attached = Array.fold_left (fun acc d -> if d > 0 then acc + 1 else acc) 0 deg in
+  {
+    network;
+    model;
+    spacing_km;
+    per_repeater;
+    death;
+    death_max = !death_max;
+    per_repeater_fn;
+    node_off;
+    node_cables;
+    attached;
+  }
 
 let network t = t.network
 let model t = t.model
@@ -34,31 +80,121 @@ let nb_cables t = Array.length t.death
 let death_prob t c = t.death.(c)
 let per_repeater_prob t c = t.per_repeater.(c)
 
+let check_buffer name t dead =
+  if Deadset.length dead <> Array.length t.death then
+    invalid_arg (name ^ ": buffer size mismatch")
+
+(* The uncounted kernels: no metrics traffic at all; they return the
+   number of raw RNG draws made so callers can settle [rng.draws] in one
+   batched [Rng.note_draws] per trial (or per chunk, in the parallel
+   driver). *)
+
+let sample_exact_raw t rng dead =
+  Deadset.clear dead;
+  let death = t.death in
+  (* The batched sweep keeps the generator state in unboxed locals —
+     per-draw [Raw.bernoulli] calls cost ~10 words of Int64 boxes each,
+     which at one draw per cable per trial was most of the trial loop's
+     allocation (and, under many domains, its minor-GC barriers). *)
+  Rng.Raw.fill_bernoulli rng death ~set:(fun c -> Deadset.unsafe_set_dead dead c);
+  Array.length death
+
+(* Geometric skip-sampling under the envelope [p_max = death_max]: draw
+   the gap to the next *candidate* cable from Geometric(p_max) — in the
+   sparse-failure regime almost every cable survives, so we sample the
+   gaps instead of every cable — then thin the candidate to its true
+   probability by accepting with [death.(c) / p_max].  Marginally each
+   cable dies with exactly [death.(c)], independently; the *draw order*
+   differs from the exact kernel, which is why this mode is opt-in with
+   its own golden hashes. *)
+let sample_skip_raw t rng dead =
+  Deadset.clear dead;
+  let death = t.death in
+  let m = Array.length death in
+  let p_max = t.death_max in
+  if p_max <= 0.0 then 0 (* nothing can die; no draws *)
+  else if p_max >= 1.0 then
+    (* Degenerate envelope: every cable is a candidate (log (1 - p_max)
+       is -inf), so gap draws are pure overhead — thin directly. *)
+    sample_exact_raw t rng dead
+  else begin
+    let q = log1p (-.p_max) in (* ln (1 - p_max) < 0 *)
+    let draws = ref 0 in
+    let c = ref 0 in
+    while !c < m do
+      let u = Rng.Raw.next_float53 rng in
+      incr draws;
+      (* floor (ln u / ln (1-p)) is Geometric(p) on {0, 1, ...}; u = 0
+         (possible: 53-bit grid) means an infinite gap — no candidate
+         left in range. *)
+      if u = 0.0 then c := m
+      else begin
+        let gap = log u /. q in
+        if gap >= float_of_int (m - !c) then c := m
+        else begin
+          c := !c + int_of_float gap;
+          let pc = Array.unsafe_get death !c in
+          if pc > 0.0 then begin
+            incr draws;
+            if Rng.Raw.next_float53 rng *. p_max < pc then Deadset.unsafe_set_dead dead !c
+          end;
+          incr c
+        end
+      end
+    done;
+    !draws
+  end
+
 let sample_into t rng dead =
-  let m = Array.length t.death in
-  if Array.length dead <> m then invalid_arg "Plan.sample_into: buffer size mismatch";
+  check_buffer "Plan.sample_into" t dead;
   Obs.Metrics.incr trials_total;
-  for c = 0 to m - 1 do
-    dead.(c) <- Rng.bernoulli rng ~p:t.death.(c)
-  done
+  Rng.note_draws (sample_exact_raw t rng dead)
+
+let sample_skip_into t rng dead =
+  check_buffer "Plan.sample_skip_into" t dead;
+  Obs.Metrics.incr trials_total;
+  Rng.note_draws (sample_skip_raw t rng dead)
 
 let sample t rng =
-  let dead = Array.make (Array.length t.death) false in
+  let dead = Deadset.create (Array.length t.death) in
   sample_into t rng dead;
   dead
 
 let sample_recompute_into t rng dead =
+  check_buffer "Plan.sample_recompute_into" t dead;
   let m = Infra.Network.nb_cables t.network in
-  if Array.length dead <> m then
-    invalid_arg "Plan.sample_recompute_into: buffer size mismatch";
   for c = 0 to m - 1 do
     let cable = Infra.Network.cable t.network c in
     let p =
       Failure_model.cable_death_prob ~per_repeater:(t.per_repeater_fn cable)
         ~spacing_km:t.spacing_km cable
     in
-    dead.(c) <- Rng.bernoulli rng ~p
+    Deadset.set dead c (Rng.bernoulli rng ~p)
   done
+
+let unreachable_attached_pct t dead =
+  check_buffer "Plan.unreachable_attached_pct" t dead;
+  if t.attached = 0 then 0.0
+  else begin
+    let off = t.node_off and cables = t.node_cables in
+    let n = Array.length off - 1 in
+    let unreachable = ref 0 in
+    for v = 0 to n - 1 do
+      let s = Array.unsafe_get off v and e = Array.unsafe_get off (v + 1) in
+      if e > s then begin
+        (* Early exit on the first live cable: in the common regime most
+           nodes keep a live cable within their first few incidences.
+           A while loop, not a local rec — the closure capture allocated
+           per node and this runs once per node per trial. *)
+        let i = ref s in
+        while !i < e && Deadset.unsafe_get dead (Array.unsafe_get cables !i) do
+          incr i
+        done;
+        if !i = e then incr unreachable
+      end
+    done;
+    100.0 *. float_of_int !unreachable /. float_of_int t.attached
+  end
 
 let expected_cables_failed_pct t =
   let m = Array.length t.death in
@@ -71,25 +207,27 @@ let expected_cables_failed_pct t =
     100.0 *. !sum /. float_of_int m
   end
 
-let run_trials t ~trials ~seed ~init ~f =
+let run_trials ?(sampling = `Exact) t ~trials ~seed ~init ~f =
   if trials <= 0 then invalid_arg "Plan.run_trials: trials <= 0";
   Obs.Span.with_ ~name:"plan.run_trials" @@ fun () ->
-  Obs.Progress.start ~label:"trials" ~total:trials;
+  let progress = Obs.Progress.start ~label:"trials" ~total:trials in
   let master = Rng.create seed in
-  let dead = Array.make (Array.length t.death) false in
+  let dead = Deadset.create (Array.length t.death) in
   let acc = ref init in
   for _ = 1 to trials do
     let rng = Rng.split master in
-    sample_into t rng dead;
+    (match sampling with
+    | `Exact -> sample_into t rng dead
+    | `Skip -> sample_skip_into t rng dead);
     acc := f !acc ~rng ~dead;
-    Obs.Progress.tick ()
+    Obs.Progress.tick progress
   done;
-  Obs.Progress.finish ();
+  Obs.Progress.finish progress;
   !acc
 
 let par_runs = Obs.Metrics.counter "plan.par_runs"
 
-let run_trials_par t ?jobs ~trials ~seed ~init ~map ~merge =
+let run_trials_par ?jobs ?(sampling = `Exact) t ~trials ~seed ~init ~map ~merge =
   if trials <= 0 then invalid_arg "Plan.run_trials_par: trials <= 0";
   let jobs =
     match jobs with
@@ -98,36 +236,60 @@ let run_trials_par t ?jobs ~trials ~seed ~init ~map ~merge =
   in
   Obs.Metrics.incr par_runs;
   Obs.Span.with_ ~name:"plan.run_trials" @@ fun () ->
-  (* Determinism, part 1 — sequential pre-split: every trial RNG is split
-     off the master on the calling domain, in trial order, exactly as the
-     sequential [run_trials] loop interleaves them.  The master only
-     advances through splits (sampling draws from the trial RNGs), so the
-     per-trial streams are bit-identical to the sequential engine's. *)
+  (* Determinism, part 1 — indexed splits: trial [i] draws from
+     [Rng.split_ith master i], the exact stream the sequential engine's
+     i-th [Rng.split master] yields, computed without mutating the
+     master.  No pre-split pass, no array of [trials] generators: a
+     worker derives any trial's stream from two integers. *)
   let master = Rng.create seed in
-  let rngs = Array.make trials master in
-  for i = 0 to trials - 1 do
-    rngs.(i) <- Rng.split master
-  done;
   let m = Array.length t.death in
-  let results = Array.make trials None in
-  Obs.Progress.start ~label:"trials" ~total:trials;
-  Exec.parallel_for ~jobs ~n:trials (fun ~lo ~hi ->
+  (* [Exec.parallel_for] inlines [jobs = 1] as a single [body ~lo:0
+     ~hi:trials] call that ignores [~chunk]; pinning [chunk = trials]
+     there keeps [chunk_results] at exactly one slot either way. *)
+  let chunk = if jobs = 1 then trials else Int.max 1 (trials / (8 * jobs)) in
+  let nchunks = (trials + chunk - 1) / chunk in
+  (* Per-chunk result accumulators, one owned array per claimed chunk:
+     no per-trial [Some] boxing, and workers never store into adjacent
+     slots of a shared results array (false sharing) — a chunk's array
+     is touched by exactly one domain until the ordered merge below. *)
+  let chunk_results = Array.make nchunks [||] in
+  let progress = Obs.Progress.start ~label:"trials" ~total:trials in
+  Exec.parallel_for ~chunk ~jobs ~n:trials (fun ~lo ~hi ->
       (* One dead buffer per claimed chunk: worker-owned, so [map] sees
-         the same reused-buffer contract as [run_trials]'s [f]. *)
-      let dead = Array.make m false in
-      for i = lo to hi - 1 do
-        sample_into t rngs.(i) dead;
-        results.(i) <- Some (map ~rng:rngs.(i) ~dead);
-        Obs.Progress.tick ()
-      done);
+         the same reused-buffer contract as [run_trials]'s [f].  Counter
+         updates are batched per chunk — the sequential engine pays one
+         counted draw per split plus [m] per exact sample, so credit
+         exactly that many raw draws here to keep totals identical. *)
+      let dead = Deadset.create m in
+      let draws = ref 0 in
+      let run_one i =
+        let rng = Rng.split_ith master i in
+        incr draws;
+        draws :=
+          !draws
+          + (match sampling with
+            | `Exact -> sample_exact_raw t rng dead
+            | `Skip -> sample_skip_raw t rng dead);
+        map ~rng ~dead
+      in
+      let count = hi - lo in
+      let out = Array.make count (run_one lo) in
+      for k = 1 to count - 1 do
+        out.(k) <- run_one (lo + k)
+      done;
+      chunk_results.(lo / chunk) <- out;
+      Rng.note_draws !draws;
+      Obs.Metrics.add trials_total count;
+      Obs.Progress.tick ~n:count progress);
   (* Determinism, part 2 — ordered merge: fold in trial order regardless
-     of which domain produced which result, so [~jobs:1] and [~jobs:n]
+     of which domain produced which chunk, so [~jobs:1] and [~jobs:n]
      accumulate (floats included) in the same sequence. *)
   let acc = ref init in
-  for i = 0 to trials - 1 do
-    match results.(i) with
-    | Some v -> acc := merge !acc v
-    | None -> assert false (* parallel_for covers [0, trials) *)
+  for ci = 0 to nchunks - 1 do
+    let out = chunk_results.(ci) in
+    for k = 0 to Array.length out - 1 do
+      acc := merge !acc out.(k)
+    done
   done;
-  Obs.Progress.finish ();
+  Obs.Progress.finish progress;
   !acc

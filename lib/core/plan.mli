@@ -8,20 +8,34 @@
     probabilities become flat [float array]s indexed by cable id, so the
     hot loop of a trial is an array read and one Bernoulli draw per cable
     instead of a closure application and a [**] per cable per trial.
+    Compilation also precomputes the node→cable incidence (CSR), giving
+    {!unreachable_attached_pct} an allocation-free per-trial reachability
+    metric.
+
+    Trial outcomes are {!Deadset.t} bitvectors — see that module for the
+    representation and the reuse contract ([dead] buffers are scratch;
+    copy what must outlive a callback).
 
     Draw-order contract: {!sample} performs exactly one Bernoulli draw
     per cable, in cable-index order — byte-identical to the historical
     [Failure_model.compile]-per-consumer loops, so seeds reproduce the
     published numbers unchanged.  {!run_trials} reproduces the historical
     master-RNG pattern: [Rng.create seed], then one [Rng.split] per trial.
+    The opt-in [`Skip] sampling mode (geometric skip-sampling for the
+    sparse-failure regime) draws in a different order by design and is
+    pinned by its own golden hashes.
 
     Observability: compiles and trials are counted on the [plan.compiles]
     and [plan.trials] metrics ([plan.par_runs] counts {!run_trials_par}
     invocations), and compilation runs under a ["plan.compile"] span (all
-    off-by-default, see DESIGN.md).  Both trial drivers feed the live
-    progress meter: one {!Obs.Progress.tick} per completed trial
-    (workers share the atomic counter), rendered on stderr under the
-    [--progress] CLI flag and costing one branch per trial otherwise. *)
+    off-by-default, see DESIGN.md).  Hot loops draw through the
+    uncounted {!Rng.Raw} stream and settle [rng.draws] in batched
+    {!Rng.note_draws} calls — per trial sequentially, per work-stealing
+    chunk in the parallel driver — so counter totals stay exactly equal
+    across job counts without a sharded-atomic hit per draw.  Both trial
+    drivers feed the live progress meter ({!Obs.Progress}, batched per
+    chunk in the parallel driver), rendered on stderr under the
+    [--progress] CLI flag and costing one branch per batch otherwise. *)
 
 type t
 
@@ -32,16 +46,16 @@ val compile :
   unit ->
   t
 (** Precompute per-cable probabilities (default spacing 150 km, the
-    paper's baseline).  For {!Failure_model.Gic_physical} this runs the
-    full GIC exposure pipeline once.  @raise Invalid_argument if
-    [spacing_km <= 0.]. *)
+    paper's baseline) and the node→cable incidence.  For
+    {!Failure_model.Gic_physical} this runs the full GIC exposure
+    pipeline once.  @raise Invalid_argument if [spacing_km <= 0.]. *)
 
 val network : t -> Infra.Network.t
 val model : t -> Failure_model.t
 val spacing_km : t -> float
 
 val nb_cables : t -> int
-(** Number of cables, i.e. the length of every sampled [dead] array. *)
+(** Number of cables, i.e. the length of every sampled [dead] set. *)
 
 val death_prob : t -> int -> float
 (** [death_prob t c] — probability that cable [c] dies (≥ 1 repeater
@@ -52,21 +66,39 @@ val per_repeater_prob : t -> int -> float
     value the historical [Failure_model.compile model ~network] closure
     returned). *)
 
-val sample : t -> Rng.t -> bool array
-(** One storm trial: a fresh per-cable death array.  Exactly one
-    Bernoulli draw per cable, in cable-index order. *)
+val sample : t -> Rng.t -> Deadset.t
+(** One storm trial: a fresh per-cable death set.  Exactly one Bernoulli
+    draw per cable, in cable-index order. *)
 
-val sample_into : t -> Rng.t -> bool array -> unit
+val sample_into : t -> Rng.t -> Deadset.t -> unit
 (** {!sample} into a caller-owned buffer of length {!nb_cables} — the
     zero-allocation per-trial path.  @raise Invalid_argument on size
     mismatch. *)
 
-val sample_recompute_into : t -> Rng.t -> bool array -> unit
+val sample_skip_into : t -> Rng.t -> Deadset.t -> unit
+(** Geometric skip-sampling under the plan's max death probability
+    [p_max]: gaps to the next candidate cable are Geometric([p_max])
+    draws and candidates are thinned by [death/p_max], so expected draw
+    count is about [2·p_max·cables + 1] instead of [cables] — a large
+    win in the sparse-failure regime ([p_max] ≪ 1).  Marginal death
+    probabilities (and independence) match {!sample_into} exactly; the
+    {e draw order} does not, so results for a given seed differ
+    trial-by-trial while agreeing in distribution.  @raise
+    Invalid_argument on size mismatch. *)
+
+val sample_recompute_into : t -> Rng.t -> Deadset.t -> unit
 (** Reference implementation of the pre-plan hot loop: re-applies the
     model closure and recomputes [1 - (1-p)^n] for every cable on every
     call.  Draw-for-draw identical to {!sample_into}; it exists so the
     bench can quantify the compiled plan's win and tests can assert
     equivalence.  Not for production use. *)
+
+val unreachable_attached_pct : t -> Deadset.t -> float
+(** Percentage of cable-bearing nodes whose every incident cable is dead
+    — the same value as [Montecarlo.nodes_unreachable_pct] on the plan's
+    network, computed allocation-free from the compiled CSR incidence
+    with early exit on the first live cable.  @raise Invalid_argument on
+    size mismatch. *)
 
 val expected_cables_failed_pct : t -> float
 (** Closed-form expectation (no sampling): mean of the per-cable death
@@ -74,11 +106,12 @@ val expected_cables_failed_pct : t -> float
     [Montecarlo.expected_cables_failed_pct] bit-for-bit. *)
 
 val run_trials :
+  ?sampling:[ `Exact | `Skip ] ->
   t ->
   trials:int ->
   seed:int ->
   init:'acc ->
-  f:('acc -> rng:Rng.t -> dead:bool array -> 'acc) ->
+  f:('acc -> rng:Rng.t -> dead:Deadset.t -> 'acc) ->
   'acc
 (** The shared trial driver: fold [f] over [trials] independent storm
     trials.  Reproduces the historical pattern exactly — a master
@@ -86,41 +119,48 @@ val run_trials :
     before [f] runs, so [f] may keep drawing from [rng] for its own
     per-trial randomness (grid outages, repair jitter, ...).
 
+    [sampling] (default [`Exact]) selects the per-trial sampler:
+    [`Exact] is {!sample_into} (the byte-stable historical stream),
+    [`Skip] is {!sample_skip_into}.
+
     [dead] is a single buffer reused across trials: copy it if it must
     outlive the callback.  @raise Invalid_argument if [trials <= 0]. *)
 
 val run_trials_par :
-  t ->
   ?jobs:int ->
+  ?sampling:[ `Exact | `Skip ] ->
+  t ->
   trials:int ->
   seed:int ->
   init:'acc ->
-  map:(rng:Rng.t -> dead:bool array -> 'a) ->
+  map:(rng:Rng.t -> dead:Deadset.t -> 'a) ->
   merge:('acc -> 'a -> 'acc) ->
   'acc
 (** Domain-parallel {!run_trials}, deterministic by construction: for the
-    same [seed], [~jobs:1] and [~jobs:n] produce byte-identical results —
-    and both match what {!run_trials} computes with
-    [f acc ~rng ~dead = merge acc (map ~rng ~dead)].
+    same [seed] and [sampling], [~jobs:1] and [~jobs:n] produce
+    byte-identical results — and both match what {!run_trials} computes
+    with [f acc ~rng ~dead = merge acc (map ~rng ~dead)].
 
     How the determinism is kept (see DESIGN.md §6):
-    - {e sequential pre-split} — all [trials] RNGs are split off the
-      master [Rng.create seed] up front, on the calling domain, in trial
-      order: the historical draw order, so seeds keep reproducing the
-      published numbers;
-    - {e ordered merge} — per-trial [map] results are buffered by trial
-      index and folded left-to-right, so float accumulation order never
-      depends on domain scheduling.
+    - {e indexed splits} — trial [i] draws from [Rng.split_ith master i],
+      a pure function of the seed and the trial index equal to the
+      stream the sequential engine's i-th [Rng.split] yields: the
+      historical draw order, so seeds keep reproducing the published
+      numbers, and no pre-split array of [trials] generators is built;
+    - {e ordered merge} — each work-stealing chunk accumulates its [map]
+      results into its own array (no shared option-array, no false
+      sharing) and the chunks are folded left-to-right in trial order,
+      so float accumulation order never depends on domain scheduling.
 
     [jobs] defaults to {!Exec.default_jobs} (the [--jobs] flag /
     [SOLARSTORM_JOBS] environment variable, else 1); trials are dealt to
-    domains by chunked work-stealing ({!Exec.parallel_for}).  [map] runs
-    on worker domains: it must not touch shared mutable state — [Obs]
-    metrics are fine (atomic), [Obs.Span] records into a per-domain ring
-    (worker spans show up in profiles with their domain id), and [dead]
-    is a worker-owned buffer valid only for the duration of the call
-    (copy it to keep it).  [map] may keep
-    drawing from [rng] for its own per-trial randomness, exactly like
-    [f] in {!run_trials}.
+    domains by chunked work-stealing ({!Exec.parallel_for}, persistent
+    pool).  [map] runs on worker domains: it must not touch shared
+    mutable state — [Obs] metrics are fine (atomic), [Obs.Span] records
+    into a per-domain ring (worker spans show up in profiles with their
+    domain id), and [dead] is a worker-owned buffer valid only for the
+    duration of the call (copy it to keep it).  [map] may keep drawing
+    from [rng] for its own per-trial randomness, exactly like [f] in
+    {!run_trials}.
 
     @raise Invalid_argument if [trials <= 0] or [jobs <= 0]. *)

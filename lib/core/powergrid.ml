@@ -144,7 +144,7 @@ let simulate ?(trials = 30) ?(seed = 31) ?(backup_days = 3.0) ?(spacing_km = 150
       List.iter
         (fun l ->
           has_cable.(l) <- true;
-          if not dead.(c) then has_live.(l) <- true)
+          if not (Deadset.get dead c) then has_live.(l) <- true)
         cable.Infra.Cable.landings
     done;
     let total = ref 0 and cdark = ref 0 and gdark = ref 0 and either = ref 0 in

@@ -96,12 +96,10 @@ let storm_recovery ?(trials = 10) ?(seed = 53) ?(spacing_km = 150.0) ?jobs ~netw
     ~model () =
   let p = Plan.compile ~spacing_km ~network ~model () in
   let tls, deads =
-    Plan.run_trials_par p ?jobs ~trials ~seed ~init:([], [])
+    Plan.run_trials_par ?jobs p ~trials ~seed ~init:([], [])
       ~map:(fun ~rng:_ ~dead ->
-        let failed =
-          float_of_int (Array.fold_left (fun a d -> if d then a + 1 else a) 0 dead)
-        in
-        (plan ~network ~dead (), failed))
+        let failed = float_of_int (Deadset.count_dead dead) in
+        (plan ~network ~dead:(Deadset.to_bool_array dead) (), failed))
       ~merge:(fun (tls, deads) (tl, failed) -> (tl :: tls, failed :: deads))
   in
   let avg f = Stats.mean (List.map f tls) in

@@ -12,6 +12,7 @@
     - {!Stats}: shared descriptive statistics. *)
 
 module Stats = Stats
+module Deadset = Deadset
 module Failure_model = Failure_model
 module Plan = Plan
 module Montecarlo = Montecarlo

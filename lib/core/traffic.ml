@@ -48,13 +48,11 @@ let gateways network ~alive_graph =
   done;
   best
 
+(* [dead] is a predicate on cable ids; [route] adapts the public
+   [bool array] form, the trial driver passes its bitvector directly. *)
 let route_internal ?dead ?baseline_max ~network ~demands () =
-  let dead =
-    match dead with
-    | Some d -> d
-    | None -> Array.make (Infra.Network.nb_cables network) false
-  in
-  let g = Infra.Network.graph_without_cables network ~dead in
+  let dead = match dead with Some d -> d | None -> fun _ -> false in
+  let g = Infra.Network.graph_surviving network ~dead in
   (* Edge ids of graph_without_cables are renumbered; rebuild with mapping
      via to_graph-style expansion: we need cable lengths as weights, so we
      recompute a fresh expansion with the same keep predicate. *)
@@ -65,7 +63,7 @@ let route_internal ?dead ?baseline_max ~network ~demands () =
   let next_edge = ref 0 in
   for c = 0 to Infra.Network.nb_cables network - 1 do
     let cable = Infra.Network.cable network c in
-    if not dead.(c) then begin
+    if not (dead c) then begin
       let hops = Infra.Cable.hop_count cable in
       let rec walk = function
         | _ :: (_ :: _ as rest) ->
@@ -147,6 +145,7 @@ let route ?dead ?baseline_max ~network ~demands () =
         Some (route_internal ~network ~demands ()).max_cable_load
     | None, _ -> None
   in
+  let dead = Option.map (fun d c -> d.(c)) dead in
   route_internal ?dead ?baseline_max ~network ~demands ()
 
 let storm_shift ?(trials = 10) ?(seed = 47) ?(spacing_km = 150.0) ?jobs ~network ~model
@@ -155,9 +154,10 @@ let storm_shift ?(trials = 10) ?(seed = 47) ?(spacing_km = 150.0) ?jobs ~network
   let baseline = route ~network ~demands () in
   let p = Plan.compile ~spacing_km ~network ~model () in
   let acc =
-    Plan.run_trials_par p ?jobs ~trials ~seed ~init:[]
+    Plan.run_trials_par ?jobs p ~trials ~seed ~init:[]
       ~map:(fun ~rng:_ ~dead ->
-        route_internal ~dead ~baseline_max:baseline.max_cable_load ~network ~demands ())
+        route_internal ~dead:(Deadset.get dead) ~baseline_max:baseline.max_cable_load
+          ~network ~demands ())
       ~merge:(fun acc r -> r :: acc)
   in
   let avg f = Stats.mean (List.map f acc) in

@@ -26,6 +26,173 @@ let set_default_jobs j =
 let par_sections = Obs.Metrics.counter "exec.parallel_sections"
 let domains_spawned = Obs.Metrics.counter "exec.domains_spawned"
 
+(* --- Persistent worker pool -------------------------------------------
+
+   Spawning a domain costs a runtime handshake plus fresh minor heap —
+   hundreds of microseconds — which the old spawn-per-call design paid
+   [jobs - 1] times per parallel section.  On the ~20 ms trial kernel
+   that fixed cost (and the matching join latency) made 4 domains a
+   *loss*.  Workers are now spawned lazily, once, and kept for the life
+   of the process.
+
+   Shape: one global mutex guards the pool bookkeeping (open job list,
+   helper counts, idle count, shutdown flag).  A parallel section is a
+   [job] record published onto [open_jobs]; idle workers scan the list
+   for a job that still has unclaimed chunks and wants more helpers,
+   attach, and run the same chunked work-stealing loop as the caller.
+   The *caller always participates* — helpers are strictly optional —
+   so a section completes even when every pool worker is busy on other
+   jobs, and a nested [parallel_for] from inside a body can never
+   deadlock waiting for workers that are waiting for it.
+
+   Completion: [remaining] counts unfinished chunks; the caller waits on
+   [done_cond] until its job has zero attached helpers and either zero
+   remaining chunks or a recorded failure, so no [body] invocation ever
+   outlives the call that issued it.  The first exception wins the
+   [failed] slot (CAS) and stops further chunk claims; the calling
+   domain's own exception still takes precedence when re-raising,
+   matching the spawn-per-call semantics.
+
+   Shutdown: a [Stdlib.at_exit] hook (registered at first spawn) flips
+   [stopping], wakes the pool and joins every worker, so the process
+   never exits with runnable domains leaked. *)
+
+type job = {
+  chunk : int;
+  n : int;
+  nchunks : int;
+  body : lo:int -> hi:int -> unit;
+  trace : string; (* caller's trace context, re-installed in helpers *)
+  cursor : int Atomic.t; (* next chunk index to claim *)
+  remaining : int Atomic.t; (* chunks not yet completed *)
+  failed : exn option Atomic.t; (* first exception from any participant *)
+  mutable helpers : int; (* pool domains currently attached (lock) *)
+  helpers_wanted : int;
+}
+
+let lock = Mutex.create ()
+let work_cond = Condition.create () (* workers: work published / shutdown *)
+let done_cond = Condition.create () (* callers: a helper detached *)
+let open_jobs : job list ref = ref []
+let pool : unit Domain.t list ref = ref []
+let spawned = ref 0
+let idle = ref 0
+let stopping = ref false
+
+(* Far below the runtime's ~128-domain ceiling even with a multi-worker
+   [solarstorm serve] pool alongside. *)
+let max_pool = 30
+
+let pool_size () =
+  Mutex.lock lock;
+  let s = !spawned in
+  Mutex.unlock lock;
+  s
+
+(* Run the stealing loop of [job] on the current domain.  Returns the
+   exception this participant's body raised, if any, after recording it
+   in [job.failed] (first writer wins) so other participants stop
+   claiming chunks. *)
+let execute job =
+  let steal_all () =
+    (* The span makes every participating domain visible to the profiler
+       (per-domain rings) even when work-stealing leaves a domain
+       empty-handed; when obs is off it is a single branch. *)
+    Obs.Span.with_ ~name:"exec.worker" @@ fun () ->
+    let rec steal () =
+      if Atomic.get job.failed = None then begin
+        let c = Atomic.fetch_and_add job.cursor 1 in
+        if c < job.nchunks then begin
+          let lo = c * job.chunk in
+          job.body ~lo ~hi:(Int.min job.n (lo + job.chunk));
+          ignore (Atomic.fetch_and_add job.remaining (-1));
+          steal ()
+        end
+      end
+    in
+    steal ()
+  in
+  let run () =
+    (* Trace context is domain-local (see {!Obs.Span.with_trace}), so a
+       pool worker picking up this job does not carry the caller's
+       request id.  Re-install it so one request's [exec.worker] /
+       [mc.trial] spans stay attributable when N requests run plans
+       concurrently on N server domains. *)
+    if job.trace = "" then steal_all () else Obs.Span.with_trace job.trace steal_all
+  in
+  try
+    run ();
+    None
+  with e ->
+    ignore (Atomic.compare_and_set job.failed None (Some e));
+    Some e
+
+let attachable j =
+  j.helpers < j.helpers_wanted
+  && Atomic.get j.failed = None
+  && Atomic.get j.cursor < j.nchunks
+
+let rec worker_main () =
+  Mutex.lock lock;
+  let job =
+    let rec get () =
+      if !stopping then None
+      else
+        match List.find_opt attachable !open_jobs with
+        | Some j ->
+            j.helpers <- j.helpers + 1;
+            Some j
+        | None ->
+            incr idle;
+            Condition.wait work_cond lock;
+            decr idle;
+            get ()
+    in
+    get ()
+  in
+  Mutex.unlock lock;
+  match job with
+  | None -> () (* shutdown *)
+  | Some j ->
+      ignore (execute j : exn option);
+      Mutex.lock lock;
+      j.helpers <- j.helpers - 1;
+      Condition.broadcast done_cond;
+      Mutex.unlock lock;
+      worker_main ()
+
+let shutdown_pool () =
+  Mutex.lock lock;
+  stopping := true;
+  Condition.broadcast work_cond;
+  let ds = !pool in
+  pool := [];
+  Mutex.unlock lock;
+  List.iter Domain.join ds
+
+let at_exit_registered = ref false (* guarded by [lock] *)
+
+(* Call with [lock] held. *)
+let spawn_worker () =
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    Stdlib.at_exit shutdown_pool
+  end;
+  incr spawned;
+  Obs.Metrics.incr domains_spawned;
+  pool := Domain.spawn worker_main :: !pool
+
+(* Call with [lock] held: grow the pool so [wanted] helpers could attach,
+   counting currently idle workers as available and respecting the cap.
+   Busy workers are not counted — two concurrent sections then share the
+   pool rather than doubling it, which is fine because helpers are
+   optional. *)
+let ensure_helpers wanted =
+  let shortfall = Int.min (wanted - !idle) (max_pool - !spawned) in
+  for _ = 1 to shortfall do
+    spawn_worker ()
+  done
+
 let parallel_for ?chunk ~jobs ~n body =
   if jobs <= 0 then invalid_arg "Exec.parallel_for: jobs <= 0";
   if n < 0 then invalid_arg "Exec.parallel_for: n < 0";
@@ -41,44 +208,37 @@ let parallel_for ?chunk ~jobs ~n body =
       | None -> Int.max 1 (n / (8 * jobs))
     in
     let nchunks = (n + chunk - 1) / chunk in
-    let cursor = Atomic.make 0 in
-    (* Trace context is domain-local (see {!Obs.Span.with_trace}), so a
-       freshly spawned domain starts without the caller's request id.
-       Capture it here and re-install it in every spawned worker so one
-       request's [exec.worker]/[mc.trial] spans stay attributable when N
-       requests run plans concurrently on N server domains. *)
-    let trace = Obs.Span.current_trace () in
-    let worker () =
-      (* The span makes every participating domain visible to the
-         profiler (per-domain rings) even when work-stealing leaves a
-         domain empty-handed; when obs is off it is a single branch. *)
-      Obs.Span.with_ ~name:"exec.worker" @@ fun () ->
-      let rec steal () =
-        let c = Atomic.fetch_and_add cursor 1 in
-        if c < nchunks then begin
-          let lo = c * chunk in
-          body ~lo ~hi:(Int.min n (lo + chunk));
-          steal ()
-        end
-      in
-      steal ()
+    let job =
+      {
+        chunk;
+        n;
+        nchunks;
+        body;
+        trace = Obs.Span.current_trace ();
+        cursor = Atomic.make 0;
+        remaining = Atomic.make nchunks;
+        failed = Atomic.make None;
+        helpers = 0;
+        helpers_wanted = jobs - 1;
+      }
     in
     Obs.Metrics.incr par_sections;
-    Obs.Metrics.add domains_spawned (jobs - 1);
-    let spawned_worker () =
-      if trace = "" then worker () else Obs.Span.with_trace trace worker
-    in
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn spawned_worker) in
-    (* The calling domain is worker [jobs - 1]; hold its exception until
-       every spawned domain is joined so no domain outlives the call. *)
-    let first_exn = ref None in
-    let note = function
-      | None -> ()
-      | Some _ as e -> if !first_exn = None then first_exn := e
-    in
-    note (try worker (); None with e -> Some e);
-    Array.iter
-      (fun d -> note (try Domain.join d; None with e -> Some e))
-      domains;
-    match !first_exn with None -> () | Some e -> raise e
+    Mutex.lock lock;
+    (* FIFO: earlier sections get first pick of idle workers. *)
+    open_jobs := !open_jobs @ [ job ];
+    ensure_helpers (jobs - 1);
+    Condition.broadcast work_cond;
+    Mutex.unlock lock;
+    let caller_exn = execute job in
+    Mutex.lock lock;
+    while
+      not (job.helpers = 0 && (Atomic.get job.remaining = 0 || Atomic.get job.failed <> None))
+    do
+      Condition.wait done_cond lock
+    done;
+    open_jobs := List.filter (fun j -> j != job) !open_jobs;
+    Mutex.unlock lock;
+    match caller_exn with
+    | Some e -> raise e
+    | None -> ( match Atomic.get job.failed with Some e -> raise e | None -> ())
   end

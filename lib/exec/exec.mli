@@ -1,4 +1,4 @@
-(** Tiny Domain-based execution pool for embarrassingly-parallel loops.
+(** Persistent Domain pool for embarrassingly-parallel loops.
 
     OCaml 5 gives us shared-memory parallelism through [Domain]s; this
     module wraps the one pattern the simulator needs — run a counted
@@ -11,22 +11,30 @@
     index its own pre-seeded RNG and write to index-owned slots (see
     {!Plan.run_trials_par} for the canonical use).
 
-    Domains are spawned per call and joined before the call returns —
-    there is no persistent pool to shut down, no daemon domain to leak,
-    and a raising [body] still leaves the process with only the calling
-    domain running.
+    Worker domains are {e pooled}: spawned lazily on the first section
+    that wants them, then reused by every later [parallel_for] from any
+    domain — spawning per call cost hundreds of microseconds × [jobs-1]
+    per section, which dominated (and inverted) the speedup on ~20 ms
+    kernels.  The pool grows on demand up to an internal cap, is shared
+    by concurrent sections (e.g. several [solarstorm serve] worker
+    domains running plans at once), and is joined by a [Stdlib.at_exit]
+    hook so the process never exits with runnable domains leaked.  The
+    calling domain always participates in its own section, so a section
+    completes even with zero free pool workers and nested calls cannot
+    deadlock; helpers are strictly optional accelerators.
 
     Observability: each parallel section counts on
-    [exec.parallel_sections] (and [exec.domains_spawned] adds the
-    domains it spawned), and every participating domain — spawned or
-    calling — runs its stealing loop under an ["exec.worker"] span, so a
-    profile ([solarstorm --profile]) shows one trace row per active
-    domain even when work-stealing left a domain without a chunk.  The
-    caller's trace context ({!Obs.Span.current_trace}, domain-local) is
-    captured at section start and re-installed in every spawned domain,
-    so a request id set by the serving layer follows the work onto
-    worker domains.  All of it is off-by-default obs, one branch when
-    disabled. *)
+    [exec.parallel_sections]; [exec.domains_spawned] counts {e actual}
+    domain spawns, so under the pool it rises to the high-water helper
+    count and then stays flat — a cheap reuse probe for tests.  Every
+    participating domain — pooled or calling — runs its stealing loop
+    under an ["exec.worker"] span, so a profile ([solarstorm --profile])
+    shows one trace row per active domain even when work-stealing left a
+    domain without a chunk.  The caller's trace context
+    ({!Obs.Span.current_trace}, domain-local) is captured at section
+    start and re-installed in every helper, so a request id set by the
+    serving layer follows the work onto pool domains.  All of it is
+    off-by-default obs, one branch when disabled. *)
 
 val available_jobs : unit -> int
 (** What the hardware offers: [Domain.recommended_domain_count ()]. *)
@@ -44,21 +52,30 @@ val set_default_jobs : int -> unit
     picks it up without threading a parameter through each call.
     @raise Invalid_argument if the count is [<= 0]. *)
 
+val pool_size : unit -> int
+(** Worker domains currently alive in the pool.  Starts at 0, grows as
+    sections request helpers, never exceeds the internal cap, and — the
+    property tests lean on — stays flat across repeated sections of the
+    same width. *)
+
 val parallel_for : ?chunk:int -> jobs:int -> n:int -> (lo:int -> hi:int -> unit) -> unit
 (** [parallel_for ~jobs ~n body] covers the index range [[0, n)] with
     disjoint [body ~lo ~hi] calls (half-open ranges), using the calling
-    domain plus [jobs - 1] spawned domains.  Each range is visited
+    domain plus up to [jobs - 1] pool helpers.  Each range is visited
     exactly once; ranges are claimed dynamically in chunks of [chunk]
     indices (default: [n / (8 × jobs)], at least 1 — small enough to
     balance load, large enough to amortize the claim).
 
     With [jobs <= 1] (or [n <= 1]) the body runs inline on the calling
-    domain as a single [body ~lo:0 ~hi:n] call — no domain is spawned, no
+    domain as a single [body ~lo:0 ~hi:n] call — no pool interaction, no
     atomic is touched.
 
-    All spawned domains are joined before the call returns, even when
-    [body] raises; the first exception (calling domain's first, then
-    spawn order) is re-raised after the join.  [body] must be safe to run
-    concurrently with itself on disjoint ranges.
+    The call returns only after every participating domain has left the
+    section, even when [body] raises; the first exception (calling
+    domain's first, then helper order) is re-raised, and a failure stops
+    further chunk claims.  [body] must be safe to run concurrently with
+    itself on disjoint ranges, and may itself call [parallel_for]
+    (nested sections share the pool; the inner caller participates, so
+    progress is guaranteed).
 
     @raise Invalid_argument if [jobs <= 0] or [n < 0]. *)

@@ -67,6 +67,10 @@ let graph_without_cables t ~dead =
   let g, _ = expand_edges t ~keep:(fun c -> not dead.(c.Cable.id)) in
   g
 
+let graph_surviving t ~dead =
+  let g, _ = expand_edges t ~keep:(fun c -> not (dead c.Cable.id)) in
+  g
+
 let cable_lengths t =
   Array.to_list (Array.map (fun (c : Cable.t) -> c.Cable.length_km) t.cables)
 

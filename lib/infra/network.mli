@@ -41,6 +41,12 @@ val graph_without_cables : t -> dead:bool array -> Netgraph.Graph.t
 (** Connectivity graph restricted to cables whose [dead] flag is false.
     @raise Invalid_argument if [dead] length differs from [nb_cables]. *)
 
+val graph_surviving : t -> dead:(int -> bool) -> Netgraph.Graph.t
+(** {!graph_without_cables} with a predicate instead of a flag array:
+    keeps cables for which [dead cable_id] is false.  Lets callers pass
+    bitvector-backed dead-sets (or any other representation) without
+    materializing a [bool array]. *)
+
 val cable_lengths : t -> float list
 (** All cable lengths, km (Fig. 5 input). *)
 

@@ -94,7 +94,15 @@ let histogram name ~buckets =
 
 let enabled = Control.enabled
 
-let shard_of_domain () = (Domain.self () :> int) land (shards - 1)
+(* Domain ids are handed out sequentially, and with a persistent worker
+   pool they are *stable* for the life of the process — masking the raw
+   id would pin sequentially spawned workers to adjacent shards and make
+   ids 8 apart collide forever.  Mix the id first (Fibonacci hashing:
+   multiply by ⌊2⁶³/φ⌋, an odd constant, and take the top bits, which is
+   where a multiply concentrates its entropy) so near-by ids land on
+   unrelated shards. *)
+let shard_of_id id = ((id * 0x2545F4914F6CDD1D) lsr 60) land (shards - 1)
+let shard_of_domain () = shard_of_id (Domain.self () :> int)
 
 let incr c =
   if Atomic.get Control.flag then Atomic.incr c.c_counts.(shard_of_domain ())

@@ -48,6 +48,12 @@ val enabled : unit -> bool
 (** True when the observability layer is switched on — use to gate any
     non-trivial work done only to feed a metric. *)
 
+val shard_of_id : int -> int
+(** Shard index a given domain id maps to — a mixed (Fibonacci) hash of
+    the id, not a plain mask, because sequentially allocated domain ids
+    would otherwise collide pairwise mod the shard count.  Exposed for
+    tests asserting shard dispersion. *)
+
 val incr : counter -> unit
 val add : counter -> int -> unit
 val set : gauge -> float -> unit

@@ -1,12 +1,17 @@
 (* Live progress for long trial loops.  Independent of the metrics/span
    switch: [--progress] turns it on without dragging the rest of the obs
-   layer along.  Disabled cost is one [Atomic.get] branch per call.
+   layer along.  Disabled cost is one branch per call.
 
-   The counter is a single [Atomic] shared by every worker domain;
-   rendering is throttled by a CAS on the last-render timestamp so at
-   most one domain paints a given interval, and output goes to an
-   injectable sink (stderr by default) so stdout stays byte-identical
-   with the meter on. *)
+   Runs are handles, not process state: [start] returns a [run] that the
+   driver threads to whatever domain ticks it.  Two concurrent
+   [run_trials] calls (e.g. two server worker domains each running a
+   plan) therefore own independent meters — a second [start] can never
+   clobber an unfinished run, which it silently did when the current run
+   lived in one process-wide atomic.  Each run's counter is an [Atomic]
+   shared by every worker domain ticking it; rendering is throttled by a
+   CAS on the run's last-render timestamp so at most one domain paints a
+   given interval, and output goes to an injectable sink (stderr by
+   default) so stdout stays byte-identical with the meter on. *)
 
 let flag = Atomic.make false
 let enable () = Atomic.set flag true
@@ -19,18 +24,21 @@ let set_clock c = clock := c
 (* A carriage-return meter painted into a pipe or a log file is just
    noise (and, under `solarstorm serve`, interleaves with request logs),
    so the default sink drops everything unless stderr is a terminal.
-   The probe is evaluated once, on the first write; injected sinks
-   ([set_sink]) are never gated — the injector knows where the bytes
-   go. *)
+   The probe is evaluated once, on the first write; the memo is an
+   [Atomic] because the first writes can race in from several ticking
+   domains (the probe is idempotent, so concurrent initialisation is
+   benign — but a plain [ref] read/written across domains was a data
+   race).  Injected sinks ([set_sink]) are never gated — the injector
+   knows where the bytes go. *)
 let tty_sink ~isatty write =
-  let known = ref None in
+  let known = Atomic.make None in
   fun s ->
     let tty =
-      match !known with
+      match Atomic.get known with
       | Some b -> b
       | None ->
           let b = isatty () in
-          known := Some b;
+          Atomic.set known (Some b);
           b
     in
     if tty then write s
@@ -55,15 +63,13 @@ let set_interval_ns ns =
 type run = {
   label : string;
   total : int;
+  live : bool; (* meter enabled when the run started *)
   completed : int Atomic.t;
   start_ns : int64;
   last_render : int64 Atomic.t;
 }
 
-let current : run option Atomic.t = Atomic.make None
-
-let completed () =
-  match Atomic.get current with None -> 0 | Some r -> Atomic.get r.completed
+let completed r = Atomic.get r.completed
 
 let render ~final r =
   let done_ = Atomic.get r.completed in
@@ -78,34 +84,25 @@ let render ~final r =
   !sink (if final then line ^ "\n" else line)
 
 let start ~label ~total =
-  if Atomic.get flag then
-    Atomic.set current
-      (Some
-         {
-           label;
-           total;
-           completed = Atomic.make 0;
-           start_ns = !clock ();
-           last_render = Atomic.make 0L;
-         })
+  let live = Atomic.get flag in
+  {
+    label;
+    total;
+    live;
+    completed = Atomic.make 0;
+    start_ns = (if live then !clock () else 0L);
+    last_render = Atomic.make 0L;
+  }
 
-let tick () =
-  if Atomic.get flag then
-    match Atomic.get current with
-    | None -> ()
-    | Some r ->
-        ignore (Atomic.fetch_and_add r.completed 1);
-        let now = !clock () in
-        let last = Atomic.get r.last_render in
-        if
-          Int64.compare (Int64.sub now last) !interval_ns >= 0
-          && Atomic.compare_and_set r.last_render last now
-        then render ~final:false r
+let tick ?(n = 1) r =
+  if r.live then begin
+    ignore (Atomic.fetch_and_add r.completed n);
+    let now = !clock () in
+    let last = Atomic.get r.last_render in
+    if
+      Int64.compare (Int64.sub now last) !interval_ns >= 0
+      && Atomic.compare_and_set r.last_render last now
+    then render ~final:false r
+  end
 
-let finish () =
-  if Atomic.get flag then
-    match Atomic.get current with
-    | None -> ()
-    | Some r ->
-        render ~final:true r;
-        Atomic.set current None
+let finish r = if r.live then render ~final:true r

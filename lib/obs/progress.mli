@@ -4,13 +4,16 @@
     of the metrics/span layer, off by default, and a single branch per
     {!tick} while disabled — trial loops call {!tick} unconditionally.
 
-    One run is active at a time: {!Plan.run_trials} /
-    {!Plan.run_trials_par} call [start ~label ~total], tick once per
-    completed trial (worker domains share the atomic counter), and
-    [finish] when done.  Rendering — ["label done/total (pct)  rate
-    trials/s  ETA s"], carriage-return style — goes to the sink (stderr
-    by default) at most once per interval; a CAS on the last-render
-    timestamp keeps concurrent domains from painting over each other. *)
+    Runs are handles: {!Plan.run_trials} / {!Plan.run_trials_par} call
+    [start ~label ~total], thread the returned {!run} to whichever
+    domains complete work, tick it per finished batch, and [finish] it.
+    Because a run is not process state, concurrent drivers (e.g. two
+    server worker domains each running a plan) own independent meters
+    and cannot clobber each other.  Rendering — ["label done/total
+    (pct)  rate trials/s  ETA s"], carriage-return style — goes to the
+    sink (stderr by default) at most once per interval; a CAS on the
+    run's last-render timestamp keeps concurrent domains from painting
+    over each other. *)
 
 val enable : unit -> unit
 
@@ -18,17 +21,24 @@ val disable : unit -> unit
 
 val enabled : unit -> bool
 
-val start : label:string -> total:int -> unit
-(** Begin a run of [total] work items; replaces any previous run. *)
+type run
+(** A live meter for one driver invocation.  Safe to tick from any
+    domain; the completed counter is an atomic shared by all of them. *)
 
-val tick : unit -> unit
-(** One work item finished; occasionally repaints the meter. *)
+val start : label:string -> total:int -> run
+(** Begin a run of [total] work items.  Whether the meter is live is
+    latched from {!enabled} at this point, so a run started while the
+    flag is off stays silent even if the flag is flipped later. *)
 
-val finish : unit -> unit
-(** Paint the final state (with a newline) and clear the current run. *)
+val tick : ?n:int -> run -> unit
+(** [tick ?n run] records [n] (default 1) finished work items and
+    occasionally repaints the meter. *)
 
-val completed : unit -> int
-(** Items ticked in the current run (0 when no run is active). *)
+val finish : run -> unit
+(** Paint the final state (with a newline). *)
+
+val completed : run -> int
+(** Items ticked so far on this run. *)
 
 val set_sink : (string -> unit) -> unit
 (** Redirect rendered lines.  The default sink writes + flushes to
@@ -39,7 +49,8 @@ val set_sink : (string -> unit) -> unit
 val tty_sink : isatty:(unit -> bool) -> (string -> unit) -> string -> unit
 (** [tty_sink ~isatty write] is a sink that forwards to [write] when
     [isatty ()] holds and drops everything otherwise.  The probe runs
-    once, on the first write (the default sink is
+    once, on the first write, and its memo is an [Atomic] — first writes
+    can race in from several ticking domains (the default sink is
     [tty_sink ~isatty:(fun () -> Unix.isatty Unix.stderr) ...]);
     exposed so tests can inject a deterministic probe. *)
 

@@ -9,14 +9,75 @@ let mix z =
 
 let draws = Obs.Metrics.counter "rng.draws"
 
+(* Uncounted draws for hot kernels.  [next_int64] below pays a sharded
+   atomic increment on *every* draw, which serialized exactly the loop
+   the parallel trial engine exists to parallelize.  The [Raw] stream is
+   bit-identical to the counted one — same state advance, same mix — so
+   a kernel can draw raw and settle the books once per batch with
+   [note_draws], keeping counter totals exact. *)
+module Raw = struct
+  let next_int64 t =
+    t.state <- Int64.add t.state golden_gamma;
+    mix t.state
+
+  let next_float53 t =
+    (* 53 random bits into [0, 1). *)
+    let bits = Int64.shift_right_logical (next_int64 t) 11 in
+    Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+  let bernoulli t ~p =
+    let p = Float.max 0.0 (Float.min 1.0 p) in
+    next_float53 t < p
+
+  (* Batched bernoulli sweep: one raw float53 draw per entry of [probs],
+     calling [set i] exactly where draw [i] lands below [probs.(i)].
+     Draw [i]'s state is [base + (i+1)·gamma] — a pure function of the
+     base state and the index — so the loop never stores to [t.state]
+     until the end.  Per-draw the generic path allocates ~10 words of
+     Int64 boxes (the state store plus the cross-call results); here
+     every intermediate is a local the compiler keeps unboxed, making
+     the sweep allocation-free.  The stream is bit-identical to [n]
+     successive [bernoulli] calls with in-range probabilities. *)
+  let fill_bernoulli t probs ~set =
+    let n = Array.length probs in
+    let s0 = t.state in
+    for i = 0 to n - 1 do
+      (* [mix], hand-inlined: a non-inlined call boxes its Int64 argument
+         and result, which is exactly the allocation this loop exists to
+         avoid. *)
+      let z = Int64.add s0 (Int64.mul (Int64.of_int (i + 1)) golden_gamma) in
+      let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+      let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+      let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+      let u =
+        Int64.to_float (Int64.shift_right_logical z 11) *. (1.0 /. 9007199254740992.0)
+      in
+      if u < Array.unsafe_get probs i then set i
+    done;
+    t.state <- Int64.add s0 (Int64.mul (Int64.of_int n) golden_gamma)
+end
+
+let note_draws n = Obs.Metrics.add draws n
+
 let next_int64 t =
   Obs.Metrics.incr draws;
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
+  Raw.next_int64 t
 
 let create seed = { state = mix (Int64.of_int seed) }
 
 let split t = { state = next_int64 t }
+
+(* [split_ith master i] is the generator the (i+1)-th [split master]
+   call would return, computed without mutating [master]: [split]
+   advances the parent by one gamma step per call and mixes, so the i-th
+   child's state is [mix (state + (i+1)·gamma)] — a pure function of the
+   master state and the index.  The parallel trial engine uses this to
+   hand trial [i] its stream with no pre-split pass, no per-trial heap
+   record, and no draw-counter traffic (the driver settles the count
+   with [note_draws]). *)
+let split_ith t i =
+  if i < 0 then invalid_arg "Rng.split_ith: i < 0";
+  { state = mix (Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma)) }
 
 let copy t = { state = t.state }
 

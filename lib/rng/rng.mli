@@ -15,6 +15,45 @@ val split : t -> t
     Used to give each Monte-Carlo trial / dataset component its own
     stream. *)
 
+val split_ith : t -> int -> t
+(** [split_ith master i] is exactly the generator the (i+1)-th
+    consecutive [split master] would produce, computed {e without}
+    mutating [master] — a pure function of the master state and the
+    index, so parallel workers can derive any trial's stream directly
+    instead of pre-splitting an array of [trials] generators.
+    Counts no draw against [rng.draws]; batch drivers account for their
+    splits with {!note_draws}.  @raise Invalid_argument if [i < 0]. *)
+
+val note_draws : int -> unit
+(** Credit [n] draws to the [rng.draws] counter in one batched add.
+    Kernels drawing through {!Raw} call this once per chunk so counter
+    totals stay exactly equal to the per-draw-counted equivalent. *)
+
+module Raw : sig
+  (** Uncounted draws, bit-identical to their counted counterparts (same
+      state advance, same output) but skipping the per-draw metrics
+      increment — for hot loops that settle the count per batch with
+      {!note_draws}. *)
+
+  val next_int64 : t -> int64
+
+  val next_float53 : t -> float
+  (** 53 uniform bits in [[0, 1)] — the primitive behind [bernoulli],
+      [float] and friends. *)
+
+  val bernoulli : t -> p:float -> bool
+  (** Same draw pattern (one [next_float53]) and results as
+      {!val:bernoulli}. *)
+
+  val fill_bernoulli : t -> float array -> set:(int -> unit) -> unit
+  (** [fill_bernoulli t probs ~set] makes one raw float53 draw per entry
+      of [probs] — the exact stream [Array.length probs] successive
+      {!bernoulli} calls would consume — and calls [set i] where draw
+      [i] lands below [probs.(i)].  Probabilities must already be in
+      [[0, 1]] (no clamping).  The loop keeps the generator state in
+      unboxed locals, so the sweep itself allocates nothing. *)
+end
+
 val copy : t -> t
 
 val int : t -> int -> int

@@ -147,6 +147,11 @@ let drive_connection ~target ~pipeline ~request ~n =
        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
        (fun () ->
          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string target.host, target.port));
+         (* Pipelined requests are small writes issued while earlier
+            responses are still in flight — exactly the pattern Nagle
+            holds back until the peer's (delayed, ~40 ms) ACK. *)
+         (try Unix.setsockopt fd Unix.TCP_NODELAY true
+          with Unix.Unix_error (_, _, _) -> ());
          let rc = { fd; pending = Buffer.create 8192; chunk = Bytes.create 8192 } in
          let sent = ref 0 and sent_at = Queue.create () in
          let send_one () =

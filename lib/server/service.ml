@@ -354,6 +354,12 @@ let run ?on_ready cfg =
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
           -> ()
         | fd, _addr ->
+            (* Nagle + the peer's delayed ACK can park a small pipelined
+               response for ~40 ms; responses are written in one buffered
+               burst, so there is nothing for Nagle to coalesce anyway.
+               Unix-domain sockets reject the option — ignore that. *)
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true
+             with Unix.Unix_error (_, _, _) -> ());
             if List.length !idle + !in_flight >= cfg.max_pending then begin
               Obs.Metrics.incr m_busy;
               ignore (send_response fd ~close:true busy_response);

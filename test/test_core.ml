@@ -182,7 +182,9 @@ let test_nodes_unreachable_definition () =
       ()
   in
   let net = Infra.Network.create ~name:"t" ~nodes ~cables:[ cable 0 0 1; cable 1 0 2 ] in
-  let pct = Montecarlo.nodes_unreachable_pct net [| true; false |] in
+  let pct =
+    Montecarlo.nodes_unreachable_pct net (Deadset.of_bool_array [| true; false |])
+  in
   (* Node 1 unreachable; nodes 0 and 2 still served: 1/3. *)
   check_close 1e-6 "one of three" (100.0 /. 3.0) pct
 

@@ -36,6 +36,42 @@ let test_counter_arithmetic () =
   | Obs.Metrics.Counter n -> Alcotest.(check int) "reset" 0 n
   | _ -> Alcotest.fail "not a counter"
 
+let test_shard_dispersion () =
+  (* Counter shards are picked by a multiplicative hash of the domain id.
+     The old pick was the raw id masked, so the acceptor (domain 0), the
+     first server worker (domain 1) and the pool workers all collided on
+     the same few adjacent shards.  Pin the properties the hash must
+     keep: in-range, deterministic, and sequential ids spread over most
+     of the shard space. *)
+  let shards = List.init 64 Obs.Metrics.shard_of_id in
+  List.iter
+    (fun s -> Alcotest.(check bool) "in range" true (s >= 0 && s < 8))
+    shards;
+  Alcotest.(check int) "deterministic" (Obs.Metrics.shard_of_id 5)
+    (Obs.Metrics.shard_of_id 5);
+  let distinct = List.length (List.sort_uniq Int.compare shards) in
+  Alcotest.(check bool) "64 sequential ids cover most shards" true (distinct >= 6)
+
+let test_counter_sharded_contention () =
+  (* The exactness contract under real contention: four domains hammer
+     one counter concurrently; the snapshot total must be the exact sum,
+     not approximately it. *)
+  with_obs_enabled @@ fun () ->
+  let c = Obs.Metrics.counter "test.contended" in
+  let per_domain = 10_000 and domains = 4 in
+  let workers =
+    Array.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.Metrics.incr c
+            done))
+  in
+  Array.iter Domain.join workers;
+  match List.assoc "test.contended" (Obs.Metrics.snapshot ()) with
+  | Obs.Metrics.Counter n ->
+      Alcotest.(check int) "exact under contention" (per_domain * domains) n
+  | _ -> Alcotest.fail "not a counter"
+
 let test_counter_disabled_is_noop () =
   Obs.reset ();
   Obs.disable ();
@@ -593,9 +629,25 @@ let test_parallel_engine_spans () =
   with_obs_enabled @@ fun () ->
   let network = Datasets.Submarine.build ~seed:7 () in
   let plan = Stormsim.Plan.compile ~network ~model:Stormsim.Failure_model.s1 () in
+  (* With the persistent pool the caller participates in its own job, so
+     a fast caller could drain every chunk before the pooled helper
+     attaches.  Hold each trial until two distinct domains have joined:
+     the job stays open while trials block, so the helper provably
+     participates — making the >= 2 domains assertion deterministic. *)
+  let seen = Atomic.make [] in
+  let rec note () =
+    let l = Atomic.get seen in
+    let d = (Domain.self () :> int) in
+    if not (List.mem d l) && not (Atomic.compare_and_set seen l (d :: l)) then note ()
+  in
   let n =
-    Stormsim.Plan.run_trials_par plan ~jobs:2 ~trials:8 ~seed:3 ~init:0
-      ~map:(fun ~rng:_ ~dead:_ -> 1)
+    Stormsim.Plan.run_trials_par ~jobs:2 plan ~trials:8 ~seed:3 ~init:0
+      ~map:(fun ~rng:_ ~dead:_ ->
+        note ();
+        while List.length (Atomic.get seen) < 2 do
+          Domain.cpu_relax ()
+        done;
+        1)
       ~merge:( + )
   in
   Alcotest.(check int) "all trials ran" 8 n;
@@ -674,13 +726,12 @@ let with_progress_captured f =
 let test_progress_meter () =
   with_progress_captured @@ fun buf ->
   Obs.Progress.set_clock (Obs.Clock.fake ~start:0L ~step:1_000_000_000L ());
-  Obs.Progress.start ~label:"trials" ~total:3;
-  Obs.Progress.tick ();
-  Obs.Progress.tick ();
-  Obs.Progress.tick ();
-  Alcotest.(check int) "counter" 3 (Obs.Progress.completed ());
-  Obs.Progress.finish ();
-  Alcotest.(check int) "run cleared" 0 (Obs.Progress.completed ());
+  let run = Obs.Progress.start ~label:"trials" ~total:3 in
+  Obs.Progress.tick run;
+  Obs.Progress.tick run;
+  Obs.Progress.tick run;
+  Alcotest.(check int) "counter" 3 (Obs.Progress.completed run);
+  Obs.Progress.finish run;
   let out = Buffer.contents buf in
   Alcotest.(check bool) "final count" true (contains out "trials 3/3 (100%)");
   Alcotest.(check bool) "rate" true (contains out "trials/s");
@@ -697,11 +748,34 @@ let test_progress_disabled_is_silent () =
           output_string stderr s;
           flush stderr))
     (fun () ->
-      Obs.Progress.start ~label:"x" ~total:2;
-      Obs.Progress.tick ();
-      Obs.Progress.finish ();
-      Alcotest.(check int) "no run" 0 (Obs.Progress.completed ());
+      let run = Obs.Progress.start ~label:"x" ~total:2 in
+      Obs.Progress.tick run;
+      Obs.Progress.finish run;
+      Alcotest.(check int) "disabled run counts nothing" 0 (Obs.Progress.completed run);
       Alcotest.(check string) "no output" "" (Buffer.contents buf))
+
+let test_progress_concurrent_runs () =
+  (* Regression: runs are independent handles.  When the meter lived in
+     one process-wide atomic, a second [start] clobbered the first run's
+     counter and label mid-flight (two server worker domains each running
+     a plan did exactly that). *)
+  with_progress_captured @@ fun buf ->
+  Obs.Progress.set_clock (Obs.Clock.fake ~start:0L ~step:1_000_000_000L ());
+  let a = Obs.Progress.start ~label:"outer" ~total:2 in
+  let b = Obs.Progress.start ~label:"inner" ~total:3 in
+  Obs.Progress.tick b;
+  Obs.Progress.tick a;
+  Obs.Progress.tick ~n:2 b;
+  Obs.Progress.finish b;
+  Obs.Progress.tick a;
+  Obs.Progress.finish a;
+  Alcotest.(check int) "outer kept its own count" 2 (Obs.Progress.completed a);
+  Alcotest.(check int) "inner counted independently" 3 (Obs.Progress.completed b);
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "inner rendered to completion" true
+    (contains out "inner 3/3 (100%)");
+  Alcotest.(check bool) "outer rendered to completion" true
+    (contains out "outer 2/2 (100%)")
 
 let test_progress_through_trial_drivers () =
   (* --progress works without the metrics/span layer: leave Obs disabled. *)
@@ -718,7 +792,7 @@ let test_progress_through_trial_drivers () =
   Alcotest.(check bool) "sequential meter" true (contains (Buffer.contents buf) "trials 5/5 (100%)");
   Buffer.clear buf;
   let par =
-    Stormsim.Plan.run_trials_par plan ~jobs:2 ~trials:6 ~seed:1 ~init:0
+    Stormsim.Plan.run_trials_par ~jobs:2 plan ~trials:6 ~seed:1 ~init:0
       ~map:(fun ~rng:_ ~dead:_ -> 1)
       ~merge:( + )
   in
@@ -893,9 +967,9 @@ let test_progress_injected_sink_not_gated () =
      must reach an injected buffer even with no terminal attached. *)
   with_progress_captured @@ fun buf ->
   Obs.Progress.set_clock (Obs.Clock.fake ~start:0L ~step:1_000_000_000L ());
-  Obs.Progress.start ~label:"gate" ~total:1;
-  Obs.Progress.tick ();
-  Obs.Progress.finish ();
+  let run = Obs.Progress.start ~label:"gate" ~total:1 in
+  Obs.Progress.tick run;
+  Obs.Progress.finish run;
   Alcotest.(check bool) "injected sink saw the meter" true
     (contains (Buffer.contents buf) "gate 1/1 (100%)")
 
@@ -941,6 +1015,9 @@ let () =
     [
       ( "metrics",
         [ Alcotest.test_case "counter arithmetic" `Quick test_counter_arithmetic;
+          Alcotest.test_case "shard dispersion" `Quick test_shard_dispersion;
+          Alcotest.test_case "sharded contention exact" `Quick
+            test_counter_sharded_contention;
           Alcotest.test_case "disabled no-op" `Quick test_counter_disabled_is_noop;
           Alcotest.test_case "gauge" `Quick test_gauge_set;
           Alcotest.test_case "kind clash" `Quick test_kind_clash_rejected;
@@ -992,6 +1069,8 @@ let () =
       ( "progress",
         [ Alcotest.test_case "meter renders" `Quick test_progress_meter;
           Alcotest.test_case "disabled is silent" `Quick test_progress_disabled_is_silent;
+          Alcotest.test_case "concurrent runs stay independent" `Quick
+            test_progress_concurrent_runs;
           Alcotest.test_case "through trial drivers" `Quick test_progress_through_trial_drivers;
           Alcotest.test_case "tty sink gates on isatty" `Quick test_progress_tty_sink_gates;
           Alcotest.test_case "injected sink not gated" `Quick

@@ -23,7 +23,8 @@ let network = lazy (Datasets.Cache.submarine ())
 let hash_dead dead =
   Array.fold_left
     (fun acc d -> Int64.add (Int64.mul acc 1000003L) (if d then 1L else 0L))
-    0L dead
+    0L
+    (Deadset.to_bool_array dead)
 
 let models =
   [
@@ -53,7 +54,7 @@ let test_par_identity (mname, model) () =
     (fun jobs ->
       let par =
         List.rev
-          (Plan.run_trials_par plan ~jobs ~trials ~seed ~init:[]
+          (Plan.run_trials_par ~jobs plan ~trials ~seed ~init:[]
              ~map:(fun ~rng:_ ~dead -> hash_dead dead)
              ~merge:(fun acc h -> h :: acc))
       in
@@ -138,7 +139,7 @@ let test_exec_validation () =
   let plan = Plan.compile ~network ~model:Failure_model.s1 () in
   let run ~jobs ~trials =
     ignore
-      (Plan.run_trials_par plan ~jobs ~trials ~seed:1 ~init:0
+      (Plan.run_trials_par ~jobs plan ~trials ~seed:1 ~init:0
          ~map:(fun ~rng:_ ~dead:_ -> 1)
          ~merge:( + ))
   in
@@ -152,12 +153,13 @@ let test_exec_validation () =
 exception Boom
 
 let test_exception_shutdown () =
-  (* A worker raising must reach the caller after every domain joined. *)
+  (* A pooled worker raising must reach the caller, and the pool must
+     stay usable afterwards — workers survive the exception, only the
+     job dies. *)
   Alcotest.check_raises "worker exception propagates" Boom (fun () ->
       Exec.parallel_for ~jobs:4 ~n:64 ~chunk:1 (fun ~lo ~hi:_ ->
           if lo >= 32 then raise Boom));
-  (* And the pool really did clean up: domains are spawned per call and
-     joined before return, so hundreds of further calls run without
+  (* Hundreds of further calls reuse the same workers without
      exhausting the runtime's live-domain limit. *)
   for _ = 1 to 100 do
     Exec.parallel_for ~jobs:4 ~n:8 (fun ~lo:_ ~hi:_ -> ())
@@ -165,11 +167,42 @@ let test_exception_shutdown () =
   let network = Lazy.force network in
   let plan = Plan.compile ~network ~model:Failure_model.s2 () in
   let count =
-    Plan.run_trials_par plan ~jobs:4 ~trials:16 ~seed:2 ~init:0
+    Plan.run_trials_par ~jobs:4 plan ~trials:16 ~seed:2 ~init:0
       ~map:(fun ~rng:_ ~dead:_ -> 1)
       ~merge:( + )
   in
   Alcotest.(check int) "engine still works after the storm" 16 count
+
+let test_pool_reuse () =
+  (* The pool is persistent: once the first multi-job call has spawned
+     its workers, further calls at the same width reuse them — the
+     domain count must not grow with the number of calls. *)
+  Exec.parallel_for ~jobs:4 ~n:32 (fun ~lo:_ ~hi:_ -> ());
+  let after_first = Exec.pool_size () in
+  (* Other suites may have widened the pool already; the cap is what's
+     guaranteed, reuse is what's under test. *)
+  Alcotest.(check bool) "pool spawned and bounded" true
+    (after_first >= 1 && after_first <= 30);
+  for _ = 1 to 5 do
+    Exec.parallel_for ~jobs:4 ~n:32 (fun ~lo:_ ~hi:_ -> ())
+  done;
+  Alcotest.(check int) "same workers across calls" after_first (Exec.pool_size ())
+
+let test_nested_parallel_for () =
+  (* A body may itself call parallel_for: the caller of the inner loop
+     participates in its own job, so nesting cannot deadlock even when
+     every pooled worker is busy with the outer loop. *)
+  let outer = 4 and inner = 16 in
+  let hits = Array.init outer (fun _ -> Array.make inner 0) in
+  Exec.parallel_for ~jobs:4 ~n:outer ~chunk:1 (fun ~lo ~hi ->
+      for o = lo to hi - 1 do
+        Exec.parallel_for ~jobs:2 ~n:inner (fun ~lo ~hi ->
+            for i = lo to hi - 1 do
+              hits.(o).(i) <- hits.(o).(i) + 1
+            done)
+      done);
+  Alcotest.(check bool) "every inner index exactly once" true
+    (Array.for_all (Array.for_all (fun h -> h = 1)) hits)
 
 let test_default_jobs_override () =
   Exec.set_default_jobs 3;
@@ -254,6 +287,8 @@ let () =
         [ Alcotest.test_case "coverage" `Quick test_parallel_for_covers;
           Alcotest.test_case "validation" `Quick test_exec_validation;
           Alcotest.test_case "exception shutdown" `Quick test_exception_shutdown;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "nested parallel_for" `Quick test_nested_parallel_for;
           Alcotest.test_case "default jobs override" `Quick test_default_jobs_override ] );
       ( "satellites",
         [ Alcotest.test_case "weighted_choice trailing zero" `Quick

@@ -91,8 +91,9 @@ let test_golden_trial g () =
   let master = Rng.create 1234 in
   let rng = Rng.split master in
   let dead = Plan.sample plan rng in
-  Alcotest.(check int) "dead count" g.g_dead (dead_count dead);
-  Alcotest.(check int64) "dead hash" g.g_hash (hash_dead dead);
+  let flags = Deadset.to_bool_array dead in
+  Alcotest.(check int) "dead count" g.g_dead (dead_count flags);
+  Alcotest.(check int64) "dead hash" g.g_hash (hash_dead flags);
   check_f "cables pct" g.g_cables (Montecarlo.cables_failed_pct network dead);
   check_f "nodes pct" g.g_nodes (Montecarlo.nodes_unreachable_pct network dead)
 
@@ -127,14 +128,69 @@ let test_sample_matches_recompute () =
   let plan = Plan.compile ~network ~model:Failure_model.s1 () in
   let n = Plan.nb_cables plan in
   let rng_a = Rng.create 5 and rng_b = Rng.create 5 in
-  let a = Array.make n false and b = Array.make n false in
+  let a = Deadset.create n and b = Deadset.create n in
   for trial = 1 to 5 do
     Plan.sample_into plan rng_a a;
     Plan.sample_recompute_into plan rng_b b;
     Alcotest.(check int64)
       (Printf.sprintf "trial %d identical" trial)
-      (hash_dead a) (hash_dead b)
+      (hash_dead (Deadset.to_bool_array a))
+      (hash_dead (Deadset.to_bool_array b))
   done
+
+(* --- skip-sampling goldens: its own pinned stream --- *)
+
+(* Geometric skip-sampling draws a different (shorter) RNG stream than
+   the exact per-cable path, so it gets its own golden hashes (captured
+   from the first implementation; same seed discipline as the exact
+   goldens: master = Rng.create 1234, rng = split master).  Models whose
+   envelope saturates (death_max >= 1) delegate to the exact sampler, so
+   their skip goldens deliberately equal the exact ones above. *)
+let skip_goldens =
+  [
+    ("uniform-0.01", Failure_model.uniform 0.01, 62, 6703796285628778726L);
+    ("s2", Failure_model.s2, 44, 977401448827320740L);
+    ("s1", Failure_model.s1, 149, -8462356478488360431L);
+    ("s1-geomag", Failure_model.s1_geomag, 160, -5830886797912768062L);
+    ("carrington-physical", Failure_model.carrington_physical, 212,
+     -111982140042745036L);
+  ]
+
+let test_skip_golden (gname, model, g_dead, g_hash) () =
+  let network = Lazy.force network in
+  let plan = Plan.compile ~network ~model () in
+  let master = Rng.create 1234 in
+  let rng = Rng.split master in
+  let dead = Deadset.create (Plan.nb_cables plan) in
+  Plan.sample_skip_into plan rng dead;
+  let flags = Deadset.to_bool_array dead in
+  Alcotest.(check int) (gname ^ " dead count") g_dead (dead_count flags);
+  Alcotest.(check int64) (gname ^ " dead hash") g_hash (hash_dead flags)
+
+let test_skip_par_identity () =
+  (* The byte-identity contract holds on the skip path too: pre-split
+     trial RNGs and ordered merge, so the job count never shows. *)
+  let network = Lazy.force network in
+  let plan = Plan.compile ~network ~model:(Failure_model.uniform 0.01) () in
+  let trials = 7 and seed = 99 in
+  let hash dead = hash_dead (Deadset.to_bool_array dead) in
+  let seq =
+    List.rev
+      (Plan.run_trials ~sampling:`Skip plan ~trials ~seed ~init:[]
+         ~f:(fun acc ~rng:_ ~dead -> hash dead :: acc))
+  in
+  List.iter
+    (fun jobs ->
+      let par =
+        List.rev
+          (Plan.run_trials_par ~jobs ~sampling:`Skip plan ~trials ~seed ~init:[]
+             ~map:(fun ~rng:_ ~dead -> hash dead)
+             ~merge:(fun acc h -> h :: acc))
+      in
+      Alcotest.(check (list int64))
+        (Printf.sprintf "skip path: jobs=%d = seq" jobs)
+        seq par)
+    [ 1; 2; 4 ]
 
 let test_compile_validates () =
   let network = Lazy.force network in
@@ -160,7 +216,7 @@ let test_recovery_median_series () =
   let tls =
     List.rev
       (Plan.run_trials p ~trials ~seed ~init:[] ~f:(fun acc ~rng:_ ~dead ->
-           Recovery.plan ~network ~dead () :: acc))
+           Recovery.plan ~network ~dead:(Deadset.to_bool_array dead) () :: acc))
   in
   let sorted =
     List.sort compare
@@ -290,6 +346,12 @@ let () =
       ( "engine",
         [ Alcotest.test_case "sample = recompute" `Quick test_sample_matches_recompute;
           Alcotest.test_case "validation" `Quick test_compile_validates ] );
+      ( "skip sampling",
+        List.map
+          (fun (gname, _, _, _ as g) ->
+            Alcotest.test_case gname `Quick (test_skip_golden g))
+          skip_goldens
+        @ [ Alcotest.test_case "par = seq on skip path" `Quick test_skip_par_identity ] );
       ( "satellites",
         [ Alcotest.test_case "recovery median series" `Quick test_recovery_median_series;
           Alcotest.test_case "traffic per-network baseline" `Quick
