@@ -181,6 +181,19 @@ let kernels ctx ~port ~port_par : (string * (unit -> unit)) list =
       fun () -> ignore (Server.Router.dispatch ~routes req) );
     ( "serve.metrics-render",
       fun () -> ignore (Obs.Export.prometheus (Obs.Metrics.snapshot ())) );
+    (* One self-monitoring sampler tick: snapshot the whole registry
+       into the ring and evaluate a representative SLO rule — the cost
+       the background sampler adds to a serving process each step. *)
+    ( "obs.timeseries-sample",
+      let ts = Obs.Timeseries.create ~retention:64 () in
+      let alerts =
+        match Obs.Alerts.parse_rule "server.request.ms:p99<50:5m" with
+        | Ok r -> Obs.Alerts.create [ r ]
+        | Error _ -> assert false
+      in
+      fun () ->
+        Obs.Timeseries.sample ts;
+        Obs.Alerts.evaluate alerts ts );
     (* End-to-end serving over loopback: 32 pipelined cache-hit requests
        against the live server domain per run — socket writes, the
        select loop, parse, route, LRU replay and the response path all

@@ -36,7 +36,7 @@ for needle in '"schema":"solarstorm-bench/1"' '"recommended_domain_count":' \
               '"name":"plan.trials-seq"' '"name":"plan.trials-par1"' '"name":"plan.trials-par4"' \
               '"name":"serve.parse-request"' '"name":"serve.request-cached"' \
               '"name":"serve.metrics-render"' '"name":"serve.throughput"' \
-              '"name":"serve.throughput-par"'; do
+              '"name":"serve.throughput-par"' '"name":"obs.timeseries-sample"'; do
   grep -q -F "$needle" "$BENCH_JSON" \
     || { echo "check.sh: $BENCH_JSON malformed (missing $needle)" >&2; exit 1; }
 done
@@ -59,7 +59,7 @@ names = {k["name"] for k in doc["kernels"]}
 for required in ("plan.compile", "plan.sample", "plan.sample-recompute",
                  "plan.trials-seq", "plan.trials-par1", "plan.trials-par4",
                  "serve.parse-request", "serve.request-cached", "serve.metrics-render",
-                 "serve.throughput", "serve.throughput-par"):
+                 "serve.throughput", "serve.throughput-par", "obs.timeseries-sample"):
     assert required in names, f"missing kernel {required}"
 EOF
 fi
@@ -409,4 +409,125 @@ grep -q 'solarstorm serve: stopped' "$W4_LOG" \
 rm -f /tmp/w1_*.json /tmp/w4_*.json /tmp/conc_*.json /tmp/pool_warm.json \
   /tmp/pool_statusz.json /tmp/loadgen_pool.json /tmp/pool_metrics.txt "$W1_LOG" "$W4_LOG"
 
-echo "check.sh: all green ($BENCH_JSON, $PROFILE_JSON, serve ok, observability ok, worker pool ok)"
+echo "== solarstorm serve: self-monitoring gate =="
+# Boot with a breachable throughput SLO ("stay under 40 req/s") and a
+# fast sampler, drive sustained load, and prove the full loop: the alert
+# fires into the JSONL log and /alertz, /varz series move between
+# scrapes, /dashboard renders sparklines, the alert resolves once the
+# load stops, and `solarstorm top` can scrape a frame.
+MON_LOG=/tmp/serve_mon.jsonl
+MON_OUT=/tmp/serve_mon.log
+rm -f "$MON_LOG" "$MON_OUT" /tmp/varz1.json /tmp/varz2.json /tmp/dashboard.html \
+  /tmp/alertz.json /tmp/loadgen_mon.json /tmp/top_frame.txt
+_build/default/bin/solarstorm.exe serve --port 0 --workers 4 \
+  --sampler-step 0.2 --slo 'server.requests:rate<40:2s' \
+  --log "$MON_LOG" > "$MON_OUT" 2>&1 &
+SERVE_PID=$!
+i=0
+until grep -q 'listening on' "$MON_OUT" 2> /dev/null; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "check.sh: self-monitoring serve never became ready" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+  sleep 0.1
+done
+SERVE_PORT=$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$MON_OUT")
+BASE="http://127.0.0.1:$SERVE_PORT"
+
+# First /varz scrape before any load.
+curl -fsS "$BASE/varz?window=60s" > /tmp/varz1.json \
+  || { echo "check.sh: /varz failed" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+grep -q '"series":{' /tmp/varz1.json \
+  || { echo "check.sh: /varz has no series object" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+# A malformed window must be a 400, not a 200 or a crash.
+BAD_STATUS=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/varz?window=banana")
+[ "$BAD_STATUS" = "400" ] \
+  || { echo "check.sh: /varz?window=banana answered $BAD_STATUS, want 400" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+# Sustained load in the background (well above 40 req/s on loopback);
+# --warmup exercises the warmup-exclusion path end to end.
+_build/default/bin/solarstorm.exe loadgen --url "$BASE/healthz" \
+  --connections 4 --requests 60000 --warmup 100 > /tmp/loadgen_mon.json 2> /dev/null &
+LOADGEN_PID=$!
+
+# The alert must fire while the load runs: watch /alertz.
+FIRED=0
+i=0
+while [ "$i" -le 100 ]; do
+  i=$((i + 1))
+  curl -fsS "$BASE/alertz" > /tmp/alertz.json 2> /dev/null || true
+  if grep -q '"state":"firing"' /tmp/alertz.json; then FIRED=1; break; fi
+  sleep 0.2
+done
+[ "$FIRED" = "1" ] \
+  || { echo "check.sh: SLO breach never fired in /alertz" >&2; kill "$SERVE_PID" "$LOADGEN_PID" 2> /dev/null; exit 1; }
+
+# A second /varz scrape under load: the ring must have moved.
+curl -fsS "$BASE/varz?window=60s" > /tmp/varz2.json
+if cmp -s /tmp/varz1.json /tmp/varz2.json; then
+  echo "check.sh: /varz did not change between scrapes under load" >&2
+  kill "$SERVE_PID" "$LOADGEN_PID" 2> /dev/null
+  exit 1
+fi
+if command -v python3 > /dev/null 2>&1; then
+  python3 - /tmp/varz2.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["window_s"] == 60.0, doc["window_s"]
+assert doc["samples"] >= 1, doc["samples"]
+reqs = doc["series"]["server.requests"]
+assert reqs["kind"] == "counter" and reqs["rate_per_s"] > 0, reqs
+assert reqs["points"], "no points in server.requests series"
+lat = doc["series"]["server.request.ms"]
+assert lat["kind"] == "histogram" and "p99" in lat, lat
+EOF
+fi
+
+# /dashboard: one self-contained HTML page with inline SVG sparklines.
+curl -fsS "$BASE/dashboard" > /tmp/dashboard.html \
+  || { echo "check.sh: /dashboard failed" >&2; kill "$SERVE_PID" "$LOADGEN_PID" 2> /dev/null; exit 1; }
+grep -q '<svg' /tmp/dashboard.html \
+  || { echo "check.sh: /dashboard has no sparkline svg" >&2; kill "$SERVE_PID" "$LOADGEN_PID" 2> /dev/null; exit 1; }
+grep -q 'server.requests' /tmp/dashboard.html \
+  || { echo "check.sh: /dashboard names no server metric" >&2; kill "$SERVE_PID" "$LOADGEN_PID" 2> /dev/null; exit 1; }
+
+wait "$LOADGEN_PID" || { echo "check.sh: background loadgen failed" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+grep -q '"loadgen.warmup":400' /tmp/loadgen_mon.json \
+  || { echo "check.sh: loadgen report does not carry the warmup count" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+# The firing transition also landed in the structured log.
+grep -q '"event":"alert.firing"' "$MON_LOG" \
+  || { echo "check.sh: $MON_LOG has no alert.firing line" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+# Load is gone: slow polling (~2 req/s) sits far under the objective, so
+# the short burn-rate window recovers and the alert resolves.
+RESOLVED=0
+i=0
+while [ "$i" -le 60 ]; do
+  i=$((i + 1))
+  sleep 0.5
+  curl -fsS "$BASE/alertz" > /tmp/alertz.json 2> /dev/null || true
+  if grep -q '"state":"ok"' /tmp/alertz.json && grep -q '"firing":0' /tmp/alertz.json; then
+    RESOLVED=1
+    break
+  fi
+done
+[ "$RESOLVED" = "1" ] \
+  || { echo "check.sh: SLO alert never resolved after the load stopped" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+grep -q '"event":"alert.resolved"' "$MON_LOG" \
+  || { echo "check.sh: $MON_LOG has no alert.resolved line" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+# `solarstorm top` scrapes one frame off the live server and exits 0.
+_build/default/bin/solarstorm.exe top --port "$SERVE_PORT" --count 1 \
+  --interval 0.1 > /tmp/top_frame.txt \
+  || { echo "check.sh: solarstorm top failed" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+grep -q 'solarstorm top' /tmp/top_frame.txt \
+  || { echo "check.sh: top frame missing header" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+grep -q 'latency' /tmp/top_frame.txt \
+  || { echo "check.sh: top frame missing latency row" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "check.sh: self-monitoring serve did not exit 0 on SIGTERM" >&2; exit 1; }
+rm -f /tmp/varz1.json /tmp/varz2.json /tmp/dashboard.html /tmp/alertz.json \
+  /tmp/loadgen_mon.json /tmp/top_frame.txt "$MON_LOG" "$MON_OUT"
+
+echo "check.sh: all green ($BENCH_JSON, $PROFILE_JSON, serve ok, observability ok, worker pool ok, self-monitoring ok)"

@@ -486,8 +486,33 @@ let serve_cmd =
                    byte-identical for any count).  0 (default) follows \
                    $(b,--jobs)/$(b,SOLARSTORM_JOBS), else 1.")
   in
+  let slo_t =
+    Arg.(value & opt_all string []
+         & info [ "slo" ] ~docv:"RULE"
+             ~doc:"SLO alert rule, $(b,METRIC:CONDITION:WINDOW) — e.g. \
+                   $(b,server.request.ms:p99<50:5m) (windowed p99 must stay \
+                   under 50 ms over 5 minutes) or \
+                   $(b,server.requests:rate>1:1m).  Repeatable.  Rules are \
+                   evaluated every sampler step with burn-rate \
+                   (long + short window) semantics; transitions land in the \
+                   $(b,--log) JSONL and $(b,GET /alertz).")
+  in
+  let sampler_step_t =
+    Arg.(value & opt float 1.0
+         & info [ "sampler-step" ] ~docv:"SECONDS"
+             ~doc:"Self-monitoring sampling step: how often a metrics snapshot \
+                   is frozen into the $(b,/varz) ring and SLO rules are \
+                   evaluated.  0 disables the background sampler ($(b,/varz) \
+                   still samples on scrape).")
+  in
+  let retention_t =
+    Arg.(value & opt int 600
+         & info [ "retention" ] ~docv:"N"
+             ~doc:"Self-monitoring ring capacity in samples (window queries \
+                   can look back at most $(docv) steps).")
+  in
   let run port host workers cache_entries max_body max_pending read_timeout trace_seed
-      log profile jobs =
+      slo sampler_step retention log profile jobs =
     Option.iter Exec.set_default_jobs jobs;
     if workers < 0 then begin
       Printf.eprintf "serve: --workers must be >= 0\n";
@@ -501,6 +526,24 @@ let serve_cmd =
       Printf.eprintf "serve: --max-body, --max-pending and --read-timeout must be positive\n";
       exit 2
     end;
+    if sampler_step < 0.0 then begin
+      Printf.eprintf "serve: --sampler-step must be >= 0\n";
+      exit 2
+    end;
+    if retention < 2 then begin
+      Printf.eprintf "serve: --retention must be >= 2\n";
+      exit 2
+    end;
+    let slo_rules =
+      List.map
+        (fun src ->
+          match Obs.Alerts.parse_rule src with
+          | Ok rule -> rule
+          | Error msg ->
+              Printf.eprintf "serve: --slo %s\n" msg;
+              exit 2)
+        slo
+    in
     (* The service's whole point is live /metrics, so the obs layer is
        always on; the progress meter is forced off so nothing paints
        carriage returns into the server log. *)
@@ -512,7 +555,8 @@ let serve_cmd =
     Server.Service.run
       { Server.Service.default_config with
         Server.Service.host; port; workers; max_pending; max_body;
-        read_timeout_s = read_timeout; trace_seed };
+        read_timeout_s = read_timeout; trace_seed;
+        sampler_step_s = sampler_step; slo_rules; retention };
     (* After the drain: every request span (tagged with its trace id) is
        still in the rings, so the profile covers the whole serving run. *)
     Option.iter
@@ -528,10 +572,14 @@ let serve_cmd =
              LRU result cache.  Every response carries an $(b,X-Trace-Id) \
              header; $(b,--log) adds one access-log line per request with the \
              same id.  $(b,--workers) spreads requests over a pool of domains \
-             with byte-identical responses.  SIGINT/SIGTERM drain in-flight \
-             requests across all workers and exit 0.")
+             with byte-identical responses.  A background sampler feeds the \
+             windowed self-monitoring surface ($(b,GET /varz), \
+             $(b,GET /alertz), $(b,GET /dashboard)); $(b,--slo) rules alert \
+             on it.  SIGINT/SIGTERM drain in-flight requests across all \
+             workers and exit 0.")
     Term.(const run $ port_t $ host_t $ workers_t $ cache_t $ max_body_t
-          $ max_pending_t $ timeout_t $ trace_seed_t $ log_t $ profile_t $ jobs_t)
+          $ max_pending_t $ timeout_t $ trace_seed_t $ slo_t $ sampler_step_t
+          $ retention_t $ log_t $ profile_t $ jobs_t)
 
 (* loadgen *)
 let loadgen_cmd =
@@ -563,9 +611,21 @@ let loadgen_cmd =
              ~doc:"Requests kept in flight per connection (HTTP/1.1 \
                    pipelining); 1 = strict request/response.")
   in
-  let run url connections requests body pipeline =
+  let warmup_t =
+    Arg.(value & opt int 0
+         & info [ "warmup" ] ~docv:"N"
+             ~doc:"Per-connection warmup requests driven before measurement: \
+                   their latencies and bytes are excluded from the quantiles \
+                   and the bench document (connection setup and cold caches \
+                   land there).")
+  in
+  let run url connections requests body pipeline warmup =
     if connections <= 0 || requests <= 0 || pipeline <= 0 then begin
       Printf.eprintf "loadgen: --connections, --requests and --pipeline must be positive\n";
+      exit 2
+    end;
+    if warmup < 0 then begin
+      Printf.eprintf "loadgen: --warmup must be >= 0\n";
       exit 2
     end;
     match Server.Loadgen.parse_url url with
@@ -573,7 +633,7 @@ let loadgen_cmd =
         Printf.eprintf "loadgen: %s\n" msg;
         exit 2
     | Ok target ->
-        let r = Server.Loadgen.run ~connections ~pipeline ~requests ~body target in
+        let r = Server.Loadgen.run ~connections ~pipeline ~warmup ~requests ~body target in
         prerr_string (Server.Loadgen.summary r);
         print_string (Server.Loadgen.to_bench_json r);
         if r.Server.Loadgen.errors > 0 || r.Server.Loadgen.requests = 0 then exit 1
@@ -583,8 +643,64 @@ let loadgen_cmd =
        ~doc:"Hammer a live server over loopback and report throughput.  \
              Stdout is a $(b,solarstorm-bench/1) JSON document (latency \
              mean/p50/p95/p99 as kernels, req/s under metrics); a human \
-             summary line goes to stderr.  Exits 1 if any request failed.")
-    Term.(const run $ url_t $ connections_t $ requests_t $ body_t $ pipeline_t)
+             summary line goes to stderr.  $(b,--warmup) excludes each \
+             connection's first responses from the figures.  Exits 1 if any \
+             request failed.")
+    Term.(const run $ url_t $ connections_t $ requests_t $ body_t $ pipeline_t $ warmup_t)
+
+(* top *)
+let top_cmd =
+  let host_t =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let port_t =
+    Arg.(value & opt int 8080 & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let window_t =
+    Arg.(value & opt string "60s"
+         & info [ "window" ] ~docv:"WINDOW"
+             ~doc:"Lookback window passed to $(b,/varz) (e.g. 30s, 5m).")
+  in
+  let interval_t =
+    Arg.(value & opt float 2.0
+         & info [ "interval"; "i" ] ~docv:"SECONDS" ~doc:"Seconds between repaints.")
+  in
+  let count_t =
+    Arg.(value & opt (some int) None
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Render $(docv) frames and exit (default: run until killed) — \
+                   $(b,--count 1) is a one-shot snapshot for scripts.")
+  in
+  let run host port window interval count =
+    if interval <= 0.0 then begin
+      Printf.eprintf "top: --interval must be positive\n";
+      exit 2
+    end;
+    (match count with
+    | Some n when n <= 0 ->
+        Printf.eprintf "top: --count must be positive\n";
+        exit 2
+    | _ -> ());
+    (match Obs.Alerts.parse_window window with
+    | Ok _ -> ()
+    | Error msg ->
+        Printf.eprintf "top: --window: %s\n" msg;
+        exit 2);
+    match Server.Top.run ~host ~port ~window ~interval_s:interval ~count () with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "top: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live terminal view of a running $(b,solarstorm serve): polls \
+             $(b,/statusz) and $(b,/varz) every $(b,--interval) seconds and \
+             repaints request rate, windowed latency quantiles (with \
+             sparklines), cache and alert state.  The screen is only cleared \
+             on a real terminal; redirected output is plain frames.")
+    Term.(const run $ host_t $ port_t $ window_t $ interval_t $ count_t)
 
 (* probability *)
 let probability_cmd =
@@ -596,8 +712,9 @@ let probability_cmd =
 
 let main_cmd =
   let doc = "solar-superstorm Internet resilience simulator (SIGCOMM '21 reproduction)" in
-  Cmd.group (Cmd.info "solarstorm" ~version:"1.0.0" ~doc)
+  Cmd.group (Cmd.info "solarstorm" ~version:Server.Handlers.version ~doc)
     [ figures_cmd; map_cmd; simulate_cmd; scenario_cmd; countries_cmd; systems_cmd;
-      mitigate_cmd; probability_cmd; leo_cmd; decision_cmd; serve_cmd; loadgen_cmd ]
+      mitigate_cmd; probability_cmd; leo_cmd; decision_cmd; serve_cmd; loadgen_cmd;
+      top_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

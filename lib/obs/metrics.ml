@@ -190,6 +190,8 @@ let snapshot () =
       Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let find snap name = List.assoc_opt name snap
+
 let reset () =
   with_registry @@ fun () ->
   Hashtbl.iter

@@ -61,6 +61,9 @@ val observe : histogram -> float -> unit
 
 val snapshot : unit -> snapshot
 
+val find : snapshot -> string -> value option
+(** Look up one metric in a frozen snapshot by registry name. *)
+
 val quantile : bounds:float array -> counts:int array -> float -> float option
 (** [quantile ~bounds ~counts q] estimates the [q]-quantile (0 ≤ q ≤ 1)
     of a histogram from its bucket counts, Prometheus-style: locate the

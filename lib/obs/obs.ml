@@ -17,6 +17,8 @@ module Resource = Resource
 module Progress = Progress
 module Log = Log
 module Json = Json
+module Timeseries = Timeseries
+module Alerts = Alerts
 
 let enable = Control.enable
 let disable = Control.disable

@@ -1,0 +1,27 @@
+(** Pure renderer behind [GET /dashboard]: windowed series to a
+    self-refreshing HTML page with inline SVG sparklines.  Zero
+    client-side dependencies — polling is a [<meta refresh>], charts are
+    [<svg><polyline>]. *)
+
+val spark_svg : ?w:int -> ?h:int -> float list -> string
+(** Inline SVG sparkline of the values, min–max scaled; a flat or
+    single-point series renders as a midline, an empty one as an empty
+    [<svg>]. *)
+
+type row = {
+  row_name : string;
+  row_kind : string;
+  row_value : string;  (** latest reading, pre-formatted *)
+  row_series : float list;
+}
+
+type alert_row = { al_rule : string; al_state : string; al_value : string }
+
+val render :
+  window_s:float ->
+  step_s:float ->
+  samples:int ->
+  rows:row list ->
+  alerts:alert_row list ->
+  string
+(** The full page.  All caller-supplied strings are HTML-escaped. *)

@@ -4,10 +4,21 @@
     - [GET /metrics] — live Prometheus exposition of the Obs registry
       (resource gauges sampled per scrape), with
       [Content-Type: text/plain; version=0.0.4];
-    - [GET /statusz] — one JSON health document: uptime, request counts
-      by status class, request-latency p50/p95/p99 (estimated from the
+    - [GET /statusz] — one JSON health document: a [build] block
+      (version, OCaml version, worker count, sampler step), an [alerts]
+      summary (rule/firing counts), uptime, request counts by status
+      class, request-latency p50/p95/p99 (estimated from the
       [server.request.ms] histogram), result-cache occupancy and GC
       gauges;
+    - [GET /varz?window=60s] — windowed self-monitoring JSON from the
+      {!Monitor} ring: per-metric series as [[t_rel_s, v]] points
+      (t relative to the newest sample) plus windowed counter rates and
+      histogram p50/p95/p99; samples the ring on scrape, so it works
+      without the background sampler too.  Bad [window] → 400;
+    - [GET /alertz] — SLO rule states (ok/firing, last measurement,
+      transition count, state age);
+    - [GET /dashboard?window=60s] — the {!Dashboard} HTML/SVG sparkline
+      page over the same windowed data, zero client-side dependencies;
     - [POST /simulate], [POST /scenario], [POST /countries] — run (or
       serve from the result cache) the corresponding analysis; the JSON
       request body overlays {!Api} defaults, and the response body is
@@ -17,5 +28,9 @@
     Each POST handler runs under a ["server.handler"] span and goes
     through {!Api.with_cache}, so repeated identical requests are
     answered from the LRU without re-running trials. *)
+
+val version : string
+(** The binary's version string, shared by the CLI [--version] and the
+    /statusz build block. *)
 
 val routes : unit -> Router.route list

@@ -131,6 +131,24 @@ let path req =
   | None -> req.target
   | Some i -> String.sub req.target 0 i
 
+let query_params req =
+  match String.index_opt req.target '?' with
+  | None -> []
+  | Some i ->
+      String.sub req.target (i + 1) (String.length req.target - i - 1)
+      |> String.split_on_char '&'
+      |> List.filter_map (fun kv ->
+             if kv = "" then None
+             else
+               match String.index_opt kv '=' with
+               | None -> Some (kv, "")
+               | Some j ->
+                   Some
+                     ( String.sub kv 0 j,
+                       String.sub kv (j + 1) (String.length kv - j - 1) ))
+
+let query_param req name = List.assoc_opt name (query_params req)
+
 let wants_close req =
   let conn = Option.map String.lowercase_ascii (header req "connection") in
   match (req.version, conn) with

@@ -44,11 +44,12 @@ let parse_url url =
           | _ -> fail ()))
 
 type result = {
-  requests : int;  (* completed OK *)
+  requests : int;  (* completed OK and measured (warmup excluded) *)
+  warmup : int;  (* completed OK but excluded as per-connection warmup *)
   errors : int;
   elapsed_s : float;
-  latencies_ns : float array;  (* sorted ascending, one per completed request *)
-  bytes : int;  (* response body bytes received *)
+  latencies_ns : float array;  (* sorted ascending, one per measured request *)
+  bytes : int;  (* response body bytes received, measured requests only *)
 }
 
 let req_per_s r = if r.elapsed_s > 0.0 then float_of_int r.requests /. r.elapsed_s else 0.0
@@ -138,8 +139,11 @@ let read_response rc =
 
 (* One connection's share of the run.  Latencies are reported in send
    order; an error (connect failure, protocol surprise, non-2xx) stops
-   this connection and forfeits its remaining requests. *)
-let drive_connection ~target ~pipeline ~request ~n =
+   this connection and forfeits its remaining requests.  The first
+   [warmup] completions are driven and validated like any other but kept
+   out of latencies/bytes — connection setup, first-touch allocation and
+   cold caches land there, not in the quantiles. *)
+let drive_connection ~target ~pipeline ~request ~warmup ~n =
   let latencies = ref [] and completed = ref 0 and errors = ref 0 and bytes = ref 0 in
   (try
      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -170,10 +174,12 @@ let drive_connection ~target ~pipeline ~request ~n =
            let status, len = read_response rc in
            let t0 = Queue.pop sent_at in
            if status >= 200 && status < 300 then begin
-             latencies :=
-               Int64.to_float (Int64.sub (Obs.Span.now ()) t0) :: !latencies;
-             bytes := !bytes + len;
-             incr completed
+             incr completed;
+             if !completed > warmup then begin
+               latencies :=
+                 Int64.to_float (Int64.sub (Obs.Span.now ()) t0) :: !latencies;
+               bytes := !bytes + len
+             end
            end
            else failwith (Printf.sprintf "HTTP %d" status)
          in
@@ -184,19 +190,21 @@ let drive_connection ~target ~pipeline ~request ~n =
            receive_one ()
          done)
    with _ -> errors := n - !completed);
-  (!latencies, !completed, !errors, !bytes)
+  (!latencies, Int.max 0 (!completed - warmup), Int.min warmup !completed, !errors, !bytes)
 
-let run ?(connections = 1) ?(pipeline = 1) ~requests ~body target =
+let run ?(connections = 1) ?(pipeline = 1) ?(warmup = 0) ~requests ~body target =
   if connections <= 0 then invalid_arg "Loadgen.run: connections <= 0";
   if pipeline <= 0 then invalid_arg "Loadgen.run: pipeline <= 0";
   if requests <= 0 then invalid_arg "Loadgen.run: requests <= 0";
+  if warmup < 0 then invalid_arg "Loadgen.run: warmup < 0";
   let connections = Int.min connections requests in
   let request = request_bytes ~target ~body in
-  (* Split requests as evenly as possible; the first [requests mod
-     connections] connections take one extra. *)
+  (* Split the measured requests as evenly as possible; the first
+     [requests mod connections] connections take one extra.  Warmup is
+     per connection, on top of its share. *)
   let share i = (requests / connections) + if i < requests mod connections then 1 else 0 in
   let t_start = Obs.Span.now () in
-  let worker i () = drive_connection ~target ~pipeline ~request ~n:(share i) in
+  let worker i () = drive_connection ~target ~pipeline ~request ~warmup ~n:(share i + warmup) in
   let handles =
     List.init (connections - 1) (fun i -> Domain.spawn (worker i))
   in
@@ -204,15 +212,16 @@ let run ?(connections = 1) ?(pipeline = 1) ~requests ~body target =
   let parts = List.map Domain.join handles @ [ last ] in
   let elapsed_s = Int64.to_float (Int64.sub (Obs.Span.now ()) t_start) /. 1e9 in
   let latencies =
-    List.concat_map (fun (ls, _, _, _) -> ls) parts |> Array.of_list
+    List.concat_map (fun (ls, _, _, _, _) -> ls) parts |> Array.of_list
   in
   Array.sort compare latencies;
   {
-    requests = List.fold_left (fun a (_, c, _, _) -> a + c) 0 parts;
-    errors = List.fold_left (fun a (_, _, e, _) -> a + e) 0 parts;
+    requests = List.fold_left (fun a (_, c, _, _, _) -> a + c) 0 parts;
+    warmup = List.fold_left (fun a (_, _, w, _, _) -> a + w) 0 parts;
+    errors = List.fold_left (fun a (_, _, _, e, _) -> a + e) 0 parts;
     elapsed_s;
     latencies_ns = latencies;
-    bytes = List.fold_left (fun a (_, _, _, b) -> a + b) 0 parts;
+    bytes = List.fold_left (fun a (_, _, _, _, b) -> a + b) 0 parts;
   }
 
 (* Report as a solarstorm-bench/1 document so the existing bench tooling
@@ -256,6 +265,7 @@ let to_bench_json r =
            Object
              [
                ("loadgen.requests", Number (float_of_int r.requests));
+               ("loadgen.warmup", Number (float_of_int r.warmup));
                ("loadgen.errors", Number (float_of_int r.errors));
                ("loadgen.bytes", Number (float_of_int r.bytes));
                ("loadgen.elapsed_s", Number r.elapsed_s);
@@ -273,4 +283,5 @@ let summary r =
     Printf.sprintf
       "loadgen: %d requests in %.2fs (%.0f req/s), p50 %.2fms p95 %.2fms p99 %.2fms%s\n"
       r.requests r.elapsed_s (req_per_s r) (ms 0.5) (ms 0.95) (ms 0.99)
-      (if r.errors > 0 then Printf.sprintf ", %d errors" r.errors else "")
+      ((if r.warmup > 0 then Printf.sprintf ", %d warmup excluded" r.warmup else "")
+      ^ if r.errors > 0 then Printf.sprintf ", %d errors" r.errors else "")

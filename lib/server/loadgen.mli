@@ -17,16 +17,18 @@ val parse_url : string -> (target, string) result
     drives lab servers by address, not the open web. *)
 
 type result = {
-  requests : int;  (** completed with a 2xx response *)
+  requests : int;  (** completed with a 2xx response and measured *)
+  warmup : int;  (** completed with a 2xx response but excluded as warmup *)
   errors : int;  (** forfeited: connect/protocol failures or non-2xx *)
-  elapsed_s : float;  (** wall time for the whole run *)
-  latencies_ns : float array;  (** sorted; one sample per completed request *)
-  bytes : int;  (** response body bytes received *)
+  elapsed_s : float;  (** wall time for the whole run, warmup included *)
+  latencies_ns : float array;  (** sorted; one sample per measured request *)
+  bytes : int;  (** response body bytes received, measured requests only *)
 }
 
 val run :
   ?connections:int ->
   ?pipeline:int ->
+  ?warmup:int ->
   requests:int ->
   body:string option ->
   target ->
@@ -34,9 +36,13 @@ val run :
 (** [run ~requests ~body target] spreads [requests] evenly over
     [connections] (default 1, clamped to [requests]).  [body = Some b]
     sends [POST] with [b] (JSON content type); [None] sends [GET].
-    An error on a connection forfeits that connection's remaining
-    requests (counted in [errors]) without aborting the others.
-    @raise Invalid_argument on non-positive parameters. *)
+    Each connection first drives [warmup] (default 0) extra requests
+    whose latencies/bytes are discarded — connection setup and cold
+    caches land there, not in the quantiles.  An error on a connection
+    forfeits that connection's remaining requests (counted in [errors])
+    without aborting the others.
+    @raise Invalid_argument on non-positive parameters ([warmup] may be
+    0). *)
 
 val req_per_s : result -> float
 

@@ -4,8 +4,10 @@
     canonical-key LRU result cache plus the shared compute/encode path
     ({!Api}, {!Lru}), the bounded MPSC channel ({!Chan}) feeding an
     acceptor + worker-domain-pool socket loop with backpressure and
-    graceful drain ({!Service}), and the pipelined loopback load
-    generator ({!Loadgen}).
+    graceful drain ({!Service}), the pipelined loopback load generator
+    ({!Loadgen}), and the windowed self-monitoring surface: the global
+    sampler state ({!Monitor}), the /dashboard renderer ({!Dashboard})
+    and the live terminal view ({!Top}).
 
     Design notes in DESIGN.md §8; quickstart in README "Serving". *)
 
@@ -17,3 +19,6 @@ module Router = Router
 module Handlers = Handlers
 module Service = Service
 module Loadgen = Loadgen
+module Monitor = Monitor
+module Dashboard = Dashboard
+module Top = Top

@@ -42,6 +42,9 @@ type config = {
   drain_grace_s : float;
   log : string -> unit;
   trace_seed : int option;
+  sampler_step_s : float;
+  slo_rules : Obs.Alerts.rule list;
+  retention : int;
 }
 
 let default_config =
@@ -59,6 +62,9 @@ let default_config =
     drain_grace_s = 2.0;
     log = (fun s -> print_string s; flush stdout);
     trace_seed = None;
+    sampler_step_s = 1.0;
+    slo_rules = [];
+    retention = 600;
   }
 
 (* Per-request trace ids: one SplitMix64 stream, rendered as 16 hex
@@ -249,6 +255,27 @@ let worker_loop ~routes ~limits ~slot ~work ~done_q ~wake_w () =
   in
   loop ()
 
+(* The self-monitoring sampler: its own domain ticking
+   [Monitor.sample_now] every [step_s].  Sleeps in ≤50 ms slices so a
+   SIGTERM parks it within one slice, not one step — a 30 s step must
+   not add 30 s to shutdown. *)
+let sampler_loop ~step_s () =
+  let rec nap remaining =
+    if remaining > 0.0 && not (Atomic.get stop_flag) then begin
+      let slice = Float.min 0.05 remaining in
+      (try Unix.sleepf slice with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      nap (remaining -. slice)
+    end
+  in
+  let rec loop () =
+    if not (Atomic.get stop_flag) then begin
+      Monitor.sample_now ();
+      nap step_s;
+      loop ()
+    end
+  in
+  loop ()
+
 let busy_response =
   Http.response ~status:503 (Http.error_body "server busy: pending queue full")
 
@@ -260,6 +287,12 @@ let select_readable fds timeout =
 let run ?on_ready cfg =
   Atomic.set stop_flag false;
   seed_traces cfg.trace_seed;
+  (* Fresh ring + alert engine per server run: stale samples from a
+     previous run in this process (tests, bench) must not leak into
+     /varz windows. *)
+  ignore
+    (Monitor.configure ~step_s:cfg.sampler_step_s ~retention:cfg.retention
+       ~rules:cfg.slo_rules ());
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let limits = { Http.max_head = cfg.max_head; Http.max_body = cfg.max_body } in
   let routes = Handlers.routes () in
@@ -294,6 +327,11 @@ let run ?on_ready cfg =
           (fun slot -> Domain.spawn (worker_loop ~routes ~limits ~slot ~work ~done_q ~wake_w))
           slots
       in
+      let sampler =
+        if cfg.sampler_step_s > 0.0 then
+          Some (Domain.spawn (sampler_loop ~step_s:cfg.sampler_step_s))
+        else None
+      in
       let joined = ref false in
       let join_workers () =
         if not !joined then begin
@@ -301,7 +339,12 @@ let run ?on_ready cfg =
           for _ = 1 to nworkers do
             Chan.push work Stop
           done;
-          Array.iter Domain.join domains
+          Array.iter Domain.join domains;
+          (* The sampler parks on the stop flag alone; raise it here so
+             an exceptional unwind (flag still false) cannot hang the
+             join. *)
+          Atomic.set stop_flag true;
+          Option.iter Domain.join sampler
         end
       in
       Fun.protect ~finally:join_workers @@ fun () ->

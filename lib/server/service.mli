@@ -59,13 +59,23 @@ type config = {
           drawn by the acceptor in handoff order, so they stay
           deterministic for any worker count when requests arrive
           sequentially *)
+  sampler_step_s : float;
+      (** self-monitoring sampling step (default 1 s): a dedicated
+          sampler domain freezes a metrics snapshot into the {!Monitor}
+          ring and evaluates SLO rules every step.  [0] disables the
+          sampler ([/varz] still samples on scrape) *)
+  slo_rules : Obs.Alerts.rule list;
+      (** burn-rate alert rules evaluated each sampler step (the CLI
+          parses [--slo] strings with {!Obs.Alerts.parse_rule}) *)
+  retention : int;  (** ring slots kept for windowed queries (default 600) *)
 }
 
 val default_config : config
 
 val run : ?on_ready:(port:int -> unit) -> config -> unit
-(** Bind, listen, spawn the worker pool and serve until {!stop}; all
-    worker domains are joined before returning.  [on_ready] fires once
+(** Bind, listen, spawn the worker pool (plus the self-monitoring
+    sampler domain unless [sampler_step_s = 0]) and serve until {!stop};
+    all spawned domains are joined before returning.  [on_ready] fires once
     with the actually-bound port (useful with [port = 0]) right before
     the first accept.  Per-worker activity lands on the
     [server.worker.<i>.requests] counters and

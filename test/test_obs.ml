@@ -1010,6 +1010,263 @@ let test_montecarlo_determinism_under_instrumentation () =
   Alcotest.(check bool) "instrumented run bit-identical" true (plain = instrumented);
   Alcotest.(check bool) "disabled-again run bit-identical" true (plain = again)
 
+(* --- windowed timeseries --- *)
+
+let second_ns = 1_000_000_000L
+let wide_window = 100_000_000_000L (* covers everything a test records *)
+
+(* One fake-clocked ring: samples land exactly one second apart. *)
+let ts_with_fake ?(retention = 4) () =
+  Obs.Timeseries.create
+    ~clock:(Obs.Clock.fake ~start:0L ~step:second_ns ())
+    ~step_ns:second_ns ~retention ()
+
+let test_timeseries_ring_wraparound () =
+  let ts = ts_with_fake ~retention:4 () in
+  for i = 1 to 7 do
+    Obs.Timeseries.record ts [ ("c", Obs.Metrics.Counter i) ]
+  done;
+  Alcotest.(check int) "length caps at retention" 4 (Obs.Timeseries.length ts);
+  (match Obs.Timeseries.latest ts with
+  | Some (ts_ns, [ ("c", Obs.Metrics.Counter 7) ]) ->
+      Alcotest.(check int64) "latest keeps its stamp" 6_000_000_000L ts_ns
+  | _ -> Alcotest.fail "latest sample wrong");
+  (* Only samples 4..7 survive the wrap: three 1/s deltas. *)
+  let rates = Obs.Timeseries.rate_series ts ~window_ns:wide_window "c" in
+  Alcotest.(check int) "post-wrap points" 3 (List.length rates);
+  List.iter
+    (fun p -> Alcotest.(check (float 1e-9)) "rate" 1.0 p.Obs.Timeseries.p_v)
+    rates
+
+let test_timeseries_counter_reset_clamps () =
+  let ts = ts_with_fake ~retention:8 () in
+  List.iter
+    (fun v -> Obs.Timeseries.record ts [ ("c", Obs.Metrics.Counter v) ])
+    [ 0; 10; 5; 8 ];
+  let rates =
+    List.map
+      (fun p -> p.Obs.Timeseries.p_v)
+      (Obs.Timeseries.rate_series ts ~window_ns:wide_window "c")
+  in
+  (* The mid-window reset (10 → 5) reads as one empty step, not -5/s. *)
+  Alcotest.(check (list (float 1e-9))) "clamped per-step rates" [ 10.0; 0.0; 3.0 ] rates;
+  match Obs.Timeseries.windowed_rate ts ~window_ns:wide_window "c" with
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "window sums clamped deltas" (13.0 /. 3.0) r
+  | None -> Alcotest.fail "windowed rate missing"
+
+let test_timeseries_window_excludes_old_samples () =
+  let ts = ts_with_fake ~retention:16 () in
+  (* counter at t=0..5: value jumps by 100 early, then by 1 per step *)
+  List.iter
+    (fun v -> Obs.Timeseries.record ts [ ("c", Obs.Metrics.Counter v) ])
+    [ 0; 100; 101; 102; 103; 104 ];
+  (* A 2 s window ending at t=5 sees only the 1/s tail, not the jump. *)
+  match Obs.Timeseries.windowed_rate ts ~window_ns:(Int64.mul 2L second_ns) "c" with
+  | Some r -> Alcotest.(check (float 1e-9)) "old delta excluded" 1.0 r
+  | None -> Alcotest.fail "windowed rate missing"
+
+let test_timeseries_gauge_series () =
+  let ts = ts_with_fake ~retention:8 () in
+  List.iter
+    (fun v -> Obs.Timeseries.record ts [ ("g", Obs.Metrics.Gauge v) ])
+    [ 1.0; 4.0; 2.0 ];
+  let vs =
+    List.map
+      (fun p -> p.Obs.Timeseries.p_v)
+      (Obs.Timeseries.gauge_series ts ~window_ns:wide_window "g")
+  in
+  Alcotest.(check (list (float 1e-9))) "gauges as stored" [ 1.0; 4.0; 2.0 ] vs
+
+let test_timeseries_windowed_quantile_agrees () =
+  with_obs_enabled @@ fun () ->
+  let bounds = Array.init 20 (fun i -> 5.0 *. float_of_int (i + 1)) in
+  let h = Obs.Metrics.histogram "tsq.sample" ~buckets:bounds in
+  let ts = ts_with_fake ~retention:8 () in
+  (* Noise observed before the baseline sample must not leak into the
+     windowed estimate. *)
+  for _ = 1 to 50 do
+    Obs.Metrics.observe h 99.0
+  done;
+  Obs.Timeseries.record ts (Obs.Metrics.snapshot ());
+  let state = ref 12345 in
+  let sample =
+    Array.init 200 (fun _ ->
+        state := ((!state * 1103515245) + 12347) land 0x3FFFFFFF;
+        float_of_int (!state mod 10_000) /. 100.0)
+  in
+  (* Spread the observations over two steps so the window accumulates
+     more than one bucket delta. *)
+  Array.iteri
+    (fun i v ->
+      Obs.Metrics.observe h v;
+      if i = 99 then Obs.Timeseries.record ts (Obs.Metrics.snapshot ()))
+    sample;
+  Obs.Timeseries.record ts (Obs.Metrics.snapshot ());
+  let sorted = Array.copy sample in
+  Array.sort compare sorted;
+  (match Obs.Timeseries.windowed_count ts ~window_ns:(Int64.mul 2L second_ns) "tsq.sample" with
+  | Some n -> Alcotest.(check int) "window counts only its own observations" 200 n
+  | None -> Alcotest.fail "windowed count missing");
+  List.iter
+    (fun q ->
+      match
+        Obs.Timeseries.windowed_quantile ts
+          ~window_ns:(Int64.mul 2L second_ns)
+          ~q "tsq.sample"
+      with
+      | None -> Alcotest.fail "estimate missing"
+      | Some est ->
+          let exact = exact_quantile sorted q in
+          Alcotest.(check bool)
+            (Printf.sprintf "q=%g est %.2f vs exact %.2f" q est exact)
+            true
+            (Float.abs (est -. exact) <= 5.0))
+    [ 0.5; 0.9; 0.95; 0.99 ]
+
+let test_timeseries_quantile_series_skips_empty_steps () =
+  with_obs_enabled @@ fun () ->
+  let h = Obs.Metrics.histogram "tsq.sparse" ~buckets:[| 1.0; 10.0; 100.0 |] in
+  let ts = ts_with_fake ~retention:8 () in
+  Obs.Timeseries.record ts (Obs.Metrics.snapshot ());
+  Obs.Metrics.observe h 5.0;
+  Obs.Timeseries.record ts (Obs.Metrics.snapshot ());
+  (* one idle step: no observations *)
+  Obs.Timeseries.record ts (Obs.Metrics.snapshot ());
+  Obs.Metrics.observe h 50.0;
+  Obs.Timeseries.record ts (Obs.Metrics.snapshot ());
+  let pts = Obs.Timeseries.quantile_series ts ~window_ns:wide_window ~q:0.5 "tsq.sparse" in
+  Alcotest.(check int) "idle step yields no point" 2 (List.length pts)
+
+let test_timeseries_rejects_bad_shape () =
+  (try
+     ignore (Obs.Timeseries.create ~retention:1 ());
+     Alcotest.fail "retention 1 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Obs.Timeseries.create ~step_ns:0L ());
+    Alcotest.fail "step 0 accepted"
+  with Invalid_argument _ -> ()
+
+(* --- SLO alerts --- *)
+
+let test_alerts_parse_rules () =
+  (match Obs.Alerts.parse_rule "server.request.ms:p99<50:5m" with
+  | Ok r ->
+      Alcotest.(check string) "metric" "server.request.ms" r.Obs.Alerts.r_metric;
+      (match r.Obs.Alerts.r_agg with
+      | Obs.Alerts.Quantile q -> Alcotest.(check (float 1e-9)) "quantile" 0.99 q
+      | _ -> Alcotest.fail "agg not a quantile");
+      Alcotest.(check bool) "cmp" true (r.Obs.Alerts.r_cmp = Obs.Alerts.Lt);
+      Alcotest.(check (float 1e-9)) "threshold" 50.0 r.Obs.Alerts.r_threshold;
+      Alcotest.(check int64) "window" 300_000_000_000L r.Obs.Alerts.r_window_ns
+  | Error e -> Alcotest.fail e);
+  (match Obs.Alerts.parse_rule "server.requests:rate>1.5:30s" with
+  | Ok r ->
+      Alcotest.(check bool) "rate agg" true (r.Obs.Alerts.r_agg = Obs.Alerts.Rate);
+      Alcotest.(check bool) "gt" true (r.Obs.Alerts.r_cmp = Obs.Alerts.Gt);
+      Alcotest.(check int64) "30s" 30_000_000_000L r.Obs.Alerts.r_window_ns
+  | Error e -> Alcotest.fail e);
+  (match Obs.Alerts.parse_rule "gc.heap_words:value<1e9:45" with
+  | Ok r ->
+      Alcotest.(check bool) "value agg" true (r.Obs.Alerts.r_agg = Obs.Alerts.Value);
+      Alcotest.(check int64) "bare seconds" 45_000_000_000L r.Obs.Alerts.r_window_ns
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Obs.Alerts.parse_rule bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" bad)
+      | Error _ -> ())
+    [
+      "";
+      "no-colons";
+      "m:p99<50";
+      "m:p99<50:5m:extra";
+      ":p99<50:5m";
+      "m:p99=50:5m";
+      "m:p99<>50:5m";
+      "m:pword<50:5m";
+      "m:p0<50:5m";
+      "m:p100<50:5m";
+      "m:p99<abc:5m";
+      "m:p99<50:0s";
+      "m:p99<50:-5m";
+      "m:p99<50:5y";
+    ]
+
+let test_alerts_fire_and_resolve () =
+  with_obs_enabled @@ fun () ->
+  with_log_captured @@ fun buf ->
+  let h = Obs.Metrics.histogram "al.ms" ~buckets:[| 1.0; 10.0; 100.0 |] in
+  let ts = ts_with_fake ~retention:16 () in
+  let rule =
+    match Obs.Alerts.parse_rule "al.ms:p99<10:4s" with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let alerts = Obs.Alerts.create [ rule ] in
+  let firing_gauge () =
+    match List.assoc_opt "obs.alerts.firing" (Obs.Metrics.snapshot ()) with
+    | Some (Obs.Metrics.Gauge v) -> v
+    | _ -> -1.0
+  in
+  (* Healthy traffic: fast observations, objective holds. *)
+  Obs.Timeseries.record ts (Obs.Metrics.snapshot ());
+  Obs.Metrics.observe h 0.5;
+  Obs.Timeseries.record ts (Obs.Metrics.snapshot ());
+  Obs.Alerts.evaluate alerts ts;
+  (match Obs.Alerts.statuses alerts with
+  | [ st ] ->
+      Alcotest.(check bool) "starts ok" true (st.Obs.Alerts.st_state = Obs.Alerts.Ok_state)
+  | _ -> Alcotest.fail "one status expected");
+  Alcotest.(check (float 1e-9)) "gauge 0 while ok" 0.0 (firing_gauge ());
+  (* Slow burst: both long and short windows breach -> firing. *)
+  for _ = 1 to 20 do
+    Obs.Metrics.observe h 90.0
+  done;
+  Obs.Timeseries.record ts (Obs.Metrics.snapshot ());
+  Obs.Alerts.evaluate alerts ts;
+  (match Obs.Alerts.statuses alerts with
+  | [ st ] ->
+      Alcotest.(check bool) "fires" true (st.Obs.Alerts.st_state = Obs.Alerts.Firing);
+      Alcotest.(check int) "one transition" 1 st.Obs.Alerts.st_transitions;
+      (match st.Obs.Alerts.st_value with
+      | Some v -> Alcotest.(check bool) "measured value breaches" true (v >= 10.0)
+      | None -> Alcotest.fail "no measurement while firing")
+  | _ -> Alcotest.fail "one status expected");
+  Alcotest.(check (float 1e-9)) "gauge 1 while firing" 1.0 (firing_gauge ());
+  Alcotest.(check bool) "firing logged" true
+    (contains (Buffer.contents buf) "\"event\":\"alert.firing\"");
+  Alcotest.(check bool) "firing logs at warn" true
+    (contains (Buffer.contents buf) "\"level\":\"warn\"");
+  (* Load stops: two idle samples clear the short window -> resolved. *)
+  Obs.Timeseries.record ts (Obs.Metrics.snapshot ());
+  Obs.Timeseries.record ts (Obs.Metrics.snapshot ());
+  Obs.Alerts.evaluate alerts ts;
+  (match Obs.Alerts.statuses alerts with
+  | [ st ] ->
+      Alcotest.(check bool) "resolves" true (st.Obs.Alerts.st_state = Obs.Alerts.Ok_state);
+      Alcotest.(check int) "two transitions" 2 st.Obs.Alerts.st_transitions
+  | _ -> Alcotest.fail "one status expected");
+  Alcotest.(check int) "firing count back to zero" 0 (Obs.Alerts.firing_count alerts);
+  Alcotest.(check (float 1e-9)) "gauge 0 after resolve" 0.0 (firing_gauge ());
+  Alcotest.(check bool) "resolve logged" true
+    (contains (Buffer.contents buf) "\"event\":\"alert.resolved\"")
+
+let test_alerts_empty_timeseries_noop () =
+  with_obs_enabled @@ fun () ->
+  let ts = ts_with_fake () in
+  let rule =
+    match Obs.Alerts.parse_rule "x:p99<10:4s" with Ok r -> r | Error e -> Alcotest.fail e
+  in
+  let alerts = Obs.Alerts.create [ rule ] in
+  Obs.Alerts.evaluate alerts ts;
+  match Obs.Alerts.statuses alerts with
+  | [ st ] ->
+      Alcotest.(check bool) "still ok" true (st.Obs.Alerts.st_state = Obs.Alerts.Ok_state);
+      Alcotest.(check int) "no transitions" 0 st.Obs.Alerts.st_transitions
+  | _ -> Alcotest.fail "one status expected"
+
 let () =
   Alcotest.run "obs"
     [
@@ -1088,4 +1345,21 @@ let () =
       ( "pipeline",
         [ Alcotest.test_case "montecarlo metrics" `Quick test_montecarlo_metrics_flow;
           Alcotest.test_case "determinism" `Quick test_montecarlo_determinism_under_instrumentation ] );
+      ( "timeseries",
+        [ Alcotest.test_case "ring wrap-around" `Quick test_timeseries_ring_wraparound;
+          Alcotest.test_case "counter reset clamps" `Quick
+            test_timeseries_counter_reset_clamps;
+          Alcotest.test_case "window excludes old samples" `Quick
+            test_timeseries_window_excludes_old_samples;
+          Alcotest.test_case "gauge series" `Quick test_timeseries_gauge_series;
+          Alcotest.test_case "windowed quantile tracks exact" `Quick
+            test_timeseries_windowed_quantile_agrees;
+          Alcotest.test_case "quantile series skips empty steps" `Quick
+            test_timeseries_quantile_series_skips_empty_steps;
+          Alcotest.test_case "rejects bad shape" `Quick test_timeseries_rejects_bad_shape ] );
+      ( "alerts",
+        [ Alcotest.test_case "rule grammar" `Quick test_alerts_parse_rules;
+          Alcotest.test_case "fire and resolve" `Quick test_alerts_fire_and_resolve;
+          Alcotest.test_case "empty timeseries is a no-op" `Quick
+            test_alerts_empty_timeseries_noop ] );
     ]

@@ -413,9 +413,17 @@ let send_all fd s =
   in
   go 0 (String.length s)
 
-let with_loopback_server ?trace_seed ?(workers = 1) f =
+let with_loopback_server ?trace_seed ?(workers = 1) ?(sampler_step = 0.0) ?(slo = []) f =
   with_server_state @@ fun () ->
   let port_box = Atomic.make 0 in
+  let slo_rules =
+    List.map
+      (fun src ->
+        match Obs.Alerts.parse_rule src with
+        | Ok r -> r
+        | Error e -> Alcotest.fail e)
+      slo
+  in
   let cfg =
     {
       Server.Service.default_config with
@@ -425,6 +433,8 @@ let with_loopback_server ?trace_seed ?(workers = 1) f =
       drain_grace_s = 0.5;
       log = ignore;
       trace_seed;
+      sampler_step_s = sampler_step;
+      slo_rules;
     }
   in
   let server =
@@ -1035,6 +1045,211 @@ let test_loadgen_concurrency_exceeds_workers () =
   Alcotest.(check int) "all completed" 40 r.Server.Loadgen.requests;
   Alcotest.(check int) "no errors" 0 r.Server.Loadgen.errors
 
+(* --- loadgen warmup --- *)
+
+let test_loadgen_warmup_excluded () =
+  with_loopback_server @@ fun port ->
+  let target = { Server.Loadgen.host = "127.0.0.1"; port; path = "/healthz" } in
+  let r =
+    Server.Loadgen.run ~connections:2 ~warmup:3 ~requests:10 ~body:None target
+  in
+  Alcotest.(check int) "measured requests" 10 r.Server.Loadgen.requests;
+  Alcotest.(check int) "warmup counted separately" 6 r.Server.Loadgen.warmup;
+  Alcotest.(check int) "no errors" 0 r.Server.Loadgen.errors;
+  Alcotest.(check int) "one latency per measured request" 10
+    (Array.length r.Server.Loadgen.latencies_ns);
+  (* The server saw warmup + measured requests; the report excludes the
+     warmup ones. *)
+  Alcotest.(check int) "server served every request" 16 (counter_value "server.requests");
+  (* The bench document carries the warmup count for provenance. *)
+  let doc =
+    match Obs.Json.parse (String.trim (Server.Loadgen.to_bench_json r)) with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check (option (float 1e-9))) "warmup metric" (Some 6.0)
+    (jnum [ "metrics"; "loadgen.warmup" ] doc)
+
+(* --- windowed self-monitoring: /varz, /alertz, /dashboard --- *)
+
+let parse_json body =
+  match Obs.Json.parse body with Ok d -> d | Error e -> Alcotest.fail e
+
+let test_varz_end_to_end () =
+  with_loopback_server @@ fun port ->
+  (* Traffic first, so the windowed series have something to show. *)
+  for _ = 1 to 5 do
+    ignore (get_response port "/healthz")
+  done;
+  let status, _, body = get_response port "/varz?window=60s" in
+  Alcotest.(check int) "varz status" 200 status;
+  let doc = parse_json body in
+  Alcotest.(check (option (float 1e-9))) "window echoed" (Some 60.0)
+    (jnum [ "window_s" ] doc);
+  (match jnum [ "samples" ] doc with
+  | Some n -> Alcotest.(check bool) "has samples" true (n >= 1.0)
+  | None -> Alcotest.fail "no samples field");
+  (match jmem [ "series"; "server.requests" ] doc with
+  | Some s ->
+      Alcotest.(check (option string)) "counter kind" (Some "counter")
+        (Option.bind (Obs.Json.member "kind" s) Obs.Json.string_)
+  | None -> Alcotest.fail "server.requests series missing");
+  (match jmem [ "series"; "server.request.ms"; "p99" ] doc with
+  | Some _ -> ()
+  | None -> Alcotest.fail "histogram series missing p99");
+  (* A second scrape one more sample in: the ring grew. *)
+  let _, _, body2 = get_response port "/varz?window=60s" in
+  (match (jnum [ "samples" ] doc, jnum [ "samples" ] (parse_json body2)) with
+  | Some a, Some b -> Alcotest.(check bool) "ring grows across scrapes" true (b > a)
+  | _ -> Alcotest.fail "samples missing");
+  (* After requests flowed between scrapes, the window sees a rate. *)
+  (match jnum [ "series"; "server.requests"; "rate_per_s" ] (parse_json body2) with
+  | Some r -> Alcotest.(check bool) "windowed rate positive" true (r > 0.0)
+  | None -> Alcotest.fail "rate missing");
+  let bad_status, _, _ = get_response port "/varz?window=banana" in
+  Alcotest.(check int) "bad window is 400" 400 bad_status
+
+let test_alertz_fire_and_resolve_end_to_end () =
+  (* A throughput objective ("stay under 100 req/s") over a tiny
+     window, sampled fast: a request burst fires it, quiet polling
+     resolves it.  (A latency rule would never resolve here — the
+     /alertz polls themselves feed server.request.ms.) *)
+  with_loopback_server ~sampler_step:0.05 ~slo:[ "server.requests:rate<100:1s" ]
+  @@ fun port ->
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let alert_state () =
+    let status, _, body = get_response port "/alertz" in
+    Alcotest.(check int) "alertz status" 200 status;
+    let doc = parse_json body in
+    match jmem [ "rules" ] doc with
+    | Some (Obs.Json.Array [ rule ]) ->
+        ( Option.bind (Obs.Json.member "state" rule) Obs.Json.string_,
+          jnum [ "firing" ] doc )
+    | _ -> Alcotest.fail "expected exactly one rule"
+  in
+  (match alert_state () with
+  | Some "ok", Some 0.0 -> ()
+  | st, _ -> Alcotest.fail (Printf.sprintf "initial state %s" (Option.value ~default:"?" st)));
+  let rec await want ~burst ~pause =
+    if Unix.gettimeofday () > deadline then
+      Alcotest.fail (Printf.sprintf "alert never became %s" want)
+    else begin
+      for _ = 1 to burst do
+        ignore (get_response port "/healthz")
+      done;
+      Unix.sleepf pause;
+      match alert_state () with
+      | Some st, _ when st = want -> ()
+      | _ -> await want ~burst ~pause
+    end
+  in
+  (* ~600 req/s of bursts: both burn-rate windows breach the objective. *)
+  await "firing" ~burst:30 ~pause:0.05;
+  (match alert_state () with
+  | _, Some f -> Alcotest.(check (float 1e-9)) "firing count" 1.0 f
+  | _ -> Alcotest.fail "no firing count");
+  (* Quiet polling (~3 req/s) sits far under the objective: the short
+     window recovers and the alert resolves. *)
+  await "ok" ~burst:0 ~pause:0.3
+
+let test_dashboard_end_to_end () =
+  with_loopback_server @@ fun port ->
+  for _ = 1 to 3 do
+    ignore (get_response port "/healthz")
+  done;
+  let status, head, body = get_response port "/dashboard" in
+  Alcotest.(check int) "dashboard status" 200 status;
+  (match header_value head "content-type" with
+  | Some ct -> Alcotest.(check bool) "text/html" true (contains ct "text/html")
+  | None -> Alcotest.fail "no content type");
+  Alcotest.(check bool) "has sparkline svg" true (contains body "<svg");
+  Alcotest.(check bool) "names a server metric" true (contains body "server.requests");
+  let bad_status, _, _ = get_response port "/dashboard?window=nope" in
+  Alcotest.(check int) "bad window is 400" 400 bad_status
+
+let test_statusz_build_and_alerts_blocks () =
+  with_loopback_server ~slo:[ "server.request.ms:p99<50:5m" ] @@ fun port ->
+  let status, _, body = get_response port "/statusz" in
+  Alcotest.(check int) "statusz status" 200 status;
+  let doc = parse_json body in
+  Alcotest.(check (option string)) "version" (Some Server.Handlers.version)
+    (Option.bind (jmem [ "build"; "version" ] doc) Obs.Json.string_);
+  Alcotest.(check (option string)) "ocaml version" (Some Sys.ocaml_version)
+    (Option.bind (jmem [ "build"; "ocaml" ] doc) Obs.Json.string_);
+  Alcotest.(check (option (float 1e-9))) "worker count" (Some 1.0)
+    (jnum [ "build"; "workers" ] doc);
+  (match jnum [ "build"; "sampler_step_s" ] doc with
+  | Some _ -> ()
+  | None -> Alcotest.fail "sampler step missing");
+  Alcotest.(check (option (float 1e-9))) "alert rules counted" (Some 1.0)
+    (jnum [ "alerts"; "rules" ] doc);
+  Alcotest.(check (option (float 1e-9))) "none firing" (Some 0.0)
+    (jnum [ "alerts"; "firing" ] doc)
+
+let test_http_query_params () =
+  let req target =
+    { Server.Http.meth = GET; target; version = "HTTP/1.1"; headers = []; body = "" }
+  in
+  Alcotest.(check (list (pair string string))) "no query" []
+    (Server.Http.query_params (req "/varz"));
+  Alcotest.(check (list (pair string string))) "pairs" [ ("window", "60s"); ("raw", "") ]
+    (Server.Http.query_params (req "/varz?window=60s&raw"));
+  Alcotest.(check (option string)) "lookup" (Some "60s")
+    (Server.Http.query_param (req "/varz?window=60s") "window");
+  Alcotest.(check (option string)) "missing" None
+    (Server.Http.query_param (req "/varz?window=60s") "step");
+  Alcotest.(check string) "path drops query" "/varz"
+    (Server.Http.path (req "/varz?window=60s"))
+
+(* --- solarstorm top (pure rendering) --- *)
+
+let test_top_render_frame () =
+  let statusz =
+    parse_json
+      "{\"build\":{\"version\":\"1.0.0\",\"workers\":4},\"uptime_s\":12.5,\
+       \"requests\":{\"total\":420},\"cache\":{\"hits\":7,\"misses\":3,\"entries\":2},\
+       \"alerts\":{\"rules\":1,\"firing\":1}}"
+  in
+  let varz =
+    parse_json
+      "{\"window_s\":60.0,\"samples\":9,\"series\":{\
+       \"server.requests\":{\"kind\":\"counter\",\"rate_per_s\":33.5,\
+       \"points\":[[-2.0,10.0],[-1.0,20.0],[0.0,30.0]]},\
+       \"server.request.ms\":{\"kind\":\"histogram\",\"p50\":0.2,\"p95\":0.9,\
+       \"p99\":1.5,\"p99_points\":[[-1.0,1.0],[0.0,1.5]]}}}"
+  in
+  let frame = Server.Top.render ~target:"127.0.0.1:8080" ~statusz ~varz in
+  Alcotest.(check bool) "names the target" true (contains frame "127.0.0.1:8080");
+  Alcotest.(check bool) "shows version" true (contains frame "v1.0.0");
+  Alcotest.(check bool) "shows total" true (contains frame "420");
+  Alcotest.(check bool) "shows rate" true (contains frame "33.5/s");
+  Alcotest.(check bool) "shows p99" true (contains frame "1.50ms");
+  Alcotest.(check bool) "flags firing alerts" true (contains frame "** FIRING **");
+  (* Missing fields degrade to placeholders, never exceptions. *)
+  let empty = Server.Top.render ~target:"x:1" ~statusz:Obs.Json.Null ~varz:Obs.Json.Null in
+  Alcotest.(check bool) "placeholders" true (contains empty "-");
+  (* Sparkline scales to its extremes. *)
+  let s = Server.Top.spark [ 0.0; 1.0 ] in
+  Alcotest.(check bool) "low then high" true (contains s "\xe2\x96\x81" && contains s "\xe2\x96\x88");
+  Alcotest.(check string) "empty series" "" (Server.Top.spark [])
+
+let test_top_end_to_end () =
+  with_loopback_server @@ fun port ->
+  ignore (get_response port "/healthz");
+  let frames = Buffer.create 512 in
+  (match
+     Server.Top.run
+       ~out:(Buffer.add_string frames)
+       ~host:"127.0.0.1" ~port ~window:"60s" ~interval_s:0.01 ~count:(Some 2) ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let out = Buffer.contents frames in
+  Alcotest.(check bool) "renders frames" true (contains out "solarstorm top");
+  Alcotest.(check bool) "shows latency row" true (contains out "latency");
+  (* Not a tty here: no ANSI clear codes in redirected output. *)
+  Alcotest.(check bool) "no escape codes" false (contains out "\027[")
+
 let () =
   Alcotest.run "server"
     [
@@ -1047,7 +1262,8 @@ let () =
           Alcotest.test_case "oversized" `Quick test_parse_oversized;
           Alcotest.test_case "pipelined" `Quick test_parse_pipelined;
           Alcotest.test_case "stalled peer times out" `Quick test_parse_timeout;
-          Alcotest.test_case "response serialization" `Quick test_response_to_string ] );
+          Alcotest.test_case "response serialization" `Quick test_response_to_string;
+          Alcotest.test_case "query params" `Quick test_http_query_params ] );
       ( "router",
         [ Alcotest.test_case "404" `Quick test_router_not_found;
           Alcotest.test_case "405 with allow" `Quick test_router_method_not_allowed;
@@ -1088,7 +1304,8 @@ let () =
         [ Alcotest.test_case "parse url" `Quick test_loadgen_parse_url;
           Alcotest.test_case "exact quantiles" `Quick test_loadgen_quantile_exact;
           Alcotest.test_case "end to end" `Quick test_loadgen_end_to_end;
-          Alcotest.test_case "counts failures" `Quick test_loadgen_counts_failures ] );
+          Alcotest.test_case "counts failures" `Quick test_loadgen_counts_failures;
+          Alcotest.test_case "warmup excluded" `Quick test_loadgen_warmup_excluded ] );
       ( "workers",
         [ Alcotest.test_case "byte identity vs single worker" `Quick
             test_workers_byte_identity;
@@ -1097,4 +1314,13 @@ let () =
           Alcotest.test_case "statusz worker rows" `Quick test_statusz_worker_rows;
           Alcotest.test_case "loadgen concurrency > workers" `Quick
             test_loadgen_concurrency_exceeds_workers ] );
+      ( "monitoring",
+        [ Alcotest.test_case "varz end to end" `Quick test_varz_end_to_end;
+          Alcotest.test_case "alert fires and resolves" `Quick
+            test_alertz_fire_and_resolve_end_to_end;
+          Alcotest.test_case "dashboard" `Quick test_dashboard_end_to_end;
+          Alcotest.test_case "statusz build and alerts" `Quick
+            test_statusz_build_and_alerts_blocks;
+          Alcotest.test_case "top renders a frame" `Quick test_top_render_frame;
+          Alcotest.test_case "top end to end" `Quick test_top_end_to_end ] );
     ]
