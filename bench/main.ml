@@ -63,6 +63,22 @@ let boot_server ~workers () =
       Server.Service.stop ();
       Domain.join server )
 
+(* The sweep kernels' grid: 4 models x 4 itu scales x 4 duplicate trial
+   values = 64 cells over the default submarine network, where itu_scale
+   never reaches a plan key — exactly 4 plans compile and 4 batches of
+   100 trials run. *)
+let sweep_grid () =
+  let specs =
+    [ "model=0.005,0.01,0.02,s1"; "itu_scale=0.1,0.2,0.3,0.4"; "trials=100,100,100,100" ]
+  in
+  let axes =
+    List.map
+      (fun s ->
+        match Stormsim.Sweep.axis_of_spec s with Ok a -> a | Error e -> failwith e)
+      specs
+  in
+  match Stormsim.Sweep.expand axes with Ok cells -> cells | Error e -> failwith e
+
 (* One kernel per table/figure, shared by the Bechamel pass and the
    single-run --fast timings. *)
 let kernels ctx ~port ~port_par : (string * (unit -> unit)) list =
@@ -116,6 +132,18 @@ let kernels ctx ~port ~port_par : (string * (unit -> unit)) list =
       fun () -> ignore (Stormsim.Montecarlo.run_plan ~trials:200 ~jobs:1 ~seed:13 tiered_plan) );
     ( "plan.trials-par4",
       fun () -> ignore (Stormsim.Montecarlo.run_plan ~trials:200 ~jobs:4 ~seed:13 tiered_plan) );
+    (* A 64-cell sweep that collapses to 4 distinct plans (itu_scale is
+       normalized out of submarine keys; duplicate trials values are
+       distinct cells in shared batches): the whole grid engine —
+       expansion, plan dedup, batch trials, row rendering — at one job
+       vs four.  Rows identical either way; par4 should win on >= 4
+       cores. *)
+    ( "sweep.grid-seq",
+      let cells = sweep_grid () in
+      fun () -> ignore (Stormsim.Sweep.run ~jobs:1 ~cells ~emit:ignore ()) );
+    ( "sweep.grid-par4",
+      let cells = sweep_grid () in
+      fun () -> ignore (Stormsim.Sweep.run ~jobs:4 ~cells ~emit:ignore ()) );
     ("fig8-tiered-trial", fun () -> ignore (Stormsim.Montecarlo.trial rng ~plan:tiered_plan));
     ("fig9-as-analysis", fun () -> ignore (Stormsim.Systems.analyze_ases (Report.Figures.ases ctx)));
     ( "country-case-study",

@@ -34,6 +34,7 @@ for needle in '"schema":"solarstorm-bench/1"' '"recommended_domain_count":' \
               '"kernels":[{' '"ns_per_run":' '"metrics":{' \
               '"name":"plan.compile"' '"name":"plan.sample"' '"name":"plan.sample-recompute"' \
               '"name":"plan.trials-seq"' '"name":"plan.trials-par1"' '"name":"plan.trials-par4"' \
+              '"name":"sweep.grid-seq"' '"name":"sweep.grid-par4"' \
               '"name":"serve.parse-request"' '"name":"serve.request-cached"' \
               '"name":"serve.metrics-render"' '"name":"serve.throughput"' \
               '"name":"serve.throughput-par"' '"name":"obs.timeseries-sample"'; do
@@ -58,6 +59,7 @@ assert isinstance(doc["metrics"], dict), "bad metrics"
 names = {k["name"] for k in doc["kernels"]}
 for required in ("plan.compile", "plan.sample", "plan.sample-recompute",
                  "plan.trials-seq", "plan.trials-par1", "plan.trials-par4",
+                 "sweep.grid-seq", "sweep.grid-par4",
                  "serve.parse-request", "serve.request-cached", "serve.metrics-render",
                  "serve.throughput", "serve.throughput-par", "obs.timeseries-sample"):
     assert required in names, f"missing kernel {required}"
@@ -409,6 +411,107 @@ grep -q 'solarstorm serve: stopped' "$W4_LOG" \
 rm -f /tmp/w1_*.json /tmp/w4_*.json /tmp/conc_*.json /tmp/pool_warm.json \
   /tmp/pool_statusz.json /tmp/loadgen_pool.json /tmp/pool_metrics.txt "$W1_LOG" "$W4_LOG"
 
+echo "== solarstorm sweep: streaming grid gate =="
+# The 64-cell bench grid (4 models x 4 itu scales x 4 duplicate trial
+# values) collapses to exactly 4 compiled plans.  The gate proves the
+# whole sweep contract over real interfaces: CLI output is byte-identical
+# for any --jobs count, the de-chunked POST /sweep body equals the CLI
+# bytes, the response really is chunked JSONL, the dedup counters are
+# exact on /metrics, and loadgen can drive the streaming endpoint from a
+# --body-file grid.
+SWEEP_LOG=/tmp/serve_sweep.log
+SWEEP_GRID=/tmp/sweep_grid.json
+rm -f "$SWEEP_LOG" "$SWEEP_GRID" /tmp/sweep_j1.jsonl /tmp/sweep_j4.jsonl \
+  /tmp/sweep_http.jsonl /tmp/sweep_headers.txt /tmp/sweep_metrics.txt /tmp/loadgen_sweep.json
+printf '%s' '{"model":[0.005,0.01,0.02,"s1"],"itu_scale":[0.1,0.2,0.3,0.4],"trials":[25,25,25,25]}' > "$SWEEP_GRID"
+SWEEP_AXES='--axis model=0.005,0.01,0.02,s1 --axis itu_scale=0.1,0.2,0.3,0.4 --axis trials=25,25,25,25'
+dune exec bin/solarstorm.exe -- sweep $SWEEP_AXES --jobs 1 > /tmp/sweep_j1.jsonl 2> /dev/null
+dune exec bin/solarstorm.exe -- sweep $SWEEP_AXES --jobs 4 > /tmp/sweep_j4.jsonl 2> /dev/null
+cmp /tmp/sweep_j1.jsonl /tmp/sweep_j4.jsonl \
+  || { echo "check.sh: sweep --jobs 4 changed the streamed rows" >&2; exit 1; }
+[ "$(wc -l < /tmp/sweep_j1.jsonl)" = "64" ] \
+  || { echo "check.sh: sweep CLI streamed $(wc -l < /tmp/sweep_j1.jsonl) rows, want 64" >&2; exit 1; }
+
+_build/default/bin/solarstorm.exe serve --port 0 > "$SWEEP_LOG" 2>&1 &
+SERVE_PID=$!
+i=0
+until grep -q 'listening on' "$SWEEP_LOG" 2> /dev/null; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "check.sh: sweep serve never became ready" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+  sleep 0.1
+done
+SERVE_PORT=$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$SWEEP_LOG")
+BASE="http://127.0.0.1:$SERVE_PORT"
+
+# Exactly one POST of the grid, streamed (-N disables curl buffering).
+curl -fsSN -D /tmp/sweep_headers.txt --data-binary "@$SWEEP_GRID" "$BASE/sweep" > /tmp/sweep_http.jsonl \
+  || { echo "check.sh: POST /sweep failed" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+grep -qi '^transfer-encoding: *chunked' /tmp/sweep_headers.txt \
+  || { echo "check.sh: /sweep response is not chunked" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+grep -qi '^content-type: *application/x-ndjson' /tmp/sweep_headers.txt \
+  || { echo "check.sh: /sweep response is not ndjson" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+cmp /tmp/sweep_j1.jsonl /tmp/sweep_http.jsonl \
+  || { echo "check.sh: POST /sweep body differs from sweep CLI output" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+# Dedup is observable: 64 cells, 64 rows, exactly 4 compiled plans.
+curl -fsS "$BASE/metrics" > /tmp/sweep_metrics.txt
+grep -q '^server_sweep_cells 64$' /tmp/sweep_metrics.txt \
+  || { echo "check.sh: server_sweep_cells != 64: $(grep '^server_sweep_cells' /tmp/sweep_metrics.txt)" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+grep -q '^server_sweep_rows_streamed 64$' /tmp/sweep_metrics.txt \
+  || { echo "check.sh: server_sweep_rows_streamed != 64" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+grep -q '^server_sweep_plans_compiled 4$' /tmp/sweep_metrics.txt \
+  || { echo "check.sh: server_sweep_plans_compiled != 4: $(grep '^server_sweep_plans_compiled' /tmp/sweep_metrics.txt)" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+curl -fsS "$BASE/statusz" | grep -q '"sweep":{"cells":64.0' \
+  || { echo "check.sh: /statusz missing the sweep block" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+# Every streamed line parses as one JSON object (when python3 is around).
+if command -v python3 > /dev/null 2>&1; then
+  python3 - /tmp/sweep_http.jsonl <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) == 64, f"expected 64 JSONL rows, got {len(lines)}"
+for i, line in enumerate(lines):
+    doc = json.loads(line)
+    assert doc["cell"] == i, (i, doc)
+    assert {"network", "model", "spacing_km", "seed", "trials",
+            "cables_failed_pct", "nodes_unreachable_pct"} <= doc.keys(), doc
+EOF
+fi
+
+# A malformed grid is an ordinary fixed 400, not a truncated stream.
+BAD_STATUS=$(curl -s -o /dev/null -w '%{http_code}' -d '{"bogus":[1]}' "$BASE/sweep")
+[ "$BAD_STATUS" = "400" ] \
+  || { echo "check.sh: bad grid answered $BAD_STATUS, want 400" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+
+# loadgen drives the streaming endpoint from --body-file and reports
+# first-row latency and chunk counts.
+_build/default/bin/solarstorm.exe loadgen --url "$BASE/sweep" \
+  --body-file "$SWEEP_GRID" --connections 2 --requests 8 > /tmp/loadgen_sweep.json 2> /dev/null \
+  || { echo "check.sh: loadgen vs /sweep failed" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+for needle in '"name":"loadgen.ttfb-p50"' '"name":"loadgen.ttfb-p95"' '"loadgen.chunks":'; do
+  grep -q -F "$needle" /tmp/loadgen_sweep.json \
+    || { echo "check.sh: loadgen sweep report missing $needle" >&2; kill "$SERVE_PID" 2> /dev/null; exit 1; }
+done
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "check.sh: sweep serve did not exit 0 on SIGTERM" >&2; exit 1; }
+
+# The grid engine itself must win at 4 jobs on a machine with the cores
+# to run them (same skip rule as the trial-engine gate above).
+if [ "$CORES" -lt 4 ]; then
+  echo "check.sh: NOTICE: only $CORES core(s) online, skipping the sweep par-beats-seq gate (needs >= 4)"
+else
+  SEQ_NS=$(sed -n 's/.*"name":"sweep.grid-seq","ns_per_run":\([0-9.eE+-]*\).*/\1/p' "$BENCH_JSON")
+  PAR_NS=$(sed -n 's/.*"name":"sweep.grid-par4","ns_per_run":\([0-9.eE+-]*\).*/\1/p' "$BENCH_JSON")
+  [ -n "$SEQ_NS" ] && [ -n "$PAR_NS" ] \
+    || { echo "check.sh: could not read sweep kernel timings from $BENCH_JSON" >&2; exit 1; }
+  awk -v seq="$SEQ_NS" -v par="$PAR_NS" 'BEGIN { exit !(par + 0 < seq + 0) }' \
+    || { echo "check.sh: sweep.grid-par4 ($PAR_NS ns) not faster than sweep.grid-seq ($SEQ_NS ns)" >&2; exit 1; }
+  echo "check.sh: sweep par4 beats seq ($PAR_NS ns < $SEQ_NS ns)"
+fi
+rm -f /tmp/sweep_j1.jsonl /tmp/sweep_j4.jsonl /tmp/sweep_http.jsonl \
+  /tmp/sweep_headers.txt /tmp/sweep_metrics.txt /tmp/loadgen_sweep.json "$SWEEP_GRID" "$SWEEP_LOG"
+
 echo "== solarstorm serve: self-monitoring gate =="
 # Boot with a breachable throughput SLO ("stay under 40 req/s") and a
 # fast sampler, drive sustained load, and prove the full loop: the alert
@@ -530,4 +633,4 @@ wait "$SERVE_PID" || { echo "check.sh: self-monitoring serve did not exit 0 on S
 rm -f /tmp/varz1.json /tmp/varz2.json /tmp/dashboard.html /tmp/alertz.json \
   /tmp/loadgen_mon.json /tmp/top_frame.txt "$MON_LOG" "$MON_OUT"
 
-echo "check.sh: all green ($BENCH_JSON, $PROFILE_JSON, serve ok, observability ok, worker pool ok, self-monitoring ok)"
+echo "check.sh: all green ($BENCH_JSON, $PROFILE_JSON, serve ok, observability ok, worker pool ok, sweep ok, self-monitoring ok)"

@@ -294,6 +294,60 @@ let simulate_cmd =
        Term.(const run $ seed_t $ trials_t $ itu_scale_t $ model_t $ spacing_t $ net_t
              $ json_t))
 
+(* sweep *)
+let sweep_cmd =
+  let axis_t =
+    Arg.(value & opt_all string []
+         & info [ "axis"; "a" ] ~docv:"KEY=V1,V2,..."
+             ~doc:"Grid axis: one of $(b,network), $(b,model), \
+                   $(b,spacing_km), $(b,itu_scale), $(b,seed), \
+                   $(b,trials) with a comma-separated value list.  \
+                   Repeatable; the first axis varies slowest.  Without \
+                   any axis the grid is the single all-defaults cell.")
+  in
+  let run axes jobs progress metrics trace profile log =
+    let parsed =
+      List.map
+        (fun spec ->
+          match Stormsim.Sweep.axis_of_spec spec with
+          | Ok axis -> axis
+          | Error msg ->
+              Printf.eprintf "sweep: --axis %s\n" msg;
+              exit 2)
+        axes
+    in
+    let cells =
+      match Stormsim.Sweep.expand parsed with
+      | Ok cells -> cells
+      | Error msg ->
+          Printf.eprintf "sweep: %s\n" msg;
+          exit 2
+    in
+    with_obs ~cmd:"sweep" jobs progress metrics trace profile log @@ fun () ->
+    (* One JSONL row per cell, flushed as produced so downstream pipes
+       see results stream in — the same bytes POST /sweep chunks. *)
+    let summary =
+      Stormsim.Sweep.run ~cells ()
+        ~emit:(fun row ->
+          print_string (Stormsim.Sweep.row_line row);
+          flush stdout)
+    in
+    Printf.eprintf "sweep: %d cells, %d rows, %d plans compiled, %d batches\n"
+      summary.Stormsim.Sweep.cells summary.Stormsim.Sweep.rows
+      summary.Stormsim.Sweep.plans_compiled summary.Stormsim.Sweep.batches
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Expand a parameter grid and stream one JSONL result row per \
+             cell to stdout.  Axes combine as a cartesian product; cells \
+             that compile to the same simulation plan share one compiled \
+             plan, and cells that also share seed and trial count share \
+             one trial batch.  Output is byte-identical for any \
+             $(b,--jobs) count and to the $(b,POST /sweep) endpoint's \
+             de-chunked body for the same grid.  A summary line \
+             (cells/rows/plans/batches) goes to stderr.")
+    (obs_args Term.(const run $ axis_t))
+
 (* scenario *)
 let scenario_cmd =
   let event_t =
@@ -566,7 +620,8 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Long-running HTTP simulation service (GET /healthz, GET /metrics, \
-             GET /statusz, POST /simulate, POST /scenario, POST /countries).  \
+             GET /statusz, POST /simulate, POST /scenario, POST /countries, \
+             POST /sweep streamed as chunked JSONL).  \
              Datasets and compiled plans are built once and shared across \
              requests; identical requests are served byte-identically from an \
              LRU result cache.  Every response carries an $(b,X-Trace-Id) \
@@ -605,6 +660,13 @@ let loadgen_cmd =
              ~doc:"Request body: sends $(b,POST) $(docv) (empty string for \
                    all-defaults).  Without it requests are $(b,GET).")
   in
+  let body_file_t =
+    Arg.(value & opt (some string) None
+         & info [ "body-file" ] ~docv:"FILE"
+             ~doc:"Read the $(b,POST) body from $(docv) instead of the \
+                   command line (grid objects for $(b,/sweep) targets).  \
+                   Mutually exclusive with $(b,--body).")
+  in
   let pipeline_t =
     Arg.(value & opt int 1
          & info [ "pipeline" ] ~docv:"DEPTH"
@@ -619,7 +681,7 @@ let loadgen_cmd =
                    and the bench document (connection setup and cold caches \
                    land there).")
   in
-  let run url connections requests body pipeline warmup =
+  let run url connections requests body body_file pipeline warmup =
     if connections <= 0 || requests <= 0 || pipeline <= 0 then begin
       Printf.eprintf "loadgen: --connections, --requests and --pipeline must be positive\n";
       exit 2
@@ -628,6 +690,20 @@ let loadgen_cmd =
       Printf.eprintf "loadgen: --warmup must be >= 0\n";
       exit 2
     end;
+    let body =
+      match (body, body_file) with
+      | Some _, Some _ ->
+          Printf.eprintf "loadgen: --body and --body-file are mutually exclusive\n";
+          exit 2
+      | Some _, None -> body
+      | None, Some path -> (
+          match In_channel.with_open_bin path In_channel.input_all with
+          | contents -> Some contents
+          | exception Sys_error msg ->
+              Printf.eprintf "loadgen: --body-file: %s\n" msg;
+              exit 2)
+      | None, None -> None
+    in
     match Server.Loadgen.parse_url url with
     | Error msg ->
         Printf.eprintf "loadgen: %s\n" msg;
@@ -644,9 +720,13 @@ let loadgen_cmd =
              Stdout is a $(b,solarstorm-bench/1) JSON document (latency \
              mean/p50/p95/p99 as kernels, req/s under metrics); a human \
              summary line goes to stderr.  $(b,--warmup) excludes each \
-             connection's first responses from the figures.  Exits 1 if any \
+             connection's first responses from the figures.  Chunked \
+             responses (e.g. a $(b,/sweep) target, body from \
+             $(b,--body-file)) are decoded in-line; first-row latency \
+             lands in the $(b,loadgen.ttfb-*) kernels.  Exits 1 if any \
              request failed.")
-    Term.(const run $ url_t $ connections_t $ requests_t $ body_t $ pipeline_t $ warmup_t)
+    Term.(const run $ url_t $ connections_t $ requests_t $ body_t $ body_file_t
+          $ pipeline_t $ warmup_t)
 
 (* top *)
 let top_cmd =
@@ -713,8 +793,8 @@ let probability_cmd =
 let main_cmd =
   let doc = "solar-superstorm Internet resilience simulator (SIGCOMM '21 reproduction)" in
   Cmd.group (Cmd.info "solarstorm" ~version:Server.Handlers.version ~doc)
-    [ figures_cmd; map_cmd; simulate_cmd; scenario_cmd; countries_cmd; systems_cmd;
-      mitigate_cmd; probability_cmd; leo_cmd; decision_cmd; serve_cmd; loadgen_cmd;
-      top_cmd ]
+    [ figures_cmd; map_cmd; simulate_cmd; sweep_cmd; scenario_cmd; countries_cmd;
+      systems_cmd; mitigate_cmd; probability_cmd; leo_cmd; decision_cmd; serve_cmd;
+      loadgen_cmd; top_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -8,6 +8,8 @@
     - {!Country}: §4.3.4 country-scale case studies;
     - {!Systems}: §4.4 (ASes, data centers, DNS);
     - {!Scenario}: end-to-end CME → impact pipelines;
+    - {!Sweep}: parameter grids expanded, plan-deduplicated and
+      streamed as JSONL rows;
     - {!Mitigation}: §5's shutdown/augmentation/partition planning;
     - {!Stats}: shared descriptive statistics. *)
 
@@ -21,6 +23,7 @@ module Resilience = Resilience
 module Country = Country
 module Systems = Systems
 module Scenario = Scenario
+module Sweep = Sweep
 module Mitigation = Mitigation
 module Powergrid = Powergrid
 module Traffic = Traffic

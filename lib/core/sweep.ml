@@ -1,0 +1,314 @@
+(* Grid expansion, plan-key dedup, shared-batch execution.  See the
+   interface; the implementation notes that matter:
+
+   - keys reuse the server cache-key discipline: %.17g for every float
+     that feeds a key (%g would fold distinct probabilities together)
+     and the ITU scale normalized out of non-ITU keys, so equivalent
+     cells genuinely share a plan;
+   - batches execute sequentially in first-occurrence order, trials
+     parallel *within* a batch ({!Montecarlo.run_plan} over the
+     persistent [Exec] pool).  Parallelizing across batches would
+     buy nothing (the pool is already saturated by one batch) and
+     would block streaming behind a join barrier;
+   - the reorder buffer is trivial because of that ordering: cell 0's
+     batch is batch 0, so after batch [b] completes every cell whose
+     batch index <= b that hasn't been emitted yet is ready. *)
+
+type network_id = Submarine | Intertubes | Itu
+
+let network_id_to_string = function
+  | Submarine -> "submarine"
+  | Intertubes -> "intertubes"
+  | Itu -> "itu"
+
+let network_id_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "submarine" -> Ok Submarine
+  | "intertubes" -> Ok Intertubes
+  | "itu" -> Ok Itu
+  | s -> Error (Printf.sprintf "unknown network %S (submarine | intertubes | itu)" s)
+
+type cell = {
+  network : network_id;
+  model : Failure_model.t;
+  spacing_km : float;
+  itu_scale : float;
+  seed : int;
+  trials : int;
+}
+
+let default_cell =
+  {
+    network = Submarine;
+    model = Failure_model.uniform 0.01;
+    spacing_km = 150.0;
+    itu_scale = 0.3;
+    seed = Datasets.default_seed;
+    trials = 10;
+  }
+
+let max_trials = 100_000
+let max_cells = 65_536
+
+(* --- axes --- *)
+
+type raw_value = Str of string | Num of float
+
+type axis = { key : string; sets : (cell -> cell) array }
+
+let axis_key a = a.key
+let axis_length a = Array.length a.sets
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let num_of_raw key = function
+  | Num v -> Ok v
+  | Str s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "axis %S: %S is not a number" key s))
+
+let int_of_raw key r =
+  let* v = num_of_raw key r in
+  if Float.is_integer v && Float.abs v <= 1e15 then Ok (int_of_float v)
+  else Error (Printf.sprintf "axis %S: values must be integers" key)
+
+let setter_of_raw key (r : raw_value) : (cell -> cell, string) result =
+  match key with
+  | "network" -> (
+      match r with
+      | Str s ->
+          let* n = network_id_of_string s in
+          Ok (fun c -> { c with network = n })
+      | Num _ -> Error "axis \"network\": values must be network names")
+  | "model" -> (
+      let* m =
+        match r with
+        | Str s -> Failure_model.of_string s
+        | Num p when p >= 0.0 && p <= 1.0 -> Ok (Failure_model.uniform p)
+        | Num _ -> Error "axis \"model\": a numeric model must be a probability in [0, 1]"
+      in
+      Ok (fun c -> { c with model = m }))
+  | "spacing_km" ->
+      let* s = num_of_raw key r in
+      if Float.is_finite s && s > 0.0 then Ok (fun c -> { c with spacing_km = s })
+      else Error "axis \"spacing_km\": values must be > 0"
+  | "itu_scale" ->
+      let* s = num_of_raw key r in
+      if Float.is_finite s && s > 0.0 && s <= 1.0 then
+        Ok (fun c -> { c with itu_scale = s })
+      else Error "axis \"itu_scale\": values must be in (0, 1]"
+  | "seed" ->
+      let* seed = int_of_raw key r in
+      Ok (fun c -> { c with seed })
+  | "trials" ->
+      let* t = int_of_raw key r in
+      if t < 1 then Error "axis \"trials\": values must be >= 1"
+      else if t > max_trials then
+        Error (Printf.sprintf "axis \"trials\": values must be <= %d" max_trials)
+      else Ok (fun c -> { c with trials = t })
+  | key ->
+      Error
+        (Printf.sprintf
+           "unknown axis %S (network | model | spacing_km | itu_scale | seed | trials)"
+           key)
+
+let axis_of_raw key raws =
+  let* sets =
+    List.fold_left
+      (fun acc r ->
+        let* acc = acc in
+        let* set = setter_of_raw key r in
+        Ok (set :: acc))
+      (Ok []) raws
+  in
+  Ok { key; sets = Array.of_list (List.rev sets) }
+
+let axis_of_spec spec =
+  match String.index_opt spec '=' with
+  | None | Some 0 ->
+      Error (Printf.sprintf "malformed axis %S (expected key=v1,v2,...)" spec)
+  | Some i ->
+      let key = String.trim (String.sub spec 0 i) in
+      let values = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let raws =
+        (* "key=" is an explicitly empty axis (zero cells); an empty
+           value *between* commas is a spelling mistake, caught by the
+           per-key parser. *)
+        if String.trim values = "" then []
+        else List.map (fun v -> Str v) (String.split_on_char ',' values)
+      in
+      axis_of_raw key raws
+
+let expand ?(base = default_cell) axes =
+  let* () =
+    let rec dup = function
+      | [] -> Ok ()
+      | a :: rest ->
+          if List.exists (fun b -> b.key = a.key) rest then
+            Error (Printf.sprintf "axis %S given more than once" a.key)
+          else dup rest
+    in
+    dup axes
+  in
+  let axes = Array.of_list axes in
+  let* total =
+    Array.fold_left
+      (fun acc a ->
+        let* acc = acc in
+        let n = acc * Array.length a.sets in
+        if n > max_cells then
+          Error (Printf.sprintf "grid expands to more than %d cells" max_cells)
+        else Ok n)
+      (Ok 1) axes
+  in
+  (* First axis slowest: stride of axis j is the product of the lengths
+     of the axes after it. *)
+  let n_axes = Array.length axes in
+  let strides = Array.make n_axes 1 in
+  for j = n_axes - 2 downto 0 do
+    strides.(j) <- strides.(j + 1) * Array.length axes.(j + 1).sets
+  done;
+  Ok
+    (Array.init total (fun i ->
+         let c = ref base in
+         for j = 0 to n_axes - 1 do
+           let len = Array.length axes.(j).sets in
+           c := axes.(j).sets.((i / strides.(j)) mod len) !c
+         done;
+         !c))
+
+(* --- canonical keys --- *)
+
+let model_key m =
+  let open Failure_model in
+  match m with
+  | Uniform p -> Printf.sprintf "u:%.17g" p
+  | Latitude_tiered { high; mid; low; mid_threshold; high_threshold } ->
+      Printf.sprintf "lt:%.17g:%.17g:%.17g:%.17g:%.17g" high mid low mid_threshold
+        high_threshold
+  | Gic_physical { dst_nt; scale_a } -> Printf.sprintf "gic:%.17g:%.17g" dst_nt scale_a
+  | Geomag_tiered { high; mid; low; mid_threshold; high_threshold } ->
+      Printf.sprintf "gt:%.17g:%.17g:%.17g:%.17g:%.17g" high mid low mid_threshold
+        high_threshold
+
+let network_key c =
+  match c.network with
+  | Itu -> Printf.sprintf "itu:%d:%.17g" c.seed c.itu_scale
+  | n -> Printf.sprintf "%s:%d" (network_id_to_string n) c.seed
+
+let plan_key c =
+  Printf.sprintf "%s|%s|spacing=%.17g" (network_key c) (model_key c.model) c.spacing_km
+
+let batch_key c = Printf.sprintf "%s|trials=%d" (plan_key c) c.trials
+
+(* --- execution --- *)
+
+type row = { cell_index : int; cell : cell; stats : Montecarlo.series }
+
+let row_line r =
+  let open Obs.Json in
+  let c = r.cell in
+  let s = r.stats in
+  let mean_std mean std = Object [ ("mean", Number mean); ("std", Number std) ] in
+  to_string
+    (Object
+       ([
+          ("cell", Number (float_of_int r.cell_index));
+          ("network", String (network_id_to_string c.network));
+          ("model", String (Failure_model.to_string c.model));
+          ("spacing_km", Number c.spacing_km);
+        ]
+       @ (match c.network with
+         | Itu -> [ ("itu_scale", Number c.itu_scale) ]
+         | _ -> [])
+       @ [
+           ("seed", Number (float_of_int c.seed));
+           ("trials", Number (float_of_int c.trials));
+           ( "cables_failed_pct",
+             mean_std s.Montecarlo.cables_mean s.Montecarlo.cables_std );
+           ( "nodes_unreachable_pct",
+             mean_std s.Montecarlo.nodes_mean s.Montecarlo.nodes_std );
+         ]))
+  ^ "\n"
+
+type summary = { cells : int; rows : int; plans_compiled : int; batches : int }
+
+let c_runs = Obs.Metrics.counter "sweep.runs"
+let c_cells = Obs.Metrics.counter "sweep.cells"
+let c_batches = Obs.Metrics.counter "sweep.batches"
+let c_plans = Obs.Metrics.counter "sweep.plans_compiled"
+let c_rows = Obs.Metrics.counter "sweep.rows_streamed"
+
+let build_network c =
+  match c.network with
+  | Submarine -> Datasets.Cache.submarine ~seed:c.seed ()
+  | Intertubes -> Datasets.Cache.intertubes ~seed:c.seed ()
+  | Itu -> Datasets.Cache.itu ~seed:c.seed ~scale:c.itu_scale ()
+
+let run ?jobs ~cells ~emit () =
+  let n = Array.length cells in
+  Obs.Metrics.incr c_runs;
+  Obs.Metrics.add c_cells n;
+  (* Group cells into batches keyed by [batch_key], numbered in first-
+     occurrence order so batch order follows cell order. *)
+  let batch_ids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let reps = ref [] in
+  let nbatches = ref 0 in
+  let cell_batch =
+    Array.map
+      (fun c ->
+        let k = batch_key c in
+        match Hashtbl.find_opt batch_ids k with
+        | Some b -> b
+        | None ->
+            let b = !nbatches in
+            Hashtbl.add batch_ids k b;
+            reps := c :: !reps;
+            incr nbatches;
+            b)
+      cells
+  in
+  let reps = Array.of_list (List.rev !reps) in
+  let results : Montecarlo.series option array = Array.make !nbatches None in
+  let plan_tbl : (string, Plan.t) Hashtbl.t = Hashtbl.create 16 in
+  let plans_compiled = ref 0 in
+  let progress = Obs.Progress.start ~label:"sweep" ~total:n in
+  let next = ref 0 in
+  let emit_ready () =
+    while
+      !next < n
+      && match results.(cell_batch.(!next)) with Some _ -> true | None -> false
+    do
+      let i = !next in
+      (match results.(cell_batch.(i)) with
+      | Some stats -> emit { cell_index = i; cell = cells.(i); stats }
+      | None -> assert false);
+      Obs.Metrics.incr c_rows;
+      Obs.Progress.tick progress;
+      incr next
+    done
+  in
+  Array.iteri
+    (fun b rep ->
+      let plan =
+        let pk = plan_key rep in
+        match Hashtbl.find_opt plan_tbl pk with
+        | Some plan -> plan
+        | None ->
+            let network = build_network rep in
+            let plan =
+              Plan.compile ~spacing_km:rep.spacing_km ~network ~model:rep.model ()
+            in
+            Hashtbl.add plan_tbl pk plan;
+            incr plans_compiled;
+            Obs.Metrics.incr c_plans;
+            plan
+      in
+      let stats = Montecarlo.run_plan ?jobs ~trials:rep.trials ~seed:rep.seed plan in
+      Obs.Metrics.incr c_batches;
+      results.(b) <- Some stats;
+      emit_ready ())
+    reps;
+  Obs.Progress.finish progress;
+  { cells = n; rows = !next; plans_compiled = !plans_compiled; batches = !nbatches }

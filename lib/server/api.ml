@@ -15,21 +15,15 @@
 
 open Obs.Json
 
-type network = Submarine | Intertubes | Itu
+(* The network vocabulary and simulate-parameter record are owned by
+   the core sweep engine — a sweep cell IS a simulate request — so both
+   layers share one type and one canonical-key discipline. *)
+type network = Stormsim.Sweep.network_id = Submarine | Intertubes | Itu
 
-let network_to_string = function
-  | Submarine -> "submarine"
-  | Intertubes -> "intertubes"
-  | Itu -> "itu"
+let network_to_string = Stormsim.Sweep.network_id_to_string
+let network_of_string = Stormsim.Sweep.network_id_of_string
 
-let network_of_string s =
-  match String.lowercase_ascii (String.trim s) with
-  | "submarine" -> Ok Submarine
-  | "intertubes" -> Ok Intertubes
-  | "itu" -> Ok Itu
-  | s -> Error (Printf.sprintf "unknown network %S (submarine | intertubes | itu)" s)
-
-type sim_params = {
+type sim_params = Stormsim.Sweep.cell = {
   network : network;
   model : Stormsim.Failure_model.t;
   spacing_km : float;
@@ -38,15 +32,7 @@ type sim_params = {
   trials : int;
 }
 
-let sim_defaults =
-  {
-    network = Submarine;
-    model = Stormsim.Failure_model.uniform 0.01;
-    spacing_km = 150.0;
-    itu_scale = 0.3;
-    seed = Datasets.default_seed;
-    trials = 10;
-  }
+let sim_defaults = Stormsim.Sweep.default_cell
 
 type scenario_source = Event of string | Speed of float
 
@@ -69,7 +55,7 @@ let countries_defaults = { co_seed = Datasets.default_seed; co_trials = 10 }
 
 (* Trials are the one knob that multiplies work without bound, so the
    service refuses absurd values instead of grinding on them. *)
-let max_trials = 100_000
+let max_trials = Stormsim.Sweep.max_trials
 
 let as_int name = function
   | Number v when Float.is_integer v && Float.abs v <= 1e15 -> Ok (int_of_float v)
@@ -177,6 +163,46 @@ let countries_of_json base j =
   in
   fold_object ~name:"countries" step base j
 
+(* A sweep grid: a JSON object mapping axis keys to either one value
+   (pinning the parameter) or an array of values (one grid dimension).
+   Field order is axis order — it decides the cartesian nesting, so it
+   is preserved, not sorted. *)
+let sweep_axes_of_json j =
+  let raw name = function
+    | Number v -> Ok (Stormsim.Sweep.Num v)
+    | String s -> Ok (Stormsim.Sweep.Str s)
+    | _ -> Error (Printf.sprintf "axis %S: values must be numbers or strings" name)
+  in
+  match j with
+  | Object kvs ->
+      let* axes =
+        List.fold_left
+          (fun acc (k, v) ->
+            let* axes = acc in
+            let* raws =
+              match v with
+              | Array vs ->
+                  List.fold_left
+                    (fun acc v ->
+                      let* acc = acc in
+                      let* r = raw k v in
+                      Ok (r :: acc))
+                    (Ok []) vs
+                  |> Result.map List.rev
+              | (Number _ | String _) as v ->
+                  let* r = raw k v in
+                  Ok [ r ]
+              | _ ->
+                  Error
+                    (Printf.sprintf "axis %S must be a value or an array of values" k)
+            in
+            let* axis = Stormsim.Sweep.axis_of_raw k raws in
+            Ok (axis :: axes))
+          (Ok []) kvs
+      in
+      Ok (List.rev axes)
+  | _ -> Error "sweep request body must be a JSON object"
+
 let params_of_body ~base ~of_json body =
   if String.trim body = "" then Ok base
   else
@@ -184,28 +210,11 @@ let params_of_body ~base ~of_json body =
     | Error e -> Error ("invalid JSON body: " ^ e)
     | Ok j -> of_json base j
 
-(* --- canonical keys --- *)
-
-let model_key m =
-  let open Stormsim.Failure_model in
-  match m with
-  | Uniform p -> Printf.sprintf "u:%.17g" p
-  | Latitude_tiered { high; mid; low; mid_threshold; high_threshold } ->
-      Printf.sprintf "lt:%.17g:%.17g:%.17g:%.17g:%.17g" high mid low mid_threshold
-        high_threshold
-  | Gic_physical { dst_nt; scale_a } -> Printf.sprintf "gic:%.17g:%.17g" dst_nt scale_a
-  | Geomag_tiered { high; mid; low; mid_threshold; high_threshold } ->
-      Printf.sprintf "gt:%.17g:%.17g:%.17g:%.17g:%.17g" high mid low mid_threshold
-        high_threshold
-
-let network_key p =
-  match p.network with
-  | Itu -> Printf.sprintf "itu:%d:%.17g" p.seed p.itu_scale
-  | n -> Printf.sprintf "%s:%d" (network_to_string n) p.seed
+(* --- canonical keys (the float/normalization discipline lives in
+   {!Stormsim.Sweep}, shared with the sweep engine's plan dedup) --- *)
 
 let sim_key p =
-  Printf.sprintf "simulate|%s|%s|spacing=%.17g|trials=%d" (network_key p)
-    (model_key p.model) p.spacing_km p.trials
+  Printf.sprintf "simulate|%s|trials=%d" (Stormsim.Sweep.plan_key p) p.trials
 
 let scenario_key p =
   let source =
@@ -319,10 +328,8 @@ let build_network p =
 let simulate_body p =
   let network = build_network p in
   let plan =
-    plan_for
-      ~plan_key:
-        (Printf.sprintf "%s|%s|%.17g" (network_key p) (model_key p.model) p.spacing_km)
-      ~network ~model:p.model ~spacing_km:p.spacing_km
+    plan_for ~plan_key:(Stormsim.Sweep.plan_key p) ~network ~model:p.model
+      ~spacing_km:p.spacing_km
   in
   let s = Stormsim.Montecarlo.run_plan ~trials:p.trials ~seed:p.seed plan in
   doc

@@ -18,13 +18,14 @@
     result cache is sharded, the plan memo is mutex-single-flighted,
     and the per-request cache outcome is domain-local. *)
 
-type network = Submarine | Intertubes | Itu
+type network = Stormsim.Sweep.network_id = Submarine | Intertubes | Itu
+(** Re-export: the core sweep engine owns the network vocabulary. *)
 
 val network_to_string : network -> string
 
 val network_of_string : string -> (network, string) result
 
-type sim_params = {
+type sim_params = Stormsim.Sweep.cell = {
   network : network;
   model : Stormsim.Failure_model.t;
   spacing_km : float;
@@ -32,6 +33,9 @@ type sim_params = {
   seed : int;
   trials : int;
 }
+(** A simulate request is exactly one sweep cell, so the record is the
+    same type — the canonical keys ({!sim_key},
+    {!Stormsim.Sweep.plan_key}) stay in lockstep by construction. *)
 
 val sim_defaults : sim_params
 (** The CLI's defaults: submarine, uniform 0.01, 150 km, scale 0.3,
@@ -83,6 +87,13 @@ val countries_of_json :
 val countries_key : countries_params -> string
 
 val countries_body : countries_params -> string
+
+val sweep_axes_of_json : Obs.Json.t -> (Stormsim.Sweep.axis list, string) result
+(** Decode a [POST /sweep] grid: a JSON object mapping axis keys to one
+    value (pinning the parameter) or an array of values (one grid
+    dimension), field order = axis order.  Strict like the other
+    decoders: unknown keys, wrong types and out-of-range values are
+    [Error].  An empty object is zero axes (one default cell). *)
 
 val params_of_body :
   base:'p -> of_json:('p -> Obs.Json.t -> ('p, string) result) -> string ->

@@ -93,6 +93,13 @@ let statusz _req =
             ] );
         ("latency_ms", latency);
         ("workers", Array workers);
+        ( "sweep",
+          Object
+            [
+              ("cells", int (counter "server.sweep.cells"));
+              ("rows_streamed", int (counter "server.sweep.rows_streamed"));
+              ("plans_compiled", int (counter "server.sweep.plans_compiled"));
+            ] );
         ( "cache",
           Object
             [
@@ -355,15 +362,60 @@ let countries =
   analysis ~base:Api.countries_defaults ~of_json:Api.countries_of_json
     ~key:Api.countries_key ~compute:(fun p -> Ok (Api.countries_body p))
 
+(* ---- /sweep: grid in, chunked JSONL out ---- *)
+
+(* Served-sweep counters, distinct from the engine's own [sweep.*]
+   family: these count only what went over HTTP, so [solarstorm top]
+   can show sweep throughput next to the request metrics. *)
+let sw_cells = Obs.Metrics.counter "server.sweep.cells"
+let sw_rows = Obs.Metrics.counter "server.sweep.rows_streamed"
+let sw_plans = Obs.Metrics.counter "server.sweep.plans_compiled"
+
+(* Grid validation happens here, before the reply is chosen, so a bad
+   grid is still an ordinary fixed 400; only a valid grid starts a
+   stream (whose status is already on the wire when cells execute).
+   Streams bypass the result cache — a sweep's value is incremental
+   delivery, and its cells already reuse plans and dataset builds. *)
+let sweep (req : Http.request) =
+  let bad msg = Router.Response (Http.response ~status:400 (Http.error_body msg)) in
+  match
+    Api.params_of_body ~base:[] ~of_json:(fun _ j -> Api.sweep_axes_of_json j)
+      req.Http.body
+  with
+  | Error msg -> bad msg
+  | Ok axes -> (
+      match Stormsim.Sweep.expand axes with
+      | Error msg -> bad msg
+      | Ok cells ->
+          Router.Stream
+            {
+              Router.s_status = 200;
+              s_content_type = "application/x-ndjson";
+              s_headers = [];
+              s_body =
+                (fun emit ->
+                  let summary =
+                    Obs.Span.with_ ~name:"server.sweep" @@ fun () ->
+                    Stormsim.Sweep.run ~cells () ~emit:(fun row ->
+                        Obs.Metrics.incr sw_rows;
+                        emit (Stormsim.Sweep.row_line row))
+                  in
+                  Obs.Metrics.add sw_cells summary.Stormsim.Sweep.cells;
+                  Obs.Metrics.add sw_plans summary.Stormsim.Sweep.plans_compiled);
+            })
+
+let fixed handler req = Router.Response (handler req)
+
 let routes () =
   [
-    { Router.meth = Http.GET; route_path = "/healthz"; handler = healthz };
-    { Router.meth = Http.GET; route_path = "/metrics"; handler = metrics };
-    { Router.meth = Http.GET; route_path = "/statusz"; handler = statusz };
-    { Router.meth = Http.GET; route_path = "/varz"; handler = varz };
-    { Router.meth = Http.GET; route_path = "/alertz"; handler = alertz };
-    { Router.meth = Http.GET; route_path = "/dashboard"; handler = dashboard };
-    { Router.meth = Http.POST; route_path = "/simulate"; handler = simulate };
-    { Router.meth = Http.POST; route_path = "/scenario"; handler = scenario };
-    { Router.meth = Http.POST; route_path = "/countries"; handler = countries };
+    { Router.meth = Http.GET; route_path = "/healthz"; handler = fixed healthz };
+    { Router.meth = Http.GET; route_path = "/metrics"; handler = fixed metrics };
+    { Router.meth = Http.GET; route_path = "/statusz"; handler = fixed statusz };
+    { Router.meth = Http.GET; route_path = "/varz"; handler = fixed varz };
+    { Router.meth = Http.GET; route_path = "/alertz"; handler = fixed alertz };
+    { Router.meth = Http.GET; route_path = "/dashboard"; handler = fixed dashboard };
+    { Router.meth = Http.POST; route_path = "/simulate"; handler = fixed simulate };
+    { Router.meth = Http.POST; route_path = "/scenario"; handler = fixed scenario };
+    { Router.meth = Http.POST; route_path = "/countries"; handler = fixed countries };
+    { Router.meth = Http.POST; route_path = "/sweep"; handler = sweep };
   ]

@@ -23,11 +23,19 @@
       serve from the result cache) the corresponding analysis; the JSON
       request body overlays {!Api} defaults, and the response body is
       byte-identical to the CLI's [--json] output for the same
-      parameters.
+      parameters;
+    - [POST /sweep] — expand a JSON grid object
+      ({!Api.sweep_axes_of_json}) into cells and stream one JSONL row
+      per cell as a chunked response ({!Stormsim.Sweep}), byte-identical
+      to [solarstorm sweep] for the same grid.  Malformed grids are
+      fixed 400s; [/statusz] carries the served-sweep counters
+      ([server.sweep.cells], [server.sweep.rows_streamed],
+      [server.sweep.plans_compiled]).
 
-    Each POST handler runs under a ["server.handler"] span and goes
-    through {!Api.with_cache}, so repeated identical requests are
-    answered from the LRU without re-running trials. *)
+    Each analysis POST handler runs under a ["server.handler"] span and
+    goes through {!Api.with_cache}, so repeated identical requests are
+    answered from the LRU without re-running trials; [/sweep] runs
+    under ["server.sweep"] and bypasses the result cache. *)
 
 val version : string
 (** The binary's version string, shared by the CLI [--version] and the

@@ -249,6 +249,125 @@ let error_response = function
   | Timeout -> response ~status:408 (error_body "request timed out")
   | Eof -> invalid_arg "Http.error_response: Eof is not a protocol error"
 
+(* --- chunked transfer framing --- *)
+
+let chunk s =
+  if s = "" then "" else Printf.sprintf "%x\r\n%s\r\n" (String.length s) s
+
+let last_chunk = "0\r\n\r\n"
+
+let stream_head ?(content_type = "application/json") ?(headers = []) ~status ~close ()
+    =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason status));
+  Buffer.add_string buf (Printf.sprintf "content-type: %s\r\n" content_type);
+  Buffer.add_string buf "transfer-encoding: chunked\r\n";
+  Buffer.add_string buf
+    (Printf.sprintf "connection: %s\r\n" (if close then "close" else "keep-alive"));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string buf "\r\n";
+  Buffer.contents buf
+
+let respond_stream ?content_type ?headers ~status ~close ~write producer =
+  write (stream_head ?content_type ?headers ~status ~close ());
+  producer (fun s -> if s <> "" then write (chunk s));
+  write last_chunk
+
+(* Chunked-body reader (client side of [respond_stream]; tests and the
+   load generator).  Trailer sections are not supported: the terminal
+   chunk must be followed immediately by CRLF. *)
+
+let hex_of_string s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n = 0 || n > 8 then None
+  else
+    let rec go i acc =
+      if i = n then Some acc
+      else
+        match s.[i] with
+        | '0' .. '9' as ch -> go (i + 1) ((acc * 16) + (Char.code ch - Char.code '0'))
+        | 'a' .. 'f' as ch ->
+            go (i + 1) ((acc * 16) + (Char.code ch - Char.code 'a' + 10))
+        | 'A' .. 'F' as ch ->
+            go (i + 1) ((acc * 16) + (Char.code ch - Char.code 'A' + 10))
+        | _ -> None
+    in
+    go 0 0
+
+let read_chunk ?(limits = default_limits) c =
+  let refill () =
+    match c.src () with
+    | "" -> false
+    | chunk ->
+        c.pending <- c.pending ^ chunk;
+        true
+  in
+  let drop n = c.pending <- String.sub c.pending n (String.length c.pending - n) in
+  let rec size_line_end () =
+    match find_sub c.pending "\r\n" 0 with
+    | Some i -> Ok i
+    | None ->
+        (* A size line is a short hex count plus optional extensions —
+           anything growing past a head's budget is garbage. *)
+        if String.length c.pending > limits.max_head then
+          Error (Bad_request "chunk size line too long")
+        else if refill () then size_line_end ()
+        else Error (Bad_request "truncated chunk")
+  in
+  match
+    let* le = size_line_end () in
+    let size_line = String.sub c.pending 0 le in
+    let size_str =
+      match String.index_opt size_line ';' with
+      | Some i -> String.sub size_line 0 i
+      | None -> size_line
+    in
+    let* size =
+      match hex_of_string size_str with
+      | Some n -> Ok n
+      | None -> Error (Bad_request ("malformed chunk size: " ^ size_line))
+    in
+    if size > limits.max_body then Error Body_too_large
+    else begin
+      drop (le + 2);
+      let total = size + 2 in
+      let rec need () =
+        if String.length c.pending >= total then Ok ()
+        else if refill () then need ()
+        else Error (Bad_request "truncated chunk")
+      in
+      let* () = need () in
+      if String.sub c.pending size 2 <> "\r\n" then
+        Error (Bad_request "malformed chunk terminator")
+      else begin
+        let data = String.sub c.pending 0 size in
+        drop total;
+        if size = 0 then Ok None else Ok (Some data)
+      end
+    end
+  with
+  | r -> r
+  | exception Source_timeout -> Error Timeout
+
+let read_chunked_body ?(limits = default_limits) c =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    let* data = read_chunk ~limits c in
+    match data with
+    | None -> Ok (Buffer.contents buf)
+    | Some data ->
+        if Buffer.length buf + String.length data > limits.max_body then
+          Error Body_too_large
+        else begin
+          Buffer.add_string buf data;
+          go ()
+        end
+  in
+  go ()
+
 let to_string ~close r =
   let buf = Buffer.create (String.length r.body + 256) in
   Buffer.add_string buf (Printf.sprintf "HTTP/1.1 %d %s\r\n" r.status (reason r.status));

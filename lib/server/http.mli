@@ -106,3 +106,56 @@ val reason : int -> string
 val to_string : close:bool -> response -> string
 (** Serialize with [Content-Length] and a [Connection:
     close|keep-alive] header. *)
+
+(** {2 Chunked transfer}
+
+    The streaming path ([POST /sweep]): a response whose length is
+    unknown up front goes out as [Transfer-Encoding: chunked] — a head
+    without [Content-Length], then each payload framed as
+    [<hex size>CRLF<bytes>CRLF], then the terminal [0CRLFCRLF].  Fixed
+    responses ({!to_string}) are untouched by any of this. *)
+
+val chunk : string -> string
+(** Frame one payload as a chunk.  [""] frames to [""] — an empty chunk
+    would read as the terminator, so empty payloads are dropped. *)
+
+val last_chunk : string
+(** The terminal chunk, ["0\r\n\r\n"]. *)
+
+val stream_head :
+  ?content_type:string ->
+  ?headers:(string * string) list ->
+  status:int ->
+  close:bool ->
+  unit ->
+  string
+(** The head of a chunked response: status line, [content-type]
+    (default [application/json]), [transfer-encoding: chunked],
+    [connection], extra headers, blank line. *)
+
+val respond_stream :
+  ?content_type:string ->
+  ?headers:(string * string) list ->
+  status:int ->
+  close:bool ->
+  write:(string -> unit) ->
+  ((string -> unit) -> unit) ->
+  unit
+(** [respond_stream ~write producer] writes the {!stream_head}, runs
+    [producer emit] — every non-empty [emit] payload is framed and
+    handed to [write] immediately (per-chunk flush: [write] is expected
+    to push bytes to the peer, not buffer them) — then writes
+    {!last_chunk}.  Usable by any handler; exceptions from [producer]
+    propagate after the head has been written, so the caller must treat
+    them as a dead connection, not as a reportable error. *)
+
+val read_chunk : ?limits:limits -> conn -> (string option, parse_error) result
+(** Read one chunk off a connection positioned inside a chunked body:
+    [Ok (Some data)] per chunk, [Ok None] for the terminal chunk (its
+    trailing CRLF consumed — trailer sections are not supported).
+    Malformed sizes or framing are [Bad_request]; a chunk declared over
+    [max_body] is [Body_too_large]. *)
+
+val read_chunked_body : ?limits:limits -> conn -> (string, parse_error) result
+(** Concatenate {!read_chunk} until the terminal chunk; the total is
+    bounded by [max_body]. *)

@@ -49,7 +49,9 @@ type result = {
   errors : int;
   elapsed_s : float;
   latencies_ns : float array;  (* sorted ascending, one per measured request *)
+  ttfb_ns : float array;  (* sorted; send-to-first-body-bytes, same requests *)
   bytes : int;  (* response body bytes received, measured requests only *)
+  chunks : int;  (* chunked-transfer chunks received, measured requests only *)
 }
 
 let req_per_s r = if r.elapsed_s > 0.0 then float_of_int r.requests /. r.elapsed_s else 0.0
@@ -97,6 +99,11 @@ let fill rc =
   if n = 0 then raise End_of_file;
   Buffer.add_subbytes rc.pending rc.chunk 0 n
 
+(* Returns (status, body length, chunk count, first-body timestamp).
+   Chunk count is 0 for fixed-length responses; the timestamp is taken
+   when the first chunk of a chunked response has been decoded (= the
+   first streamed row for /sweep), or at body completion for fixed
+   responses, where head and body arrive as one burst anyway. *)
 let read_response rc =
   let rec head_end () =
     match index_of_terminator rc.pending 0 with
@@ -116,26 +123,85 @@ let read_response rc =
         | None -> failwith ("bad status line: " ^ head))
     | _ -> failwith ("bad status line: " ^ head)
   in
-  let content_length =
+  let header_value name =
     String.split_on_char '\n' head
     |> List.find_map (fun line ->
            match String.index_opt line ':' with
-           | Some i
-             when String.lowercase_ascii (String.trim (String.sub line 0 i))
-                  = "content-length" ->
-               int_of_string_opt
-                 (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+           | Some i when String.lowercase_ascii (String.trim (String.sub line 0 i)) = name
+             ->
+               Some (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
            | _ -> None)
   in
-  let len = match content_length with Some l -> l | None -> failwith "no content-length" in
-  let total = he + 4 + len in
-  while Buffer.length rc.pending < total do
-    fill rc
-  done;
-  let rest = Buffer.sub rc.pending total (Buffer.length rc.pending - total) in
-  Buffer.clear rc.pending;
-  Buffer.add_string rc.pending rest;
-  (status, len)
+  let consume upto =
+    let rest = Buffer.sub rc.pending upto (Buffer.length rc.pending - upto) in
+    Buffer.clear rc.pending;
+    Buffer.add_string rc.pending rest
+  in
+  let chunked =
+    match header_value "transfer-encoding" with
+    | Some v -> String.lowercase_ascii v = "chunked"
+    | None -> false
+  in
+  if chunked then begin
+    let pos = ref (he + 4) in
+    let nchunks = ref 0 and body_len = ref 0 and t_first = ref 0L in
+    let rec crlf_from i =
+      if i + 1 >= Buffer.length rc.pending then begin
+        fill rc;
+        crlf_from i
+      end
+      else if Buffer.nth rc.pending i = '\r' && Buffer.nth rc.pending (i + 1) = '\n'
+      then i
+      else crlf_from (i + 1)
+    in
+    let hex s =
+      let s = String.trim s in
+      match int_of_string_opt ("0x" ^ s) with
+      | Some n when n >= 0 && not (String.contains s '_') -> n
+      | _ -> failwith ("bad chunk size: " ^ s)
+    in
+    let rec chunks () =
+      let le = crlf_from !pos in
+      let size_line = Buffer.sub rc.pending !pos (le - !pos) in
+      let size_str =
+        match String.index_opt size_line ';' with
+        | Some i -> String.sub size_line 0 i
+        | None -> size_line
+      in
+      let size = hex size_str in
+      pos := le + 2;
+      while Buffer.length rc.pending < !pos + size + 2 do
+        fill rc
+      done;
+      pos := !pos + size + 2;
+      if size > 0 then begin
+        if !nchunks = 0 then t_first := Obs.Span.now ();
+        incr nchunks;
+        body_len := !body_len + size;
+        chunks ()
+      end
+    in
+    chunks ();
+    consume !pos;
+    if !t_first = 0L then t_first := Obs.Span.now ();
+    (status, !body_len, !nchunks, !t_first)
+  end
+  else begin
+    let len =
+      match header_value "content-length" with
+      | Some v -> (
+          match int_of_string_opt v with
+          | Some l -> l
+          | None -> failwith ("bad content-length: " ^ v))
+      | None -> failwith "no content-length"
+    in
+    let total = he + 4 + len in
+    while Buffer.length rc.pending < total do
+      fill rc
+    done;
+    consume total;
+    (status, len, 0, Obs.Span.now ())
+  end
 
 (* One connection's share of the run.  Latencies are reported in send
    order; an error (connect failure, protocol surprise, non-2xx) stops
@@ -143,8 +209,20 @@ let read_response rc =
    [warmup] completions are driven and validated like any other but kept
    out of latencies/bytes — connection setup, first-touch allocation and
    cold caches land there, not in the quantiles. *)
+(* One connection's tally, merged across connections by [run]. *)
+type part = {
+  p_latencies : float list;
+  p_ttfbs : float list;
+  p_measured : int;
+  p_warm : int;
+  p_errors : int;
+  p_bytes : int;
+  p_chunks : int;
+}
+
 let drive_connection ~target ~pipeline ~request ~warmup ~n =
-  let latencies = ref [] and completed = ref 0 and errors = ref 0 and bytes = ref 0 in
+  let latencies = ref [] and ttfbs = ref [] in
+  let completed = ref 0 and errors = ref 0 and bytes = ref 0 and chunks = ref 0 in
   (try
      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
      Fun.protect
@@ -171,14 +249,16 @@ let drive_connection ~target ~pipeline ~request ~warmup ~n =
            incr sent
          in
          let receive_one () =
-           let status, len = read_response rc in
+           let status, len, nchunks, t_first = read_response rc in
            let t0 = Queue.pop sent_at in
            if status >= 200 && status < 300 then begin
              incr completed;
              if !completed > warmup then begin
                latencies :=
                  Int64.to_float (Int64.sub (Obs.Span.now ()) t0) :: !latencies;
-               bytes := !bytes + len
+               ttfbs := Int64.to_float (Int64.sub t_first t0) :: !ttfbs;
+               bytes := !bytes + len;
+               chunks := !chunks + nchunks
              end
            end
            else failwith (Printf.sprintf "HTTP %d" status)
@@ -190,7 +270,15 @@ let drive_connection ~target ~pipeline ~request ~warmup ~n =
            receive_one ()
          done)
    with _ -> errors := n - !completed);
-  (!latencies, Int.max 0 (!completed - warmup), Int.min warmup !completed, !errors, !bytes)
+  {
+    p_latencies = !latencies;
+    p_ttfbs = !ttfbs;
+    p_measured = Int.max 0 (!completed - warmup);
+    p_warm = Int.min warmup !completed;
+    p_errors = !errors;
+    p_bytes = !bytes;
+    p_chunks = !chunks;
+  }
 
 let run ?(connections = 1) ?(pipeline = 1) ?(warmup = 0) ~requests ~body target =
   if connections <= 0 then invalid_arg "Loadgen.run: connections <= 0";
@@ -211,17 +299,21 @@ let run ?(connections = 1) ?(pipeline = 1) ?(warmup = 0) ~requests ~body target 
   let last = worker (connections - 1) () in
   let parts = List.map Domain.join handles @ [ last ] in
   let elapsed_s = Int64.to_float (Int64.sub (Obs.Span.now ()) t_start) /. 1e9 in
-  let latencies =
-    List.concat_map (fun (ls, _, _, _, _) -> ls) parts |> Array.of_list
+  let sorted_of select =
+    let a = List.concat_map select parts |> Array.of_list in
+    Array.sort compare a;
+    a
   in
-  Array.sort compare latencies;
+  let sum select = List.fold_left (fun a p -> a + select p) 0 parts in
   {
-    requests = List.fold_left (fun a (_, c, _, _, _) -> a + c) 0 parts;
-    warmup = List.fold_left (fun a (_, _, w, _, _) -> a + w) 0 parts;
-    errors = List.fold_left (fun a (_, _, _, e, _) -> a + e) 0 parts;
+    requests = sum (fun p -> p.p_measured);
+    warmup = sum (fun p -> p.p_warm);
+    errors = sum (fun p -> p.p_errors);
     elapsed_s;
-    latencies_ns = latencies;
-    bytes = List.fold_left (fun a (_, _, _, _, b) -> a + b) 0 parts;
+    latencies_ns = sorted_of (fun p -> p.p_latencies);
+    ttfb_ns = sorted_of (fun p -> p.p_ttfbs);
+    bytes = sum (fun p -> p.p_bytes);
+    chunks = sum (fun p -> p.p_chunks);
   }
 
 (* Report as a solarstorm-bench/1 document so the existing bench tooling
@@ -239,6 +331,7 @@ let to_bench_json r =
     Array.fold_left ( +. ) 0.0 r.latencies_ns
     /. float_of_int (Int.max 1 (Array.length r.latencies_ns))
   in
+  let qt p = quantile_exact r.ttfb_ns p in
   let kernels =
     if Array.length r.latencies_ns = 0 then []
     else
@@ -247,6 +340,12 @@ let to_bench_json r =
         kernel "loadgen.latency-p50" "exact-quantile" (q 0.5);
         kernel "loadgen.latency-p95" "exact-quantile" (q 0.95);
         kernel "loadgen.latency-p99" "exact-quantile" (q 0.99);
+        (* First-row latency: time to the first body bytes.  For a
+           chunked /sweep this is the first streamed row — the
+           incremental-delivery figure; for fixed responses it tracks
+           total latency (head and body arrive together). *)
+        kernel "loadgen.ttfb-p50" "exact-quantile" (qt 0.5);
+        kernel "loadgen.ttfb-p95" "exact-quantile" (qt 0.95);
         (* Throughput as a kernel (inverse rate: wall ns per completed
            request), so req/s trajectories ride the same baseline/gate
            tooling as every other kernel instead of needing
@@ -268,6 +367,7 @@ let to_bench_json r =
                ("loadgen.warmup", Number (float_of_int r.warmup));
                ("loadgen.errors", Number (float_of_int r.errors));
                ("loadgen.bytes", Number (float_of_int r.bytes));
+               ("loadgen.chunks", Number (float_of_int r.chunks));
                ("loadgen.elapsed_s", Number r.elapsed_s);
                ("loadgen.req_per_s", Number (req_per_s r));
              ] );
@@ -283,5 +383,10 @@ let summary r =
     Printf.sprintf
       "loadgen: %d requests in %.2fs (%.0f req/s), p50 %.2fms p95 %.2fms p99 %.2fms%s\n"
       r.requests r.elapsed_s (req_per_s r) (ms 0.5) (ms 0.95) (ms 0.99)
-      ((if r.warmup > 0 then Printf.sprintf ", %d warmup excluded" r.warmup else "")
+      ((if r.chunks > 0 then
+          Printf.sprintf ", ttfb p50 %.2fms, %d chunks"
+            (quantile_exact r.ttfb_ns 0.5 /. 1e6)
+            r.chunks
+        else "")
+      ^ (if r.warmup > 0 then Printf.sprintf ", %d warmup excluded" r.warmup else "")
       ^ if r.errors > 0 then Printf.sprintf ", %d errors" r.errors else "")

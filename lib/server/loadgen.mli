@@ -22,7 +22,15 @@ type result = {
   errors : int;  (** forfeited: connect/protocol failures or non-2xx *)
   elapsed_s : float;  (** wall time for the whole run, warmup included *)
   latencies_ns : float array;  (** sorted; one sample per measured request *)
+  ttfb_ns : float array;
+      (** sorted; send-to-first-body-bytes per measured request.  For a
+          chunked response this is the first decoded chunk — the first
+          streamed row of a [/sweep]; for fixed-length responses it
+          tracks total latency (head and body arrive together). *)
   bytes : int;  (** response body bytes received, measured requests only *)
+  chunks : int;
+      (** chunked-transfer chunks received, measured requests only (0
+          when every response was fixed-length) *)
 }
 
 val run :
@@ -36,6 +44,9 @@ val run :
 (** [run ~requests ~body target] spreads [requests] evenly over
     [connections] (default 1, clamped to [requests]).  [body = Some b]
     sends [POST] with [b] (JSON content type); [None] sends [GET].
+    Responses may be fixed-length or [Transfer-Encoding: chunked]
+    (streaming endpoints like [/sweep]): chunked bodies are decoded
+    in-line, counted per chunk, and timed to the first chunk.
     Each connection first drives [warmup] (default 0) extra requests
     whose latencies/bytes are discarded — connection setup and cold
     caches land there, not in the quantiles.  An error on a connection
@@ -52,11 +63,13 @@ val quantile_exact : float array -> float -> float
 
 val to_bench_json : result -> string
 (** The run as a [solarstorm-bench/1] document (mode ["loadgen"]):
-    latency mean/p50/p95/p99 plus throughput as an inverse-rate
-    [loadgen.ns-per-request] kernel ([ns_per_run] = nanoseconds), and
-    request/error/elapsed/req-per-s figures under ["metrics"] — wall
-    time and achieved rate are recorded in both places so throughput
-    trajectories need no post-processing. *)
+    latency mean/p50/p95/p99, first-row latency as
+    [loadgen.ttfb-p50]/[loadgen.ttfb-p95], plus throughput as an
+    inverse-rate [loadgen.ns-per-request] kernel ([ns_per_run] =
+    nanoseconds), and request/error/chunk/elapsed/req-per-s figures
+    under ["metrics"] — wall time and achieved rate are recorded in
+    both places so throughput trajectories need no post-processing. *)
 
 val summary : result -> string
-(** One human-readable line (req/s and millisecond quantiles). *)
+(** One human-readable line (req/s and millisecond quantiles; TTFB p50
+    and chunk count appear when any response streamed). *)

@@ -200,26 +200,64 @@ let serve_one ~routes ~limits ~force_close ~trace ~slot c =
         ~bytes:(String.length resp.Http.body) ~dur_ms:0.0 ~cache:None;
       ignore (send_response c.fd ~close:true resp);
       `Close
-  | Ok req ->
+  | Ok req -> (
       Obs.Metrics.incr m_requests;
       Obs.Metrics.incr slot.w_requests;
       Obs.Span.with_ ~name:"server.request" @@ fun () ->
       let t0 = Obs.Span.now () in
-      let resp = Router.dispatch ~routes req in
-      let dur_ms = Int64.to_float (Int64.sub (Obs.Span.now ()) t0) /. 1e6 in
-      Obs.Metrics.observe h_request_ms dur_ms;
-      (* Echo the id so a slow response can be chased into the trace
-         ([--profile]) and the access log without any server-side
-         lookup. *)
-      let resp =
-        { resp with Http.extra_headers = ("X-Trace-Id", trace) :: resp.Http.extra_headers }
-      in
-      access_log ~meth:(meth_string req.Http.meth) ~path:(Http.path req)
-        ~status:resp.Http.status ~bytes:(String.length resp.Http.body) ~dur_ms
-        ~cache:(Api.take_cache_outcome ());
-      let close = force_close || Http.wants_close req in
-      c.last_active <- Unix.gettimeofday ();
-      if send_response c.fd ~close resp && not close then `Keep else `Close
+      match Router.dispatch ~routes req with
+      | Router.Response resp ->
+          let dur_ms = Int64.to_float (Int64.sub (Obs.Span.now ()) t0) /. 1e6 in
+          Obs.Metrics.observe h_request_ms dur_ms;
+          (* Echo the id so a slow response can be chased into the trace
+             ([--profile]) and the access log without any server-side
+             lookup. *)
+          let resp =
+            {
+              resp with
+              Http.extra_headers = ("X-Trace-Id", trace) :: resp.Http.extra_headers;
+            }
+          in
+          access_log ~meth:(meth_string req.Http.meth) ~path:(Http.path req)
+            ~status:resp.Http.status ~bytes:(String.length resp.Http.body) ~dur_ms
+            ~cache:(Api.take_cache_outcome ());
+          let close = force_close || Http.wants_close req in
+          c.last_active <- Unix.gettimeofday ();
+          if send_response c.fd ~close resp && not close then `Keep else `Close
+      | Router.Stream s ->
+          (* The status goes on the wire before the producer runs, so
+             it is counted now; a producer failure can only truncate
+             the stream (no terminal chunk, connection closed) — the
+             peer detects it as a framing error, never a fresh head. *)
+          count_status s.Router.s_status;
+          let close = force_close || Http.wants_close req in
+          let bytes = ref 0 in
+          let ok = ref true in
+          let write str =
+            match write_all c.fd str 0 (String.length str) with
+            | () -> ()
+            | exception Unix.Unix_error (_, _, _) ->
+                ok := false;
+                raise_notrace Exit
+          in
+          (try
+             Http.respond_stream ~content_type:s.Router.s_content_type
+               ~headers:(("X-Trace-Id", trace) :: s.Router.s_headers)
+               ~status:s.Router.s_status ~close ~write
+               (fun emit ->
+                 s.Router.s_body (fun payload ->
+                     bytes := !bytes + String.length payload;
+                     emit payload))
+           with
+          | Exit -> ()
+          | _exn -> ok := false);
+          let dur_ms = Int64.to_float (Int64.sub (Obs.Span.now ()) t0) /. 1e6 in
+          Obs.Metrics.observe h_request_ms dur_ms;
+          access_log ~meth:(meth_string req.Http.meth) ~path:(Http.path req)
+            ~status:s.Router.s_status ~bytes:!bytes ~dur_ms
+            ~cache:(Api.take_cache_outcome ());
+          c.last_active <- Unix.gettimeofday ();
+          if !ok && not close then `Keep else `Close)
 
 (* Wake the acceptor out of select() after pushing to the completion
    queue.  The pipe is non-blocking on both ends: a full pipe already

@@ -169,7 +169,9 @@ let request ?(meth = Server.Http.GET) ?(body = "") target =
 
 let dispatch ?meth ?body target =
   with_server_state @@ fun () ->
-  Server.Router.dispatch ~routes:(Server.Handlers.routes ()) (request ?meth ?body target)
+  Server.Router.to_response
+    (Server.Router.dispatch ~routes:(Server.Handlers.routes ())
+       (request ?meth ?body target))
 
 let test_router_not_found () =
   let resp = dispatch "/nope" in
@@ -210,7 +212,7 @@ let test_router_handler_crash_is_500 () =
       };
     ]
   in
-  let resp = Server.Router.dispatch ~routes (request "/boom") in
+  let resp = Server.Router.to_response (Server.Router.dispatch ~routes (request "/boom")) in
   Alcotest.(check int) "status" 500 resp.Server.Http.status;
   Alcotest.(check bool) "names the failure" true (contains resp.Server.Http.body "kaboom")
 
@@ -350,6 +352,81 @@ let test_params_of_body_defaults () =
   match decode "[1,2]" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "non-object body accepted"
+
+(* --- chunked transfer framing --- *)
+
+let test_chunk_framing () =
+  Alcotest.(check string) "payload framed" "4\r\nrow\n\r\n" (Server.Http.chunk "row\n");
+  Alcotest.(check string) "hex size" "10\r\n0123456789abcdef\r\n"
+    (Server.Http.chunk "0123456789abcdef");
+  Alcotest.(check string) "empty payload dropped" "" (Server.Http.chunk "");
+  Alcotest.(check string) "terminator" "0\r\n\r\n" Server.Http.last_chunk
+
+let test_respond_stream_framing () =
+  let buf = Buffer.create 256 in
+  Server.Http.respond_stream ~status:200 ~close:false
+    ~write:(Buffer.add_string buf)
+    (fun emit ->
+      emit "row1\n";
+      emit "";
+      emit "row2\n");
+  let out = Buffer.contents buf in
+  let head_end =
+    match String.index_opt out '\n' with
+    | Some _ ->
+        let rec find i =
+          if i + 4 > String.length out then Alcotest.fail "no head terminator"
+          else if String.sub out i 4 = "\r\n\r\n" then i
+          else find (i + 1)
+        in
+        find 0
+    | None -> Alcotest.fail "no head"
+  in
+  let head = String.lowercase_ascii (String.sub out 0 head_end) in
+  Alcotest.(check bool) "chunked header" true (contains head "transfer-encoding: chunked");
+  Alcotest.(check bool) "no content-length" false (contains head "content-length");
+  Alcotest.(check bool) "keep-alive" true (contains head "connection: keep-alive");
+  let tail = String.sub out (head_end + 4) (String.length out - head_end - 4) in
+  (* Empty emits vanish; each payload is one frame; terminal chunk last. *)
+  Alcotest.(check string) "frames" "5\r\nrow1\n\r\n5\r\nrow2\n\r\n0\r\n\r\n" tail
+
+let test_read_chunk_roundtrip () =
+  let c = Server.Http.conn_of_string "5\r\nhello\r\n6;ext=1\r\n world\r\n0\r\n\r\n" in
+  (match Server.Http.read_chunk c with
+  | Ok (Some data) -> Alcotest.(check string) "first chunk" "hello" data
+  | _ -> Alcotest.fail "first chunk unreadable");
+  (match Server.Http.read_chunk c with
+  | Ok (Some data) -> Alcotest.(check string) "extension ignored" " world" data
+  | _ -> Alcotest.fail "second chunk unreadable");
+  (match Server.Http.read_chunk c with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "terminal chunk not recognized");
+  (* The concatenating reader sees the same stream. *)
+  let c2 = Server.Http.conn_of_string "5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n" in
+  match Server.Http.read_chunked_body c2 with
+  | Ok body -> Alcotest.(check string) "concatenated" "hello world" body
+  | Error _ -> Alcotest.fail "round-trip failed"
+
+let test_read_chunk_malformed () =
+  let bad s =
+    match Server.Http.read_chunked_body (Server.Http.conn_of_string s) with
+    | Error (Server.Http.Bad_request _) -> ()
+    | Error _ -> Alcotest.fail (Printf.sprintf "%S: wrong error class" s)
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%S accepted" s)
+  in
+  bad "zz\r\nhello\r\n0\r\n\r\n";           (* non-hex size *)
+  bad "\r\nhello\r\n0\r\n\r\n";             (* empty size line *)
+  bad "1_0\r\nhello\r\n0\r\n\r\n";          (* OCaml-ism, not HTTP hex *)
+  bad "5\r\nhelloXY0\r\n\r\n";              (* data not CRLF-terminated *)
+  bad "5\r\nhel";                           (* truncated mid-data *)
+  (* A chunk declared over max_body is refused before its data is read. *)
+  let limits = { Server.Http.max_head = 8192; max_body = 16 } in
+  match
+    Server.Http.read_chunked_body ~limits
+      (Server.Http.conn_of_string "ff\r\njunk\r\n0\r\n\r\n")
+  with
+  | Error Server.Http.Body_too_large -> ()
+  | _ -> Alcotest.fail "oversized chunk accepted"
 
 (* --- loopback end-to-end --- *)
 
@@ -525,6 +602,79 @@ let test_loopback_rejects_garbage () =
   Alcotest.(check int) "garbage is 400" 400 status;
   Alcotest.(check bool) "error body" true (contains body "\"error\"")
 
+(* POST /sweep over a real socket: the response must be chunked, carry a
+   trace id, de-chunk to exactly the bytes the in-process engine emits
+   for the same grid, and bump the served-sweep counters. *)
+let test_loopback_sweep_streams () =
+  with_loopback_server @@ fun port ->
+  let grid = "{\"model\":[0.005,0.01],\"trials\":[2,2]}" in
+  let all =
+    with_client port @@ fun fd ->
+    send_all fd
+      (Printf.sprintf
+         "POST /sweep HTTP/1.1\r\ncontent-length: %d\r\nconnection: close\r\n\r\n%s"
+         (String.length grid) grid);
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 4096 in
+    let rec drain () =
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+      end
+    in
+    drain ();
+    Buffer.contents buf
+  in
+  let head_end =
+    let rec find i =
+      if i + 4 > String.length all then Alcotest.fail "no head terminator"
+      else if String.sub all i 4 = "\r\n\r\n" then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let head = String.lowercase_ascii (String.sub all 0 head_end) in
+  Alcotest.(check bool) "status 200" true (contains head "http/1.1 200");
+  Alcotest.(check bool) "chunked" true (contains head "transfer-encoding: chunked");
+  Alcotest.(check bool) "no content-length" false (contains head "content-length");
+  Alcotest.(check bool) "ndjson" true (contains head "content-type: application/x-ndjson");
+  Alcotest.(check bool) "trace id" true (contains head "x-trace-id:");
+  let raw = String.sub all (head_end + 4) (String.length all - head_end - 4) in
+  let body =
+    match Server.Http.read_chunked_body (Server.Http.conn_of_string raw) with
+    | Ok b -> b
+    | Error _ -> Alcotest.fail "response body is not well-formed chunked"
+  in
+  let expected =
+    let axes =
+      List.map
+        (fun (k, raws) ->
+          match Stormsim.Sweep.axis_of_raw k raws with
+          | Ok a -> a
+          | Error e -> Alcotest.fail e)
+        [ ("model", [ Stormsim.Sweep.Num 0.005; Stormsim.Sweep.Num 0.01 ]);
+          ("trials", [ Stormsim.Sweep.Num 2.0; Stormsim.Sweep.Num 2.0 ]) ]
+    in
+    let cells =
+      match Stormsim.Sweep.expand axes with
+      | Ok cells -> cells
+      | Error e -> Alcotest.fail e
+    in
+    let buf = Buffer.create 4096 in
+    let _ =
+      Stormsim.Sweep.run ~jobs:1 ~cells ()
+        ~emit:(fun r -> Buffer.add_string buf (Stormsim.Sweep.row_line r))
+    in
+    Buffer.contents buf
+  in
+  Alcotest.(check string) "socket bytes = engine bytes" expected body;
+  Alcotest.(check int) "served cells counted" 4 (counter_value "server.sweep.cells");
+  Alcotest.(check int) "served rows counted" 4
+    (counter_value "server.sweep.rows_streamed");
+  Alcotest.(check int) "served plans counted" 2
+    (counter_value "server.sweep.plans_compiled")
+
 (* --- /statusz --- *)
 
 let jmem path doc =
@@ -535,7 +685,7 @@ let jnum path doc = Option.bind (jmem path doc) Obs.Json.number
 let test_statusz_shape () =
   with_server_state @@ fun () ->
   let routes = Server.Handlers.routes () in
-  let resp = Server.Router.dispatch ~routes (request "/statusz") in
+  let resp = Server.Router.to_response (Server.Router.dispatch ~routes (request "/statusz")) in
   Alcotest.(check int) "status" 200 resp.Server.Http.status;
   match Obs.Json.parse resp.Server.Http.body with
   | Error e -> Alcotest.fail ("statusz unparseable: " ^ e)
@@ -1264,6 +1414,11 @@ let () =
           Alcotest.test_case "stalled peer times out" `Quick test_parse_timeout;
           Alcotest.test_case "response serialization" `Quick test_response_to_string;
           Alcotest.test_case "query params" `Quick test_http_query_params ] );
+      ( "chunked",
+        [ Alcotest.test_case "chunk framing" `Quick test_chunk_framing;
+          Alcotest.test_case "respond_stream framing" `Quick test_respond_stream_framing;
+          Alcotest.test_case "read_chunk round-trip" `Quick test_read_chunk_roundtrip;
+          Alcotest.test_case "malformed chunks" `Quick test_read_chunk_malformed ] );
       ( "router",
         [ Alcotest.test_case "404" `Quick test_router_not_found;
           Alcotest.test_case "405 with allow" `Quick test_router_method_not_allowed;
@@ -1291,7 +1446,8 @@ let () =
           Alcotest.test_case "body decoding defaults" `Quick test_params_of_body_defaults ] );
       ( "loopback",
         [ Alcotest.test_case "end to end" `Quick test_loopback_end_to_end;
-          Alcotest.test_case "garbage over socket" `Quick test_loopback_rejects_garbage ] );
+          Alcotest.test_case "garbage over socket" `Quick test_loopback_rejects_garbage;
+          Alcotest.test_case "sweep streams chunked" `Quick test_loopback_sweep_streams ] );
       ( "statusz",
         [ Alcotest.test_case "shape" `Quick test_statusz_shape;
           Alcotest.test_case "end to end" `Quick test_statusz_end_to_end;

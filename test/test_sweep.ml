@@ -1,0 +1,335 @@
+(* Sweep engine suite: grid expansion goldens (cartesian order, first
+   axis slowest), axis validation, plan/batch dedup exactness (counter
+   asserted), byte-identical streaming for any jobs count, and
+   CLI-vs-HTTP parity — the de-chunked [POST /sweep] body must equal the
+   concatenated [row_line]s the CLI prints for the same grid. *)
+
+open Stormsim
+
+let axis spec =
+  match Sweep.axis_of_spec spec with
+  | Ok a -> a
+  | Error msg -> Alcotest.fail (Printf.sprintf "axis %s rejected: %s" spec msg)
+
+let expand_ok specs =
+  match Sweep.expand (List.map axis specs) with
+  | Ok cells -> cells
+  | Error msg -> Alcotest.fail ("expand failed: " ^ msg)
+
+let counter_value name =
+  match List.assoc_opt name (Obs.Metrics.snapshot ()) with
+  | Some (Obs.Metrics.Counter n) -> n
+  | _ -> 0
+
+(* Counters and the server result cache are process-global; start every
+   test clean and leave the layer off. *)
+let with_state f =
+  Obs.reset ();
+  Obs.enable ();
+  Server.Api.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Api.reset ();
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+(* --- expansion goldens --- *)
+
+let test_expand_cartesian_order () =
+  let cells = expand_ok [ "network=submarine,intertubes"; "trials=1,2" ] in
+  Alcotest.(check int) "4 cells" 4 (Array.length cells);
+  let got =
+    Array.to_list
+      (Array.map
+         (fun (c : Sweep.cell) -> (Sweep.network_id_to_string c.network, c.trials))
+         cells)
+  in
+  (* First axis varies slowest. *)
+  Alcotest.(check (list (pair string int)))
+    "order"
+    [ ("submarine", 1); ("submarine", 2); ("intertubes", 1); ("intertubes", 2) ]
+    got
+
+let test_expand_defaults () =
+  let cells = expand_ok [] in
+  Alcotest.(check int) "one default cell" 1 (Array.length cells);
+  let c = cells.(0) in
+  Alcotest.(check bool) "is default" true (c = Sweep.default_cell);
+  Alcotest.(check int) "default seed" Datasets.default_seed c.Sweep.seed
+
+let test_expand_empty_axis () =
+  let cells = expand_ok [ "trials=" ] in
+  Alcotest.(check int) "zero cells" 0 (Array.length cells)
+
+let test_expand_single_value_pins () =
+  let cells = expand_ok [ "spacing_km=75"; "seed=7" ] in
+  Alcotest.(check int) "one cell" 1 (Array.length cells);
+  Alcotest.(check (float 0.0)) "spacing" 75.0 cells.(0).Sweep.spacing_km;
+  Alcotest.(check int) "seed" 7 cells.(0).Sweep.seed
+
+let test_expand_duplicate_key_rejected () =
+  match Sweep.expand [ axis "trials=1"; axis "trials=2" ] with
+  | Ok _ -> Alcotest.fail "duplicate axis key accepted"
+  | Error msg -> Alcotest.(check bool) "names the key" true (String.length msg > 0)
+
+let test_expand_max_cells_rejected () =
+  (* 300 x 300 = 90_000 > max_cells; built through axis_of_raw because a
+     300-value CLI spec would be absurd. *)
+  let raws = List.init 300 (fun i -> Sweep.Num (float_of_int i)) in
+  let seed_axis =
+    match Sweep.axis_of_raw "seed" raws with
+    | Ok a -> a
+    | Error msg -> Alcotest.fail msg
+  in
+  let trials_axis =
+    match Sweep.axis_of_raw "trials" (List.init 300 (fun i -> Sweep.Num (float_of_int (i + 1)))) with
+    | Ok a -> a
+    | Error msg -> Alcotest.fail msg
+  in
+  match Sweep.expand [ seed_axis; trials_axis ] with
+  | Ok _ -> Alcotest.fail "oversized grid accepted"
+  | Error _ -> ()
+
+(* --- axis validation --- *)
+
+let test_axis_rejects =
+  let cases =
+    [ "no-equals"; "bogus=1"; "network=mars"; "model=verybroken"; "spacing_km=-1";
+      "spacing_km=nan"; "itu_scale=0"; "itu_scale=1.5"; "seed=1.5"; "trials=0";
+      "trials=1000001" ]
+  in
+  List.map
+    (fun spec ->
+      Alcotest.test_case spec `Quick (fun () ->
+          match Sweep.axis_of_spec spec with
+          | Ok _ -> Alcotest.fail (Printf.sprintf "%s accepted" spec)
+          | Error _ -> ()))
+    cases
+
+let test_axis_accepts_models () =
+  let a = axis "model=s1,s2,physical,s1-geomag,0.25" in
+  Alcotest.(check string) "key" "model" (Sweep.axis_key a);
+  Alcotest.(check int) "length" 5 (Sweep.axis_length a)
+
+let test_axis_of_raw_matches_spec () =
+  (* JSON numbers and CLI strings must land on the same cells. *)
+  let from_spec = expand_ok [ "model=0.25"; "trials=3" ] in
+  let from_raw =
+    let m =
+      match Sweep.axis_of_raw "model" [ Sweep.Num 0.25 ] with
+      | Ok a -> a
+      | Error msg -> Alcotest.fail msg
+    in
+    let t =
+      match Sweep.axis_of_raw "trials" [ Sweep.Num 3.0 ] with
+      | Ok a -> a
+      | Error msg -> Alcotest.fail msg
+    in
+    match Sweep.expand [ m; t ] with
+    | Ok cells -> cells
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check bool) "same cell" true (from_spec = from_raw)
+
+(* --- canonical keys --- *)
+
+let test_plan_key_normalizes_itu_scale () =
+  let cells = expand_ok [ "itu_scale=0.1,0.2,0.3" ] in
+  let keys =
+    Array.to_list (Array.map Sweep.plan_key cells) |> List.sort_uniq compare
+  in
+  (* Submarine never reads itu_scale, so the three cells share a plan. *)
+  Alcotest.(check int) "one plan key" 1 (List.length keys);
+  let itu = expand_ok [ "network=itu"; "itu_scale=0.1,0.2" ] in
+  let itu_keys =
+    Array.to_list (Array.map Sweep.plan_key itu) |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "itu keeps scale" 2 (List.length itu_keys)
+
+let test_batch_key_includes_trials () =
+  let cells = expand_ok [ "trials=2,2,3" ] in
+  let keys =
+    Array.to_list (Array.map Sweep.batch_key cells) |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "two batches" 2 (List.length keys);
+  Alcotest.(check string) "duplicate trials share" (Sweep.batch_key cells.(0))
+    (Sweep.batch_key cells.(1))
+
+(* --- execution: dedup, determinism, ordering --- *)
+
+(* The bench grid shape at test-sized trials: 4 models x 4 itu scales
+   (normalized out on submarine) x 4 duplicate trial values = 64 cells,
+   4 plans, 4 batches. *)
+let grid_64 = [ "model=0.005,0.01,0.02,s1"; "itu_scale=0.1,0.2,0.3,0.4"; "trials=2,2,2,2" ]
+
+let run_to_string ?jobs cells =
+  let buf = Buffer.create 4096 in
+  let summary =
+    Sweep.run ?jobs ~cells () ~emit:(fun row -> Buffer.add_string buf (Sweep.row_line row))
+  in
+  (summary, Buffer.contents buf)
+
+let test_dedup_counters_exact () =
+  with_state @@ fun () ->
+  let cells = expand_ok grid_64 in
+  Alcotest.(check int) "64 cells" 64 (Array.length cells);
+  let before = counter_value "sweep.plans_compiled" in
+  let summary, body = run_to_string ~jobs:1 cells in
+  Alcotest.(check int) "summary cells" 64 summary.Sweep.cells;
+  Alcotest.(check int) "summary rows" 64 summary.Sweep.rows;
+  Alcotest.(check int) "4 plans compiled" 4 summary.Sweep.plans_compiled;
+  Alcotest.(check int) "4 batches" 4 summary.Sweep.batches;
+  Alcotest.(check int) "counter delta exact" 4
+    (counter_value "sweep.plans_compiled" - before);
+  Alcotest.(check int) "cells counter" 64 (counter_value "sweep.cells");
+  Alcotest.(check int) "rows counter" 64 (counter_value "sweep.rows_streamed");
+  Alcotest.(check int) "64 lines" 64
+    (List.length (String.split_on_char '\n' body) - 1)
+
+let test_rows_in_cell_order () =
+  let cells = expand_ok [ "model=s1,0.01"; "seed=41,42" ] in
+  let seen = ref [] in
+  let _ = Sweep.run ~jobs:1 ~cells () ~emit:(fun r -> seen := r.Sweep.cell_index :: !seen) in
+  Alcotest.(check (list int)) "strict cell order" [ 0; 1; 2; 3 ] (List.rev !seen)
+
+let test_jobs_byte_identity () =
+  let cells = expand_ok [ "model=0.005,s1"; "seed=41,42"; "trials=6" ] in
+  let _, one = run_to_string ~jobs:1 cells in
+  let _, four = run_to_string ~jobs:4 cells in
+  Alcotest.(check string) "jobs 1 = jobs 4" one four;
+  Alcotest.(check bool) "non-empty" true (String.length one > 0)
+
+let test_shared_batch_rows_identical () =
+  let cells = expand_ok [ "trials=4,4" ] in
+  let rows = ref [] in
+  let _ = Sweep.run ~jobs:1 ~cells () ~emit:(fun r -> rows := r :: !rows) in
+  match List.rev !rows with
+  | [ a; b ] ->
+      Alcotest.(check bool) "same stats" true (a.Sweep.stats = b.Sweep.stats);
+      Alcotest.(check int) "indices differ" 1 (b.Sweep.cell_index - a.Sweep.cell_index)
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 rows, got %d" (List.length l))
+
+let test_row_line_shape () =
+  let cells = expand_ok [] in
+  let line = ref "" in
+  let _ = Sweep.run ~jobs:1 ~cells () ~emit:(fun r -> line := Sweep.row_line r) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+    nn = 0 || scan 0
+  in
+  Alcotest.(check bool) "cell field first" true
+    (String.length !line > 8 && String.sub !line 0 8 = "{\"cell\":");
+  List.iter
+    (fun f -> Alcotest.(check bool) f true (contains !line f))
+    [ "\"network\":\"submarine\""; "\"cables_failed_pct\""; "\"nodes_unreachable_pct\"";
+      "\"mean\""; "\"std\"" ];
+  Alcotest.(check bool) "newline terminated" true
+    (!line <> "" && !line.[String.length !line - 1] = '\n');
+  (* itu_scale is unused on submarine and stays out of the row. *)
+  Alcotest.(check bool) "no itu_scale field" false (contains !line "itu_scale")
+
+(* --- HTTP: POST /sweep --- *)
+
+let dispatch ?(body = "") target =
+  Server.Router.dispatch
+    ~routes:(Server.Handlers.routes ())
+    { Server.Http.meth = Server.Http.POST; target; version = "HTTP/1.1"; headers = [];
+      body }
+
+let test_http_parity_with_cli () =
+  with_state @@ fun () ->
+  (* Same grid, CLI-shaped and JSON-shaped. *)
+  let cells = expand_ok [ "model=0.005,0.01"; "trials=3,3" ] in
+  let _, cli = run_to_string ~jobs:1 cells in
+  let reply = dispatch ~body:"{\"model\":[0.005,0.01],\"trials\":[3,3]}" "/sweep" in
+  (match reply with
+  | Server.Router.Stream s ->
+      Alcotest.(check int) "status 200" 200 s.Server.Router.s_status;
+      Alcotest.(check string) "ndjson" "application/x-ndjson"
+        s.Server.Router.s_content_type
+  | Server.Router.Response _ -> Alcotest.fail "expected a stream");
+  let resp = Server.Router.to_response reply in
+  Alcotest.(check string) "HTTP body = CLI bytes" cli resp.Server.Http.body;
+  Alcotest.(check int) "served counters" 4
+    (counter_value "server.sweep.cells");
+  Alcotest.(check int) "served rows" 4 (counter_value "server.sweep.rows_streamed");
+  Alcotest.(check int) "served plans" 2 (counter_value "server.sweep.plans_compiled")
+
+let test_http_empty_body_is_default_cell () =
+  with_state @@ fun () ->
+  let resp = Server.Router.to_response (dispatch ~body:"" "/sweep") in
+  Alcotest.(check int) "status" 200 resp.Server.Http.status;
+  let cells = expand_ok [] in
+  let _, cli = run_to_string ~jobs:1 cells in
+  Alcotest.(check string) "single default row" cli resp.Server.Http.body
+
+let test_http_empty_axis_streams_nothing () =
+  with_state @@ fun () ->
+  let resp = Server.Router.to_response (dispatch ~body:"{\"trials\":[]}" "/sweep") in
+  Alcotest.(check int) "status" 200 resp.Server.Http.status;
+  Alcotest.(check string) "empty body" "" resp.Server.Http.body
+
+let test_http_bad_grids_are_400 () =
+  with_state @@ fun () ->
+  List.iter
+    (fun body ->
+      match dispatch ~body "/sweep" with
+      | Server.Router.Response r ->
+          Alcotest.(check int) (Printf.sprintf "400 for %s" body) 400
+            r.Server.Http.status
+      | Server.Router.Stream _ ->
+          Alcotest.fail (Printf.sprintf "bad grid %s streamed" body))
+    [ "{"; "[1,2]"; "\"grid\""; "{\"bogus\":[1]}"; "{\"trials\":[0]}";
+      "{\"model\":{}}"; "{\"trials\":[true]}"; "{\"trials\":1,\"trials\":2}" ]
+
+let test_http_sweep_wrong_method_405 () =
+  with_state @@ fun () ->
+  let resp =
+    Server.Router.to_response
+      (Server.Router.dispatch
+         ~routes:(Server.Handlers.routes ())
+         { Server.Http.meth = Server.Http.GET; target = "/sweep"; version = "HTTP/1.1";
+           headers = []; body = "" })
+  in
+  Alcotest.(check int) "405" 405 resp.Server.Http.status
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "expansion",
+        [ Alcotest.test_case "cartesian order" `Quick test_expand_cartesian_order;
+          Alcotest.test_case "no axes -> default cell" `Quick test_expand_defaults;
+          Alcotest.test_case "empty axis -> zero cells" `Quick test_expand_empty_axis;
+          Alcotest.test_case "single value pins" `Quick test_expand_single_value_pins;
+          Alcotest.test_case "duplicate key rejected" `Quick
+            test_expand_duplicate_key_rejected;
+          Alcotest.test_case "max_cells rejected" `Quick test_expand_max_cells_rejected ]
+      );
+      ("axis validation (rejects)", test_axis_rejects);
+      ( "axis validation (accepts)",
+        [ Alcotest.test_case "model forms" `Quick test_axis_accepts_models;
+          Alcotest.test_case "raw = spec" `Quick test_axis_of_raw_matches_spec ] );
+      ( "canonical keys",
+        [ Alcotest.test_case "itu_scale normalized out" `Quick
+            test_plan_key_normalizes_itu_scale;
+          Alcotest.test_case "batch key includes trials" `Quick
+            test_batch_key_includes_trials ] );
+      ( "execution",
+        [ Alcotest.test_case "dedup counters exact" `Quick test_dedup_counters_exact;
+          Alcotest.test_case "rows in cell order" `Quick test_rows_in_cell_order;
+          Alcotest.test_case "jobs byte identity" `Quick test_jobs_byte_identity;
+          Alcotest.test_case "shared batch rows identical" `Quick
+            test_shared_batch_rows_identical;
+          Alcotest.test_case "row line shape" `Quick test_row_line_shape ] );
+      ( "http",
+        [ Alcotest.test_case "parity with CLI" `Quick test_http_parity_with_cli;
+          Alcotest.test_case "empty body -> default cell" `Quick
+            test_http_empty_body_is_default_cell;
+          Alcotest.test_case "empty axis -> empty stream" `Quick
+            test_http_empty_axis_streams_nothing;
+          Alcotest.test_case "bad grids are 400" `Quick test_http_bad_grids_are_400;
+          Alcotest.test_case "GET /sweep is 405" `Quick test_http_sweep_wrong_method_405 ]
+      );
+    ]
